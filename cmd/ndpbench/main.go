@@ -1,0 +1,117 @@
+// Command ndpbench regenerates the NDPBridge paper's tables and figures
+// (Section VIII) on the simulator:
+//
+//	ndpbench                  # every experiment at full scale (slow)
+//	ndpbench -exp fig10       # one experiment
+//	ndpbench -exp fig14a -small
+//
+// Experiments: fig2, fig10, fig11, fig12, fig13, fig14a, fig14b, fig15,
+// fig16a, fig16b, fig16cd, splitdb, l2variants, tab1, tab2.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"ndpbridge/internal/experiments"
+	"ndpbridge/internal/stats"
+)
+
+type expFn func(experiments.Scale) (*stats.Table, error)
+
+var all = []struct {
+	name string
+	fn   expFn
+}{
+	{"tab1", func(experiments.Scale) (*stats.Table, error) { return experiments.Table1(), nil }},
+	{"tab2", func(experiments.Scale) (*stats.Table, error) { return experiments.Table2(), nil }},
+	{"fig2", experiments.Fig2},
+	{"fig10", func(sc experiments.Scale) (*stats.Table, error) { t, _, err := experiments.Fig10(sc); return t, err }},
+	{"fig11", func(sc experiments.Scale) (*stats.Table, error) { t, _, err := experiments.Fig11(sc); return t, err }},
+	{"fig12", experiments.Fig12},
+	{"fig13", func(sc experiments.Scale) (*stats.Table, error) { return experiments.Fig13(sc, nil) }},
+	{"fig14a", experiments.Fig14a},
+	{"fig14b", experiments.Fig14b},
+	{"fig15", experiments.Fig15},
+	{"fig16a", experiments.Fig16a},
+	{"fig16b", experiments.Fig16b},
+	{"fig16cd", experiments.Fig16cd},
+	{"splitdb", experiments.SplitDB},
+	{"l2variants", experiments.L2Variants},
+}
+
+// writeCSV stores one experiment table under dir.
+func writeCSV(dir, name string, t *stats.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, name+".csv"))
+	if err != nil {
+		return err
+	}
+	if err := t.CSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func main() {
+	var (
+		exp    = flag.String("exp", "", "comma-separated experiments to run (default: all)")
+		small  = flag.Bool("small", false, "run test-sized systems and workloads")
+		scale  = flag.String("scale", "", "workload scale: full (paper-sized), medium, small")
+		csvDir = flag.String("csv", "", "also write each experiment's table as <dir>/<name>.csv")
+	)
+	flag.Parse()
+
+	sc := experiments.Full
+	if *small {
+		sc = experiments.Small
+	}
+	switch *scale {
+	case "", "full":
+	case "medium":
+		sc = experiments.Medium
+	case "small":
+		sc = experiments.Small
+	default:
+		fmt.Fprintf(os.Stderr, "ndpbench: unknown scale %q\n", *scale)
+		os.Exit(1)
+	}
+	want := map[string]bool{}
+	if *exp != "" {
+		for _, e := range strings.Split(*exp, ",") {
+			want[strings.TrimSpace(e)] = true
+		}
+	}
+	ran := 0
+	for _, e := range all {
+		if len(want) > 0 && !want[e.name] {
+			continue
+		}
+		start := time.Now()
+		t, err := e.fn(sc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ndpbench: %s: %v\n", e.name, err)
+			os.Exit(1)
+		}
+		fmt.Println(t.Render())
+		fmt.Printf("(%s in %.1fs)\n\n", e.name, time.Since(start).Seconds())
+		if *csvDir != "" {
+			if err := writeCSV(*csvDir, e.name, t); err != nil {
+				fmt.Fprintf(os.Stderr, "ndpbench: csv %s: %v\n", e.name, err)
+				os.Exit(1)
+			}
+		}
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "ndpbench: no experiment matched %q\n", *exp)
+		os.Exit(1)
+	}
+}

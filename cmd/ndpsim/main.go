@@ -1,0 +1,139 @@
+// Command ndpsim runs one NDPBridge simulation: a single application on a
+// single design, printing the measured result. It is the quickest way to
+// poke at the simulator:
+//
+//	ndpsim -app tree -design O
+//	ndpsim -app pr -design C -units 128
+//	ndpsim -app bfs -design O -gxfer 64 -small
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ndpbridge/internal/config"
+	"ndpbridge/internal/core"
+	"ndpbridge/internal/stats"
+	"ndpbridge/internal/trace"
+	"ndpbridge/internal/workloads"
+)
+
+func main() {
+	var (
+		appName  = flag.String("app", "tree", "application: ll, ht, tree, spmv, bfs, sssp, pr, wcc, stencil")
+		design   = flag.String("design", "O", "design: C, B, W, O, H, R (Table II)")
+		units    = flag.Int("units", 0, "override NDP unit count (multiple of 64; 0 = Table I default 512)")
+		gxfer    = flag.Uint64("gxfer", 0, "override G_xfer bytes (0 = default 256)")
+		istate   = flag.Uint64("istate", 0, "override I_state cycles (0 = default 2000)")
+		dq       = flag.Int("dq", 0, "DRAM chip DQ width: 4, 8 or 16 (0 = default 8)")
+		trigger  = flag.String("trigger", "dynamic", "communication trigger: dynamic, imin, 2imin")
+		l2       = flag.String("l2", "host", "level-2 transport: host, dimmlink, abcdimm")
+		small    = flag.Bool("small", false, "use the small test-sized workload")
+		split    = flag.Bool("splitdb", false, "model split DIMM buffers (chameleon-s)")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+		verbose  = flag.Bool("v", false, "print per-component detail")
+		traceOut = flag.String("trace", "", "write a Chrome/Perfetto trace JSON to this file")
+		heatmap  = flag.Bool("heatmap", false, "print a per-unit utilization heatmap")
+	)
+	flag.Parse()
+
+	cfg := config.Default()
+	d, err := config.ParseDesign(*design)
+	fatalIf(err)
+	cfg = cfg.WithDesign(d)
+	if *units > 0 {
+		cfg, err = cfg.WithUnits(*units)
+		fatalIf(err)
+	}
+	if *dq > 0 {
+		cfg, err = cfg.WithDQWidth(*dq)
+		fatalIf(err)
+	}
+	if *gxfer > 0 {
+		cfg.GXfer = *gxfer
+	}
+	if *istate > 0 {
+		cfg.IState = *istate
+	}
+	switch *trigger {
+	case "dynamic":
+		cfg.Trigger = config.TriggerDynamic
+	case "imin":
+		cfg.Trigger = config.TriggerFixedIMin
+	case "2imin":
+		cfg.Trigger = config.TriggerFixed2IMin
+	default:
+		fatalIf(fmt.Errorf("unknown trigger %q", *trigger))
+	}
+	switch *l2 {
+	case "host":
+		cfg.Level2 = config.L2Host
+	case "dimmlink":
+		cfg.Level2 = config.L2DIMMLink
+	case "abcdimm":
+		cfg.Level2 = config.L2ABCDIMM
+	default:
+		fatalIf(fmt.Errorf("unknown level-2 transport %q", *l2))
+	}
+	cfg.SplitDIMMBuffer = *split
+	cfg.Seed = *seed
+
+	var app core.App
+	if *small {
+		app, err = workloads.NewSmall(*appName)
+	} else {
+		app, err = workloads.New(*appName)
+	}
+	fatalIf(err)
+
+	sys, err := core.New(cfg)
+	fatalIf(err)
+	var rec *trace.Recorder
+	if *traceOut != "" || *heatmap {
+		rec = trace.New(0)
+		sys.AttachTrace(rec)
+	}
+	r, err := sys.Run(app)
+	fatalIf(err)
+
+	fmt.Println(r)
+	if *verbose {
+		printDetail(r)
+	}
+	if *heatmap {
+		fmt.Println("\nper-unit utilization (unit rows, time →):")
+		fmt.Print(rec.Heatmap(r.Makespan, 64))
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		fatalIf(err)
+		fatalIf(rec.ChromeTrace(f))
+		fatalIf(f.Close())
+		fmt.Printf("wrote %d trace events to %s\n", rec.Len(), *traceOut)
+	}
+}
+
+func printDetail(r *stats.Result) {
+	ms := func(c uint64) float64 { return float64(c) * 2.5e-6 } // cycles → ms at 400 MHz
+	fmt.Printf("  makespan:        %12d cycles (%.3f ms)\n", r.Makespan, ms(r.Makespan))
+	fmt.Printf("  max busy:        %12d cycles (wait %.1f%%)\n", r.MaxBusy, 100*r.WaitFrac())
+	fmt.Printf("  avg busy:        %12.0f cycles (avg/max %.1f%%)\n", r.AvgBusy, 100*r.AvgFrac())
+	fmt.Printf("  tasks:           %12d executed, %d spawned, %d bounces\n", r.TasksExecuted, r.TasksSpawned, r.Bounces)
+	fmt.Printf("  messages:        %12d delivered\n", r.MsgsDelivered)
+	fmt.Printf("  traffic:         %12d B intra-rank, %d B cross-rank, %d B host\n",
+		r.IntraRankBytes, r.CrossRankBytes, r.HostBytes)
+	fmt.Printf("  load balancing:  %12d rounds, %d blocks migrated, %d returned\n",
+		r.LBRounds, r.BlocksMigrated, r.BlocksReturned)
+	fmt.Printf("  gather rounds:   %12d\n", r.GatherRounds)
+	e := r.Energy
+	fmt.Printf("  energy (mJ):     core+SRAM %.2f, local DRAM %.2f, comm %.2f, static %.2f, total %.2f\n",
+		e.CoreSRAM, e.LocalDRAM, e.CommDRAM, e.Static, e.Total())
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ndpsim:", err)
+		os.Exit(1)
+	}
+}

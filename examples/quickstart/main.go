@@ -1,0 +1,38 @@
+// Quickstart: simulate one paper workload on the default 512-unit NDPBridge
+// system and print the headline measurements.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ndpbridge"
+)
+
+func main() {
+	cfg := ndpbridge.DefaultConfig() // Table I: 512 units, design O
+	sys, err := ndpbridge.NewSystem(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	app, err := ndpbridge.NewApp("tree")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	r, err := sys.Run(app)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println(r)
+	fmt.Printf("executed %d tasks across %d NDP units\n", r.TasksExecuted, len(r.Units))
+	fmt.Printf("makespan %.3f ms, communication wait %.1f%%, balance (avg/max) %.1f%%\n",
+		float64(r.Makespan)*2.5e-6, 100*r.WaitFrac(), 100*r.AvgFrac())
+	fmt.Printf("energy: %.2f mJ (%.2f core+SRAM, %.2f local DRAM, %.2f comm, %.2f static)\n",
+		r.Energy.Total(), r.Energy.CoreSRAM, r.Energy.LocalDRAM, r.Energy.CommDRAM, r.Energy.Static)
+	fmt.Printf("load balancing: %d blocks migrated in %d rounds\n", r.BlocksMigrated, r.LBRounds)
+}

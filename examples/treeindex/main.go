@@ -1,0 +1,62 @@
+// treeindex explores the paper's motivating workload (Figure 2): tree
+// traversal, where every pointer chase crosses banks. It sweeps the
+// communication-triggering policies and the transfer granularity G_xfer on
+// full NDPBridge, the single-application analogue of Figures 14(b) and
+// 16(a).
+//
+//	go run ./examples/treeindex
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ndpbridge"
+)
+
+func runTree(mutate func(*ndpbridge.Config)) *ndpbridge.Result {
+	cfg := ndpbridge.DefaultConfig() // design O
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	sys, err := ndpbridge.NewSystem(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	app, err := ndpbridge.NewApp("tree")
+	if err != nil {
+		log.Fatal(err)
+	}
+	r, err := sys.Run(app)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return r
+}
+
+func main() {
+	fmt.Println("tree-traversal index on full NDPBridge (design O)")
+
+	base := runTree(nil)
+	fmt.Printf("\ndefault:          makespan %d cycles, wait %.1f%%, %d blocks migrated\n",
+		base.Makespan, 100*base.WaitFrac(), base.BlocksMigrated)
+
+	fmt.Println("\ncommunication trigger sweep (Fig. 14(b) analogue):")
+	for _, tr := range []ndpbridge.Trigger{
+		ndpbridge.TriggerDynamic, ndpbridge.TriggerFixedIMin, ndpbridge.TriggerFixed2IMin,
+	} {
+		tr := tr
+		r := runTree(func(c *ndpbridge.Config) { c.Trigger = tr })
+		fmt.Printf("  %-12s makespan %10d cycles (%.2fx), comm energy %.2f mJ\n",
+			tr, r.Makespan, float64(base.Makespan)/float64(r.Makespan), r.Energy.CommDRAM)
+	}
+
+	fmt.Println("\nG_xfer sweep (Fig. 16(a) analogue):")
+	for _, g := range []uint64{64, 256, 1024} {
+		g := g
+		r := runTree(func(c *ndpbridge.Config) { c.GXfer = g })
+		fmt.Printf("  %4d B:      makespan %10d cycles (%.2fx), traffic %.1f MB\n",
+			g, r.Makespan, float64(base.Makespan)/float64(r.Makespan),
+			float64(r.IntraRankBytes+r.CrossRankBytes)/(1<<20))
+	}
+}

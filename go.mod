@@ -1,0 +1,3 @@
+module ndpbridge
+
+go 1.22

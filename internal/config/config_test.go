@@ -1,0 +1,186 @@
+package config
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDefaultValidates(t *testing.T) {
+	c := Default()
+	if err := c.Validate(); err != nil {
+		t.Fatalf("Default config invalid: %v", err)
+	}
+	if got := c.Geometry.Units(); got != 512 {
+		t.Errorf("Units = %d, want 512 (Table I)", got)
+	}
+	if got := c.Geometry.UnitsPerRank(); got != 64 {
+		t.Errorf("UnitsPerRank = %d, want 64", got)
+	}
+	if got := c.Geometry.Ranks(); got != 8 {
+		t.Errorf("Ranks = %d, want 8", got)
+	}
+	total := c.Geometry.BankBytes * uint64(c.Geometry.Units())
+	if total != 32<<30 {
+		t.Errorf("total capacity = %d, want 32 GB", total)
+	}
+}
+
+func TestDesignString(t *testing.T) {
+	cases := map[Design]string{
+		DesignC: "C", DesignB: "B", DesignW: "W",
+		DesignO: "O", DesignH: "H", DesignR: "R",
+	}
+	for d, want := range cases {
+		if d.String() != want {
+			t.Errorf("%v.String() = %q, want %q", int(d), d.String(), want)
+		}
+		back, err := ParseDesign(want)
+		if err != nil || back != d {
+			t.Errorf("ParseDesign(%q) = %v, %v", want, back, err)
+		}
+	}
+	if _, err := ParseDesign("Z"); err == nil {
+		t.Error("ParseDesign(Z) should fail")
+	}
+}
+
+func TestDesignPredicates(t *testing.T) {
+	if DesignC.UsesBridges() || DesignH.UsesBridges() || DesignR.UsesBridges() {
+		t.Error("C/H/R must not use bridges")
+	}
+	if !DesignB.UsesBridges() || !DesignW.UsesBridges() || !DesignO.UsesBridges() {
+		t.Error("B/W/O must use bridges")
+	}
+	if DesignB.LoadBalancing() || DesignC.LoadBalancing() {
+		t.Error("B/C must not load balance")
+	}
+	if !DesignW.LoadBalancing() || !DesignO.LoadBalancing() {
+		t.Error("W/O must load balance")
+	}
+}
+
+func TestWithDesignTableII(t *testing.T) {
+	w := Default().WithDesign(DesignW)
+	if w.LoadBalance.Adv || w.LoadBalance.Fine || w.LoadBalance.Hot {
+		t.Error("W must disable all data-transfer-aware optimizations")
+	}
+	if !w.LoadBalance.Correction {
+		t.Error("W keeps workload correction (Section VII)")
+	}
+	o := w.WithDesign(DesignO)
+	if !o.LoadBalance.Adv || !o.LoadBalance.Fine || !o.LoadBalance.Hot {
+		t.Error("O must enable all optimizations")
+	}
+}
+
+func TestWithUnits(t *testing.T) {
+	for _, n := range []int{64, 128, 256, 512, 1024} {
+		c, err := Default().WithUnits(n)
+		if err != nil {
+			t.Fatalf("WithUnits(%d): %v", n, err)
+		}
+		if got := c.Geometry.Units(); got != n {
+			t.Errorf("WithUnits(%d) → %d units", n, got)
+		}
+		if err := c.Validate(); err != nil {
+			t.Errorf("WithUnits(%d) invalid: %v", n, err)
+		}
+	}
+	if _, err := Default().WithUnits(100); err == nil {
+		t.Error("WithUnits(100) should fail (not a rank multiple)")
+	}
+}
+
+func TestWithDQWidth(t *testing.T) {
+	cases := []struct {
+		bits      int
+		chips     int
+		bw        uint64
+		wantUnits int
+	}{
+		{4, 16, 3, 1024},
+		{8, 8, 6, 512},
+		{16, 4, 12, 256},
+	}
+	for _, c := range cases {
+		cfg, err := Default().WithDQWidth(c.bits)
+		if err != nil {
+			t.Fatalf("WithDQWidth(%d): %v", c.bits, err)
+		}
+		if cfg.Geometry.ChipsPerRank != c.chips {
+			t.Errorf("x%d chips = %d, want %d", c.bits, cfg.Geometry.ChipsPerRank, c.chips)
+		}
+		if cfg.Timing.ChipDQBytesPerCycle != c.bw {
+			t.Errorf("x%d bw = %d, want %d", c.bits, cfg.Timing.ChipDQBytesPerCycle, c.bw)
+		}
+		if cfg.Geometry.Units() != c.wantUnits {
+			t.Errorf("x%d units = %d, want %d (Section VIII-B)", c.bits, cfg.Geometry.Units(), c.wantUnits)
+		}
+	}
+	if _, err := Default().WithDQWidth(32); err == nil {
+		t.Error("x32 should be rejected")
+	}
+}
+
+func TestValidateCatchesBadConfigs(t *testing.T) {
+	mutate := []struct {
+		name string
+		f    func(*Config)
+		want string
+	}{
+		{"zero channels", func(c *Config) { c.Geometry.Channels = 0 }, "geometry"},
+		{"non-pow2 bank", func(c *Config) { c.Geometry.BankBytes = 3 << 20 }, "power of two"},
+		{"gxfer not multiple", func(c *Config) { c.GXfer = 100 }, "GXfer"},
+		{"zero istate", func(c *Config) { c.IState = 0 }, "IState"},
+		{"zero dq", func(c *Config) { c.Timing.ChipDQBytesPerCycle = 0 }, "bandwidth"},
+		{"bad sketch", func(c *Config) { c.Sketch.Buckets = 0 }, "sketch"},
+		{"bad decay", func(c *Config) { c.Sketch.DecayBase = 1.0 }, "decay"},
+		{"bad ways", func(c *Config) { c.Metadata.UnitBorrowedWays = 3 }, "ways"},
+		{"bad steal", func(c *Config) { c.LoadBalance.StealFactor = 0 }, "StealFactor"},
+		{"bad split", func(c *Config) { c.SplitDIMMBuffer = true; c.SplitDQCAPins = 8 }, "SplitDQCAPins"},
+	}
+	for _, m := range mutate {
+		c := Default()
+		m.f(&c)
+		err := c.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate passed, want error", m.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), m.want) {
+			t.Errorf("%s: error %q does not mention %q", m.name, err, m.want)
+		}
+	}
+}
+
+func TestEffectiveChipDQ(t *testing.T) {
+	c := Default()
+	if got := c.EffectiveChipDQ(); got != 6 {
+		t.Errorf("unified DQ = %d, want 6", got)
+	}
+	c.SplitDIMMBuffer = true
+	c.SplitDQCAPins = 2
+	if got := c.EffectiveChipDQ(); got != 4 { // 6 × 6/8 = 4.5 → 4
+		t.Errorf("chameleon-s DQ = %d, want 4", got)
+	}
+}
+
+func TestIMin(t *testing.T) {
+	c := Default()
+	// 256 B at 48 B/cycle = 6 cycles per bank round; 8 bank rounds = 48.
+	if got := c.IMin(); got != 48 {
+		t.Errorf("IMin = %d, want 48", got)
+	}
+	c.GXfer = 64
+	if got := c.IMin(); got != 16 {
+		t.Errorf("IMin(G=64) = %d, want 16", got)
+	}
+}
+
+func TestTriggerString(t *testing.T) {
+	if TriggerDynamic.String() != "dynamic" ||
+		TriggerFixedIMin.String() != "fixed-Imin" ||
+		TriggerFixed2IMin.String() != "fixed-2Imin" {
+		t.Error("trigger names wrong")
+	}
+}

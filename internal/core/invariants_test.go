@@ -1,0 +1,203 @@
+package core
+
+import (
+	"testing"
+
+	"ndpbridge/internal/config"
+	"ndpbridge/internal/task"
+)
+
+// stress drives heavy, skewed, cross-unit traffic with load balancing to
+// exercise the migration machinery.
+type stress struct {
+	tasks  int
+	chain  int
+	fn     task.FuncID
+	nUnits int
+}
+
+func (a *stress) Name() string { return "stress" }
+
+func (a *stress) Prepare(s *System) error {
+	a.nUnits = s.Units()
+	a.fn = s.Register("stress.step", func(ctx task.Ctx, t task.Task) {
+		ctx.Read(t.Addr, 64)
+		ctx.Compute(120)
+		hop, q := t.Args[0], t.Args[1]
+		if hop > 0 {
+			// Hash-hop across units, biased toward unit 0 to force
+			// both communication and imbalance.
+			next := int((q*2654435761 + hop*40503) % uint64(a.nUnits*2))
+			if next >= a.nUnits {
+				next = 0
+			}
+			addr := s.UnitBase(next) + (q%64)*s.Cfg().GXfer
+			ctx.Enqueue(task.New(a.fn, t.TS, addr, 140, hop-1, q))
+		}
+	})
+	return nil
+}
+
+func (a *stress) SeedEpoch(s *System, ts uint32) bool {
+	if ts > 1 {
+		return false
+	}
+	for q := 0; q < a.tasks; q++ {
+		addr := s.UnitBase(q%s.Units()) + uint64(q%64)*s.Cfg().GXfer
+		s.Seed(task.New(a.fn, ts, addr, 140, uint64(a.chain), uint64(q)))
+	}
+	return true
+}
+
+// TestCoherenceInvariantAfterStress checks the Section VI-B metadata
+// invariants at quiescence, for every design with migration: every block is
+// available at exactly one unit — home-and-not-lent, or exactly one
+// borrower — and the bridge tables agree with the units.
+func TestCoherenceInvariantAfterStress(t *testing.T) {
+	for _, d := range []config.Design{config.DesignW, config.DesignO} {
+		d := d
+		t.Run(d.String(), func(t *testing.T) {
+			cfg := testCfg(d)
+			sys, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := sys.Run(&stress{tasks: 300, chain: 4}); err != nil {
+				t.Fatal(err)
+			}
+			gx := cfg.GXfer
+			// Collect every borrowed block and its holder.
+			holders := make(map[uint64][]int)
+			for _, u := range sys.units {
+				for _, blk := range u.BorrowedBlocks() {
+					holders[blk] = append(holders[blk], u.ID())
+				}
+			}
+			for blk, hs := range holders {
+				if len(hs) != 1 {
+					t.Fatalf("block %#x held by %v", blk, hs)
+				}
+				home := sys.amap.Home(blk)
+				if !sys.units[home].LentAt(blk) {
+					t.Fatalf("block %#x held by %d but not marked lent at home %d", blk, hs[0], home)
+				}
+			}
+			// Every lent home block must have a holder.
+			for _, u := range sys.units {
+				base := sys.amap.Base(u.ID())
+				for off := uint64(0); off < 64*gx; off += gx {
+					blk := base + off
+					if u.LentAt(blk) && len(holders[blk]) == 0 {
+						t.Fatalf("block %#x marked lent but held nowhere", blk)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDeterminism: identical configurations and seeds produce identical
+// makespans and task counts, run to run.
+func TestDeterminism(t *testing.T) {
+	for _, d := range []config.Design{config.DesignC, config.DesignO, config.DesignH} {
+		d := d
+		t.Run(d.String(), func(t *testing.T) {
+			var makespans []uint64
+			var tasks []uint64
+			for i := 0; i < 2; i++ {
+				sys, err := New(testCfg(d))
+				if err != nil {
+					t.Fatal(err)
+				}
+				r, err := sys.Run(&stress{tasks: 200, chain: 3})
+				if err != nil {
+					t.Fatal(err)
+				}
+				makespans = append(makespans, r.Makespan)
+				tasks = append(tasks, r.TasksExecuted)
+			}
+			if makespans[0] != makespans[1] || tasks[0] != tasks[1] {
+				t.Errorf("nondeterministic: makespans %v, tasks %v", makespans, tasks)
+			}
+		})
+	}
+}
+
+// TestSeedDependence: a different seed changes load-balancing decisions but
+// never the work accomplished.
+func TestSeedDependence(t *testing.T) {
+	var tasks []uint64
+	for _, seed := range []uint64{1, 99} {
+		cfg := testCfg(config.DesignO)
+		cfg.Seed = seed
+		sys, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := sys.Run(&stress{tasks: 200, chain: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tasks = append(tasks, r.TasksExecuted)
+	}
+	if tasks[0] != tasks[1] {
+		t.Errorf("task counts differ across seeds: %v", tasks)
+	}
+}
+
+// nonLocalReader tries to read remote data directly — forbidden under
+// data-local execution.
+type nonLocalReader struct{ fn task.FuncID }
+
+func (a *nonLocalReader) Name() string { return "nonlocal" }
+func (a *nonLocalReader) Prepare(s *System) error {
+	a.fn = s.Register("bad.read", func(ctx task.Ctx, t task.Task) {
+		ctx.Read(s.UnitBase((ctx.Unit()+1)%s.Units()), 64) // remote!
+	})
+	return nil
+}
+func (a *nonLocalReader) SeedEpoch(s *System, ts uint32) bool {
+	if ts > 0 {
+		return false
+	}
+	s.Seed(task.New(a.fn, 0, s.UnitBase(0), 1))
+	return true
+}
+
+func TestNonLocalAccessPanics(t *testing.T) {
+	sys, err := New(testCfg(config.DesignB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("remote direct access must panic (data-local execution)")
+		}
+	}()
+	sys.Run(&nonLocalReader{})
+}
+
+// TestEnergyMonotonicity: more communication means more communication
+// energy; design C must burn at least as much comm energy as B for a
+// communication-heavy pattern.
+func TestEnergyAccounting(t *testing.T) {
+	run := func(d config.Design) *stress {
+		return &stress{tasks: 200, chain: 4}
+	}
+	sysB, _ := New(testCfg(config.DesignB))
+	rB, err := sysB.Run(run(config.DesignB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rB.Energy.Total() <= 0 {
+		t.Fatal("zero energy")
+	}
+	for _, c := range []float64{rB.Energy.CoreSRAM, rB.Energy.LocalDRAM, rB.Energy.CommDRAM, rB.Energy.Static} {
+		if c < 0 {
+			t.Fatal("negative energy component")
+		}
+	}
+	if rB.Energy.CommDRAM == 0 {
+		t.Error("cross-unit chains must consume communication energy")
+	}
+}

@@ -1,0 +1,35 @@
+package core
+
+import (
+	"testing"
+
+	"ndpbridge/internal/config"
+)
+
+// TestHopLatencyBudget guards the fabric's per-hop latency at full scale: a
+// lone task chain must advance through the bridges within a few hundred
+// cycles per hop (design B) and through host forwarding within ~1k cycles
+// (design C). Regressions here historically meant a stalled fabric loop
+// waiting for the next state sweep.
+func TestHopLatencyBudget(t *testing.T) {
+	budgets := map[config.Design]uint64{
+		config.DesignB: 500,
+		config.DesignC: 1500,
+	}
+	for d, budget := range budgets {
+		sys, err := New(config.Default().WithDesign(d))
+		if err != nil {
+			t.Fatal(err)
+		}
+		const hops = 500
+		app := &pingPong{hops: hops}
+		r, err := sys.Run(app)
+		if err != nil {
+			t.Fatal(err)
+		}
+		perHop := r.Makespan / hops
+		if perHop > budget {
+			t.Errorf("design %v: %d cycles/hop exceeds budget %d", d, perHop, budget)
+		}
+	}
+}

@@ -1,0 +1,413 @@
+// Package core orchestrates a full NDPBridge system simulation: it builds
+// the NDP units, the communication fabric selected by the design (hardware
+// bridges, host forwarding, RowClone, or host-only execution), runs the
+// bulk-synchronous task runtime to completion, and aggregates the results.
+package core
+
+import (
+	"fmt"
+
+	"ndpbridge/internal/bridge"
+	"ndpbridge/internal/config"
+	"ndpbridge/internal/dram"
+	"ndpbridge/internal/energy"
+	"ndpbridge/internal/host"
+	"ndpbridge/internal/ndpunit"
+	"ndpbridge/internal/rowclone"
+	"ndpbridge/internal/sim"
+	"ndpbridge/internal/stats"
+	"ndpbridge/internal/task"
+	"ndpbridge/internal/trace"
+)
+
+// App is a task-based application runnable on the system. Implementations
+// register their task handlers, lay out their data, seed the first epoch,
+// and optionally continue for more epochs.
+type App interface {
+	// Name identifies the application in results.
+	Name() string
+	// Prepare registers handlers and generates the dataset. It runs once
+	// before the clock starts.
+	Prepare(s *System) error
+	// SeedEpoch injects the tasks of epoch ts. It returns false when no
+	// more epochs remain (the run ends after the current work drains).
+	SeedEpoch(s *System, ts uint32) bool
+}
+
+// System is one configured simulation instance. Build with New, run with
+// Run; a System is single-use.
+type System struct {
+	cfg  config.Config
+	eng  *sim.Engine
+	amap *dram.AddrMap
+	reg  *task.Registry
+	rng  *sim.RNG
+
+	units   []*ndpunit.Unit
+	bridges []*bridge.Level1
+	l2      *bridge.Level2
+	fwd     *host.Forwarder
+	rc      *rowclone.Engine
+	exec    *host.Executor
+
+	epoch       uint32
+	outstanding map[uint32]uint64
+	inflight    uint64
+	app         App
+	done        bool
+	ran         bool
+
+	seededAny bool
+	maxEvents uint64
+	taskTrace func(now uint64)
+	rec       *trace.Recorder
+}
+
+// New builds a system for cfg. The configuration is validated.
+func New(cfg config.Config) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &System{
+		cfg:         cfg,
+		eng:         sim.NewEngine(),
+		amap:        dram.NewAddrMap(cfg.Geometry),
+		reg:         task.NewRegistry(),
+		rng:         sim.NewRNG(cfg.Seed),
+		outstanding: make(map[uint32]uint64),
+		maxEvents:   2_000_000_000,
+	}
+
+	if cfg.Design == config.DesignH {
+		s.exec = host.NewExecutor(s)
+		return s, nil
+	}
+
+	n := cfg.Geometry.Units()
+	s.units = make([]*ndpunit.Unit, n)
+	for i := 0; i < n; i++ {
+		s.units[i] = ndpunit.New(i, s, s.rng.Split())
+	}
+
+	switch {
+	case cfg.Design.UsesBridges():
+		perRank := cfg.Geometry.UnitsPerRank()
+		ranks := cfg.Geometry.Ranks()
+		s.bridges = make([]*bridge.Level1, ranks)
+		for r := 0; r < ranks; r++ {
+			s.bridges[r] = bridge.NewLevel1(r, s, s.units[r*perRank:(r+1)*perRank], s.rng.Split())
+		}
+		s.l2 = bridge.NewLevel2(s, s.bridges, s.rng.Split())
+	case cfg.Design == config.DesignR:
+		s.fwd = host.NewForwarder(s, s.units)
+		s.rc = rowclone.New(s, s.units)
+	default: // DesignC
+		s.fwd = host.NewForwarder(s, s.units)
+	}
+	return s, nil
+}
+
+// --- Env implementations (ndpunit.Env, bridge.Env, host.Env/ExecEnv) -----
+
+// Engine returns the event engine.
+func (s *System) Engine() *sim.Engine { return s.eng }
+
+// Cfg returns the configuration.
+func (s *System) Cfg() *config.Config { return &s.cfg }
+
+// Map returns the address map.
+func (s *System) Map() *dram.AddrMap { return s.amap }
+
+// Registry returns the task handler registry.
+func (s *System) Registry() *task.Registry { return s.reg }
+
+// CurrentEpoch returns the bulk-sync epoch now executing.
+func (s *System) CurrentEpoch() uint32 { return s.epoch }
+
+// TaskSpawned records a newly created task of epoch ts.
+func (s *System) TaskSpawned(ts uint32) { s.outstanding[ts]++ }
+
+// TaskDone records a completed task and advances the epoch when the current
+// one drains.
+func (s *System) TaskDone(ts uint32) {
+	if s.outstanding[ts] == 0 {
+		panic(fmt.Sprintf("core: TaskDone(%d) without outstanding task", ts))
+	}
+	s.outstanding[ts]--
+	if s.taskTrace != nil {
+		s.taskTrace(s.eng.Now())
+	}
+	s.checkAdvance()
+}
+
+// MsgStaged records a message entering flight.
+func (s *System) MsgStaged() { s.inflight++ }
+
+// MsgDelivered records a message leaving flight.
+func (s *System) MsgDelivered() {
+	if s.inflight == 0 {
+		panic("core: MsgDelivered without inflight message")
+	}
+	s.inflight--
+	s.checkAdvance()
+}
+
+// checkAdvance ends the current epoch when no tasks of it remain and no
+// messages are in flight (the bulk-synchronization barrier).
+func (s *System) checkAdvance() {
+	if s.done || !s.ran {
+		return
+	}
+	if s.outstanding[s.epoch] != 0 || s.inflight != 0 {
+		return
+	}
+	delete(s.outstanding, s.epoch)
+	next := s.epoch + 1
+	// Ask the application for more work unless tasks for the next epoch
+	// were already spawned dynamically.
+	more := s.app.SeedEpoch(s, next)
+	if !more && s.outstanding[next] == 0 {
+		s.done = true
+		s.eng.Stop()
+		return
+	}
+	s.rec.Record(trace.KindEpoch, -1, uint64(s.eng.Now()), uint64(s.eng.Now()), fmt.Sprintf("epoch %d", next))
+	s.epoch = next
+	// Barrier broadcast: a small fixed cost before units resume.
+	s.eng.After(16, s.kickAll)
+	// The new epoch may already be empty (e.g. pure-barrier epochs).
+	s.eng.After(17, s.checkAdvance)
+}
+
+func (s *System) kickAll() {
+	if s.exec != nil {
+		s.exec.Kick()
+		return
+	}
+	for _, u := range s.units {
+		u.Kick()
+	}
+}
+
+// --- Application-facing API ----------------------------------------------
+
+// Register registers a task handler and returns its FuncID.
+func (s *System) Register(name string, h task.Handler) task.FuncID {
+	return s.reg.Register(name, h)
+}
+
+// Seed injects an initial task at its data's home unit (or the host executor
+// in design H) with no communication charge.
+func (s *System) Seed(t task.Task) {
+	s.seededAny = true
+	if s.exec != nil {
+		s.exec.Seed(t)
+		return
+	}
+	s.units[s.amap.Home(t.Addr)].SeedTask(t)
+}
+
+// Units returns the number of NDP units.
+func (s *System) Units() int { return s.cfg.Geometry.Units() }
+
+// UnitBase returns the first address of unit u's bank.
+func (s *System) UnitBase(u int) uint64 { return s.amap.Base(u) }
+
+// DataBytesPerUnit returns the bank bytes available for application data
+// (excluding the mailbox, borrowed-data and task-queue regions).
+func (s *System) DataBytesPerUnit() uint64 {
+	reserved := s.cfg.Buffers.MailboxBytes + s.cfg.Metadata.BorrowedRegionBytes + (64 << 10) + (64 << 10)
+	return s.cfg.Geometry.BankBytes - reserved
+}
+
+// Rand returns the system's deterministic random stream (for dataset
+// generation in Prepare).
+func (s *System) Rand() *sim.RNG { return s.rng }
+
+// SetMaxEvents overrides the default event budget (livelock guard).
+func (s *System) SetMaxEvents(n uint64) { s.maxEvents = n }
+
+// SetTaskTrace installs a callback invoked at every task completion with the
+// completion cycle — a profiling hook for tests and tools.
+func (s *System) SetTaskTrace(fn func(now uint64)) { s.taskTrace = fn }
+
+// AttachTrace installs an activity recorder. Attach before Run.
+func (s *System) AttachTrace(r *trace.Recorder) { s.rec = r }
+
+// Trace returns the attached recorder (nil when tracing is off).
+func (s *System) Trace() *trace.Recorder { return s.rec }
+
+// --- Run ------------------------------------------------------------------
+
+// Run executes app to completion and returns the measured result.
+func (s *System) Run(app App) (*stats.Result, error) {
+	if s.ran {
+		return nil, fmt.Errorf("core: System is single-use")
+	}
+	s.app = app
+	if err := app.Prepare(s); err != nil {
+		return nil, fmt.Errorf("core: prepare %s: %w", app.Name(), err)
+	}
+	if !app.SeedEpoch(s, 0) && !s.seededAny {
+		return nil, fmt.Errorf("core: %s seeded no work", app.Name())
+	}
+	s.ran = true
+
+	for _, b := range s.bridges {
+		b.Start()
+	}
+	if s.l2 != nil {
+		s.l2.Start()
+	}
+	if s.fwd != nil {
+		s.fwd.Start()
+	}
+	if s.rc != nil {
+		s.rc.Start()
+	}
+	s.kickAll()
+
+	if err := s.eng.Run(s.maxEvents); err != nil {
+		return nil, fmt.Errorf("core: %s/%s did not converge: %w (epoch %d, outstanding %d, inflight %d)%s",
+			app.Name(), s.cfg.Design, err, s.epoch, s.outstanding[s.epoch], s.inflight, s.diagnose())
+	}
+	if !s.done {
+		return nil, fmt.Errorf("core: %s/%s deadlocked at %d cycles (epoch %d, outstanding %d, inflight %d, backlog %d units)",
+			app.Name(), s.cfg.Design, s.eng.Now(), s.epoch, s.outstanding[s.epoch], s.inflight, s.backlogUnits())
+	}
+	return s.collect(app.Name()), nil
+}
+
+// diagnose renders livelock evidence: the hottest bouncing blocks and what
+// every metadata level believes about them.
+func (s *System) diagnose() string {
+	type hot struct {
+		unit int
+		addr uint64
+		n    uint64
+	}
+	var hs []hot
+	for i, u := range s.units {
+		if a, n := u.LastBounce(); n > 1000 {
+			hs = append(hs, hot{i, a, n})
+		}
+	}
+	out := ""
+	for i, h := range hs {
+		if i >= 4 {
+			break
+		}
+		blk := dram.BlockAlign(h.addr, s.cfg.GXfer)
+		home := s.amap.Home(h.addr)
+		line := fmt.Sprintf("\n  unit %d bounced %d× on %#x (home %d, lent=%v)",
+			h.unit, h.n, h.addr, home, s.units[home].LentAt(h.addr))
+		if len(s.bridges) > 0 {
+			hb := s.bridges[s.amap.GlobalRank(home)]
+			if v, ok := hb.BorrowedEntry(blk); ok {
+				line += fmt.Sprintf(" homeL1→%d", v)
+			} else {
+				line += " homeL1→miss"
+			}
+		}
+		if s.l2 != nil {
+			if v, ok := s.l2.BorrowedEntry(blk); ok {
+				line += fmt.Sprintf(" L2→rank%d", v)
+			} else {
+				line += " L2→miss"
+			}
+		}
+		for _, u := range s.units {
+			for _, b := range u.BorrowedBlocks() {
+				if b == blk {
+					line += fmt.Sprintf(" heldBy=%d", u.ID())
+				}
+			}
+		}
+		out += line
+	}
+	return out
+}
+
+func (s *System) backlogUnits() int {
+	n := 0
+	for _, u := range s.units {
+		if u.HasBacklog() {
+			n++
+		}
+	}
+	return n
+}
+
+// collect aggregates all counters into a Result.
+func (s *System) collect(appName string) *stats.Result {
+	r := &stats.Result{
+		App:      appName,
+		Design:   s.cfg.Design.String(),
+		Makespan: s.eng.Now(),
+	}
+	ec := energy.Counters{Makespan: s.eng.Now(), Units: s.cfg.Geometry.Units()}
+
+	if s.exec != nil {
+		// Design H: per-core records stand in for units.
+		for i, b := range s.exec.BusyCycles() {
+			r.Units = append(r.Units, stats.Unit{Busy: b, Tasks: s.exec.TasksRun()[i]})
+			ec.BusyCycles += b
+		}
+		for _, l := range s.exec.Links() {
+			bytes, _, _ := l.Stats()
+			r.HostBytes += bytes
+			ec.ChannelBytes += bytes
+		}
+		r.Finalize()
+		r.TasksSpawned = s.exec.Spawned()
+		// Host cores draw far more power than NDP cores; scale by the
+		// clock and IPC advantage as a first-order model.
+		ec.BusyCycles = uint64(float64(ec.BusyCycles) * s.cfg.Host.IPCFactor)
+		ec.Units = s.cfg.Host.Cores
+		r.Energy = energy.Breakdown(ec, s.cfg.Energy)
+		return r
+	}
+
+	for _, u := range s.units {
+		us := u.Stats()
+		r.Units = append(r.Units, us)
+		bs := u.Bank().Stats()
+		ec.BusyCycles += us.Busy
+		ec.LocalDRAMPJ += bs.EnergyPJ - bs.CommEnergyPJ
+		ec.CommDRAMPJ += bs.CommEnergyPJ
+		ec.SRAMAccesses += u.SRAMAccesses()
+		r.MsgsDelivered += us.MsgsIn
+		r.BlocksMigrated += us.Borrowed
+		r.BlocksReturned += us.Returns
+	}
+	for _, b := range s.bridges {
+		bs := b.Stats()
+		r.IntraRankBytes += bs.BusBytes
+		r.GatherRounds += bs.GatherRounds
+		r.LBRounds += bs.LBRounds
+		ec.ChannelBytes += bs.BusBytes
+	}
+	if s.l2 != nil {
+		ls := s.l2.Stats()
+		r.CrossRankBytes += ls.CrossRankBytes
+		r.LBRounds += ls.LBRounds
+		for _, l := range s.l2.Links() {
+			bytes, _, _ := l.Stats()
+			ec.ChannelBytes += bytes
+		}
+	}
+	if s.fwd != nil {
+		fs := s.fwd.Stats()
+		r.HostBytes += fs.Bytes
+		r.GatherRounds += fs.GatherBatches
+		ec.ChannelBytes += fs.Bytes
+	}
+	if s.rc != nil {
+		rs := s.rc.Stats()
+		r.IntraRankBytes += rs.Bytes
+		ec.ChannelBytes += rs.Bytes
+	}
+	r.Finalize()
+	r.Energy = energy.Breakdown(ec, s.cfg.Energy)
+	return r
+}

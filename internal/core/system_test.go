@@ -1,0 +1,252 @@
+package core
+
+import (
+	"testing"
+
+	"ndpbridge/internal/config"
+	"ndpbridge/internal/task"
+)
+
+// testCfg returns a small 8-unit system (2 channels × 1 rank × 2 chips × 2
+// banks) for fast integration tests.
+func testCfg(d config.Design) config.Config {
+	cfg := config.Default().WithDesign(d)
+	cfg.Geometry = config.Geometry{
+		Channels: 2, RanksPerChannel: 1, ChipsPerRank: 2, BanksPerChip: 2,
+		BankBytes: 4 << 20,
+	}
+	cfg.Buffers.MailboxBytes = 64 << 10
+	cfg.Metadata.BorrowedRegionBytes = 64 << 10
+	cfg.Metadata.UnitBorrowedEntries = 128
+	cfg.Metadata.UnitBorrowedWays = 8
+	cfg.Metadata.BridgeBorrowedEntries = 1024
+	cfg.Metadata.BridgeBorrowedWays = 16
+	return cfg
+}
+
+// pingPong bounces a counter across all units: unit i forwards to unit i+1.
+type pingPong struct {
+	hops int
+	seen []int
+	fn   task.FuncID
+}
+
+func (p *pingPong) Name() string { return "pingpong" }
+
+func (p *pingPong) Prepare(s *System) error {
+	p.fn = s.Register("pp.hop", func(ctx task.Ctx, t task.Task) {
+		hop := int(t.Args[0])
+		p.seen = append(p.seen, hop)
+		ctx.Read(t.Addr, 64)
+		ctx.Compute(10)
+		if hop+1 < p.hops {
+			next := (ctx.Unit() + 1) % s.Units()
+			ctx.Enqueue(task.New(p.fn, t.TS, s.UnitBase(next)+128, 20, uint64(hop+1)))
+		}
+	})
+	return nil
+}
+
+func (p *pingPong) SeedEpoch(s *System, ts uint32) bool {
+	if ts > 0 {
+		return false
+	}
+	s.Seed(task.New(p.fn, 0, s.UnitBase(0)+128, 20, 0))
+	return true
+}
+
+func TestPingPongAcrossDesigns(t *testing.T) {
+	for _, d := range []config.Design{config.DesignC, config.DesignB, config.DesignW, config.DesignO, config.DesignR} {
+		d := d
+		t.Run(d.String(), func(t *testing.T) {
+			sys, err := New(testCfg(d))
+			if err != nil {
+				t.Fatal(err)
+			}
+			app := &pingPong{hops: 40}
+			r, err := sys.Run(app)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(app.seen) != 40 {
+				t.Fatalf("executed %d hops, want 40", len(app.seen))
+			}
+			for i, h := range app.seen {
+				if h != i {
+					t.Fatalf("hop order broken at %d: %d", i, h)
+				}
+			}
+			if r.Makespan == 0 {
+				t.Error("zero makespan")
+			}
+			if r.TasksExecuted != 40 {
+				t.Errorf("TasksExecuted = %d", r.TasksExecuted)
+			}
+		})
+	}
+}
+
+func TestPingPongOnHost(t *testing.T) {
+	sys, err := New(testCfg(config.DesignH))
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := &pingPong{hops: 10}
+	r, err := sys.Run(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(app.seen) != 10 {
+		t.Fatalf("executed %d hops, want 10", len(app.seen))
+	}
+	if r.TasksExecuted != 10 {
+		t.Errorf("TasksExecuted = %d", r.TasksExecuted)
+	}
+}
+
+// epochApp verifies bulk-synchronous ordering: tasks of epoch e+1 must not
+// run before all epoch-e tasks complete.
+type epochApp struct {
+	epochs   int
+	perEpoch int
+	order    []uint32
+	fn       task.FuncID
+}
+
+func (a *epochApp) Name() string { return "epochs" }
+
+func (a *epochApp) Prepare(s *System) error {
+	a.fn = s.Register("ep.task", func(ctx task.Ctx, t task.Task) {
+		a.order = append(a.order, t.TS)
+		ctx.Compute(5)
+		// Pre-spawn one task of the NEXT epoch from within this one.
+		if int(t.TS)+1 < a.epochs && t.Args[0] == 0 {
+			ctx.Enqueue(task.New(a.fn, t.TS+1, t.Addr, 5, 1))
+		}
+	})
+	return nil
+}
+
+func (a *epochApp) SeedEpoch(s *System, ts uint32) bool {
+	if int(ts) >= a.epochs {
+		return false
+	}
+	for i := 0; i < a.perEpoch; i++ {
+		u := i % s.Units()
+		s.Seed(task.New(a.fn, ts, s.UnitBase(u)+uint64(i)*64, 5, uint64(i)))
+	}
+	return true
+}
+
+func TestBulkSynchronousEpochs(t *testing.T) {
+	sys, err := New(testCfg(config.DesignO))
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := &epochApp{epochs: 3, perEpoch: 16}
+	_, err = sys.Run(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 3*16 + 2 // seeded + pre-spawned
+	if len(app.order) != want {
+		t.Fatalf("executed %d tasks, want %d", len(app.order), want)
+	}
+	for i := 1; i < len(app.order); i++ {
+		if app.order[i] < app.order[i-1] {
+			t.Fatalf("epoch regression at %d: %d after %d", i, app.order[i], app.order[i-1])
+		}
+	}
+}
+
+func TestSystemSingleUse(t *testing.T) {
+	sys, err := New(testCfg(config.DesignB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := &pingPong{hops: 2}
+	if _, err := sys.Run(app); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Run(app); err == nil {
+		t.Error("second Run must fail")
+	}
+}
+
+func TestSystemRejectsInvalidConfig(t *testing.T) {
+	cfg := testCfg(config.DesignB)
+	cfg.GXfer = 0
+	if _, err := New(cfg); err == nil {
+		t.Error("invalid config must be rejected")
+	}
+}
+
+func TestSystemRejectsEmptyApp(t *testing.T) {
+	sys, err := New(testCfg(config.DesignB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := &epochApp{epochs: 0}
+	if _, err := sys.Run(app); err == nil {
+		t.Error("empty app must be rejected")
+	}
+}
+
+// fanout stresses load balancing: one unit owns all the work initially.
+type fanout struct {
+	tasks int
+	fn    task.FuncID
+	ran   int
+}
+
+func (a *fanout) Name() string { return "fanout" }
+
+func (a *fanout) Prepare(s *System) error {
+	a.fn = s.Register("fan.work", func(ctx task.Ctx, t task.Task) {
+		a.ran++
+		ctx.Read(t.Addr, 64)
+		ctx.Compute(500)
+	})
+	return nil
+}
+
+func (a *fanout) SeedEpoch(s *System, ts uint32) bool {
+	if ts > 0 {
+		return false
+	}
+	gx := s.Cfg().GXfer
+	for i := 0; i < a.tasks; i++ {
+		// All tasks on unit 0, one block each.
+		s.Seed(task.New(a.fn, 0, s.UnitBase(0)+uint64(i)*gx, 520))
+	}
+	return true
+}
+
+func TestLoadBalancingMovesWork(t *testing.T) {
+	run := func(d config.Design) (makespan uint64, migrated uint64) {
+		sys, err := New(testCfg(d))
+		if err != nil {
+			t.Fatal(err)
+		}
+		app := &fanout{tasks: 256}
+		r, err := sys.Run(app)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if app.ran != 256 {
+			t.Fatalf("%v: ran %d tasks, want 256", d, app.ran)
+		}
+		return r.Makespan, r.BlocksMigrated
+	}
+	mB, migB := run(config.DesignB)
+	mO, migO := run(config.DesignO)
+	if migB != 0 {
+		t.Errorf("design B must not migrate blocks, got %d", migB)
+	}
+	if migO == 0 {
+		t.Error("design O must migrate blocks for a fully imbalanced workload")
+	}
+	if mO >= mB {
+		t.Errorf("load balancing should beat no balancing: O=%d >= B=%d", mO, mB)
+	}
+}

@@ -1,0 +1,136 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ndpbridge/internal/config"
+)
+
+func defaultMap() *AddrMap { return NewAddrMap(config.Default().Geometry) }
+
+func TestAddrMapBasics(t *testing.T) {
+	m := defaultMap()
+	if m.Units() != 512 {
+		t.Fatalf("Units = %d, want 512", m.Units())
+	}
+	if m.Capacity() != 32<<30 {
+		t.Fatalf("Capacity = %d, want 32 GB", m.Capacity())
+	}
+	if m.Home(0) != 0 {
+		t.Error("Home(0) != 0")
+	}
+	if m.Home(64<<20) != 1 {
+		t.Error("Home(64MB) != 1")
+	}
+	if m.Home(m.Capacity()-1) != 511 {
+		t.Error("Home(last) != 511")
+	}
+}
+
+func TestAddrMapHomeBeyondCapacityPanics(t *testing.T) {
+	m := defaultMap()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for out-of-range address")
+		}
+	}()
+	m.Home(m.Capacity())
+}
+
+func TestAddrMapCoordRoundTrip(t *testing.T) {
+	m := defaultMap()
+	for u := 0; u < m.Units(); u++ {
+		c := m.Coord(u)
+		if got := m.UnitAt(c); got != u {
+			t.Fatalf("UnitAt(Coord(%d)) = %d", u, got)
+		}
+	}
+	// Spot check the layout: unit 0 is (0,0,0,0); unit 8 is chip 1;
+	// unit 64 is rank 1; unit 256 is channel 1.
+	if c := m.Coord(0); c != (Coord{0, 0, 0, 0}) {
+		t.Errorf("Coord(0) = %+v", c)
+	}
+	if c := m.Coord(8); c != (Coord{0, 0, 1, 0}) {
+		t.Errorf("Coord(8) = %+v", c)
+	}
+	if c := m.Coord(64); c != (Coord{0, 1, 0, 0}) {
+		t.Errorf("Coord(64) = %+v", c)
+	}
+	if c := m.Coord(256); c != (Coord{1, 0, 0, 0}) {
+		t.Errorf("Coord(256) = %+v", c)
+	}
+}
+
+func TestAddrMapRankAndChip(t *testing.T) {
+	m := defaultMap()
+	if m.GlobalRank(0) != 0 || m.GlobalRank(63) != 0 || m.GlobalRank(64) != 1 {
+		t.Error("GlobalRank boundaries wrong")
+	}
+	if !m.SameRank(0, 63) || m.SameRank(63, 64) {
+		t.Error("SameRank wrong")
+	}
+	if !m.SameChip(0, 7) || m.SameChip(7, 8) {
+		t.Error("SameChip wrong")
+	}
+	if m.ChannelOfRank(0) != 0 || m.ChannelOfRank(3) != 0 || m.ChannelOfRank(4) != 1 {
+		t.Error("ChannelOfRank wrong")
+	}
+	if m.RankOfAddr(65<<26) != 1 {
+		t.Error("RankOfAddr wrong")
+	}
+}
+
+func TestAddrMapBaseOffset(t *testing.T) {
+	m := defaultMap()
+	for _, u := range []int{0, 1, 100, 511} {
+		base := m.Base(u)
+		if m.Home(base) != u || m.Offset(base) != 0 {
+			t.Errorf("Base(%d) inconsistent", u)
+		}
+		if m.Home(base+12345) != u || m.Offset(base+12345) != 12345 {
+			t.Errorf("Base(%d)+12345 inconsistent", u)
+		}
+	}
+}
+
+func TestBlockAlign(t *testing.T) {
+	if BlockAlign(0x12345, 256) != 0x12300 {
+		t.Errorf("BlockAlign = %#x", BlockAlign(0x12345, 256))
+	}
+	if BlockAlign(0x100, 256) != 0x100 {
+		t.Error("aligned address must be unchanged")
+	}
+}
+
+// Property: Home is consistent with Base/Offset reconstruction for any
+// in-range address.
+func TestAddrMapHomeProperty(t *testing.T) {
+	m := defaultMap()
+	f := func(raw uint64) bool {
+		a := raw % m.Capacity()
+		u := m.Home(a)
+		return m.Base(u)+m.Offset(a) == a && m.Contains(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Coord/UnitAt round-trips for every geometry we sweep.
+func TestAddrMapGeometriesProperty(t *testing.T) {
+	geos := []config.Geometry{
+		{Channels: 1, RanksPerChannel: 1, ChipsPerRank: 8, BanksPerChip: 8, BankBytes: 1 << 20},
+		{Channels: 2, RanksPerChannel: 4, ChipsPerRank: 16, BanksPerChip: 8, BankBytes: 1 << 20},
+		{Channels: 2, RanksPerChannel: 4, ChipsPerRank: 4, BanksPerChip: 8, BankBytes: 1 << 20},
+		{Channels: 2, RanksPerChannel: 8, ChipsPerRank: 8, BanksPerChip: 8, BankBytes: 1 << 20},
+	}
+	for _, g := range geos {
+		m := NewAddrMap(g)
+		for u := 0; u < m.Units(); u++ {
+			if m.UnitAt(m.Coord(u)) != u {
+				t.Fatalf("geometry %+v: round-trip failed at %d", g, u)
+			}
+		}
+	}
+}

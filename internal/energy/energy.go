@@ -1,0 +1,53 @@
+// Package energy converts raw simulation counters into the Figure 13 energy
+// breakdown: NDP cores and SRAM, local DRAM accesses, DRAM and channel
+// accesses for cross-unit communication, and static energy.
+package energy
+
+import (
+	"ndpbridge/internal/config"
+	"ndpbridge/internal/stats"
+)
+
+// Counters are the raw inputs gathered after a run.
+type Counters struct {
+	// BusyCycles is the summed busy cycles across all cores.
+	BusyCycles uint64
+	// Makespan is the end-to-end time in cycles.
+	Makespan uint64
+	// Units is the number of NDP units powered.
+	Units int
+	// LocalDRAMPJ is bank access energy for local computation (pJ).
+	LocalDRAMPJ float64
+	// CommDRAMPJ is bank access energy serving communication (pJ).
+	CommDRAMPJ float64
+	// ChannelBytes is the total bytes moved on off-chip channels and rank
+	// buses for communication.
+	ChannelBytes uint64
+	// SRAMAccesses approximates cache/metadata/sketch accesses.
+	SRAMAccesses uint64
+}
+
+const (
+	cyclesPerSecond = 400e6 // 400 MHz NDP core clock
+	pjPerMJ         = 1e9
+	mwSeconds2mJ    = 1.0 // 1 mW × 1 s = 1 mJ
+)
+
+// Breakdown computes the energy split in millijoules.
+func Breakdown(c Counters, e config.Energy) stats.Energy {
+	busySeconds := float64(c.BusyCycles) / cyclesPerSecond
+	wallSeconds := float64(c.Makespan) / cyclesPerSecond
+
+	coreMJ := busySeconds * e.CorePowerMW * mwSeconds2mJ
+	sramMJ := float64(c.SRAMAccesses) * e.SRAMAccessPJ / pjPerMJ
+	localMJ := c.LocalDRAMPJ / pjPerMJ
+	commMJ := c.CommDRAMPJ/pjPerMJ + float64(c.ChannelBytes)*e.ChannelPJPerByte/pjPerMJ
+	staticMJ := wallSeconds * e.StaticMWPerUnit * float64(c.Units) * mwSeconds2mJ
+
+	return stats.Energy{
+		CoreSRAM:  coreMJ + sramMJ,
+		LocalDRAM: localMJ,
+		CommDRAM:  commMJ,
+		Static:    staticMJ,
+	}
+}

@@ -1,0 +1,53 @@
+package energy
+
+import (
+	"math"
+	"testing"
+
+	"ndpbridge/internal/config"
+)
+
+func TestBreakdownComponents(t *testing.T) {
+	e := config.Default().Energy
+	c := Counters{
+		BusyCycles:   400e6, // 1 core-second of busy time
+		Makespan:     400e6, // 1 second wall
+		Units:        512,
+		LocalDRAMPJ:  2e9, // 2 mJ
+		CommDRAMPJ:   1e9, // 1 mJ
+		ChannelBytes: 50e6,
+		SRAMAccesses: 2e8,
+	}
+	b := Breakdown(c, e)
+	// Core: 1 s × 10 mW = 10 mJ; SRAM: 2e8 × 5 pJ = 1 mJ.
+	if math.Abs(b.CoreSRAM-11) > 1e-9 {
+		t.Errorf("CoreSRAM = %v, want 11", b.CoreSRAM)
+	}
+	if math.Abs(b.LocalDRAM-2) > 1e-9 {
+		t.Errorf("LocalDRAM = %v, want 2", b.LocalDRAM)
+	}
+	// Comm: 1 mJ + 50e6 B × 20 pJ/B = 1 + 1 = 2 mJ.
+	if math.Abs(b.CommDRAM-2) > 1e-9 {
+		t.Errorf("CommDRAM = %v, want 2", b.CommDRAM)
+	}
+	// Static: 1 s × 2 mW × 512 = 1024 mJ.
+	if math.Abs(b.Static-1024) > 1e-9 {
+		t.Errorf("Static = %v, want 1024", b.Static)
+	}
+}
+
+func TestBreakdownZero(t *testing.T) {
+	b := Breakdown(Counters{}, config.Default().Energy)
+	if b.Total() != 0 {
+		t.Errorf("zero counters should give zero energy, got %v", b.Total())
+	}
+}
+
+func TestBreakdownScalesWithTime(t *testing.T) {
+	e := config.Default().Energy
+	a := Breakdown(Counters{Makespan: 1000, Units: 10}, e)
+	b := Breakdown(Counters{Makespan: 2000, Units: 10}, e)
+	if math.Abs(b.Static-2*a.Static) > 1e-12 {
+		t.Errorf("static energy must scale linearly with makespan: %v vs %v", a.Static, b.Static)
+	}
+}

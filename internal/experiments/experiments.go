@@ -1,0 +1,160 @@
+// Package experiments regenerates every table and figure of the NDPBridge
+// paper's evaluation (Section VIII) on the simulator: the baseline
+// inefficiency study (Fig. 2), the overall comparison (Fig. 10), the
+// alternative-architecture comparison (Fig. 11), scalability (Fig. 12),
+// energy (Fig. 13), the load-balancing and triggering ablations (Fig. 14),
+// the DQ-width study (Fig. 15), the design-parameter sweeps (Fig. 16), the
+// split-DIMM-buffer variant (Section VIII-A), and the configuration tables
+// (Tables I and II).
+//
+// Every experiment has a Small variant used by the test suite; the full
+// variants run the paper-sized workloads.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"ndpbridge/internal/config"
+	"ndpbridge/internal/core"
+	"ndpbridge/internal/stats"
+	"ndpbridge/internal/workloads"
+)
+
+// Scale selects workload and system sizing.
+type Scale int
+
+const (
+	// Full runs the paper-sized configuration (512 units).
+	Full Scale = iota
+	// Medium keeps the full 512-unit system but runs reduced workloads,
+	// regenerating the whole figure suite in minutes (the default for
+	// `go test -bench`).
+	Medium
+	// Small runs an 8-unit system with test-sized workloads.
+	Small
+)
+
+// baseConfig returns the starting configuration for a scale.
+func baseConfig(sc Scale) config.Config {
+	cfg := config.Default()
+	if sc == Small {
+		cfg.Geometry = config.Geometry{
+			Channels: 2, RanksPerChannel: 1, ChipsPerRank: 2, BanksPerChip: 2,
+			BankBytes: 8 << 20,
+		}
+	}
+	return cfg
+}
+
+// newApp builds a workload at the right size.
+func newApp(name string, sc Scale) (core.App, error) {
+	switch sc {
+	case Small:
+		return workloads.NewSmall(name)
+	case Medium:
+		return workloads.NewMedium(name)
+	}
+	return workloads.New(name)
+}
+
+// run executes one (app, config) pair.
+func run(cfg config.Config, appName string, sc Scale) (*stats.Result, error) {
+	app, err := newApp(appName, sc)
+	if err != nil {
+		return nil, err
+	}
+	sys, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return sys.Run(app)
+}
+
+// runDesign is run with a design selector applied.
+func runDesign(sc Scale, appName string, d config.Design, mutate func(*config.Config)) (*stats.Result, error) {
+	cfg := baseConfig(sc).WithDesign(d)
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	return run(cfg, appName, sc)
+}
+
+// geomean returns the geometric mean of xs (which must be positive).
+func geomean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// Apps lists the evaluated workloads, in paper order.
+func Apps() []string { return workloads.Names }
+
+// CellResult is one (app, design) measurement.
+type CellResult struct {
+	App    string
+	Design string
+	R      *stats.Result
+}
+
+// Grid runs apps × designs and returns every result, app-major.
+func Grid(sc Scale, apps []string, designs []config.Design, mutate func(*config.Config)) ([]CellResult, error) {
+	var out []CellResult
+	for _, a := range apps {
+		for _, d := range designs {
+			r, err := runDesign(sc, a, d, mutate)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%v: %w", a, d, err)
+			}
+			out = append(out, CellResult{App: a, Design: d.String(), R: r})
+		}
+	}
+	return out, nil
+}
+
+// byApp reshapes grid results into app → design → result.
+func byApp(cells []CellResult) (map[string]map[string]*stats.Result, []string) {
+	m := make(map[string]map[string]*stats.Result)
+	var order []string
+	for _, c := range cells {
+		if m[c.App] == nil {
+			m[c.App] = make(map[string]*stats.Result)
+			order = append(order, c.App)
+		}
+		m[c.App][c.Design] = c.R
+	}
+	return m, order
+}
+
+// speedupGeomean computes the geomean across apps of base/design makespan.
+func speedupGeomean(m map[string]map[string]*stats.Result, apps []string, base, design string) float64 {
+	var xs []float64
+	for _, a := range apps {
+		b, ok1 := m[a][base]
+		d, ok2 := m[a][design]
+		if !ok1 || !ok2 || d.Makespan == 0 {
+			continue
+		}
+		xs = append(xs, float64(b.Makespan)/float64(d.Makespan))
+	}
+	return geomean(xs)
+}
+
+func f2(v float64) string  { return fmt.Sprintf("%.2f", v) }
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }
+
+// sortedKeys returns map keys in sorted order (determinism in rendering).
+func sortedKeys[V any](m map[string]V) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}

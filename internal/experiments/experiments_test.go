@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"ndpbridge/internal/config"
+)
+
+func TestGeomean(t *testing.T) {
+	if g := geomean([]float64{2, 8}); math.Abs(g-4) > 1e-12 {
+		t.Errorf("geomean(2,8) = %v", g)
+	}
+	if g := geomean(nil); g != 0 {
+		t.Errorf("geomean(nil) = %v", g)
+	}
+	if g := geomean([]float64{3}); math.Abs(g-3) > 1e-12 {
+		t.Errorf("geomean(3) = %v", g)
+	}
+}
+
+func TestTables(t *testing.T) {
+	t1 := Table1()
+	if !strings.Contains(t1.Render(), "512 units") {
+		t.Errorf("Table1 missing unit count:\n%s", t1.Render())
+	}
+	t2 := Table2()
+	if len(t2.Rows) != 6 {
+		t.Errorf("Table2 rows = %d", len(t2.Rows))
+	}
+}
+
+func TestFig2Small(t *testing.T) {
+	tbl, err := Fig2(Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Errorf("Fig2 rows = %d", len(tbl.Rows))
+	}
+}
+
+func TestFig10Small(t *testing.T) {
+	tbl, cells, err := Fig10(Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8 apps + geomean row.
+	if len(tbl.Rows) != 9 {
+		t.Errorf("Fig10 rows = %d", len(tbl.Rows))
+	}
+	if len(cells) != 8*4 {
+		t.Errorf("Fig10 cells = %d", len(cells))
+	}
+	// Every C column entry is 1.00 by construction.
+	for _, row := range tbl.Rows[:8] {
+		if row[1] != "1.00" {
+			t.Errorf("app %s: C speedup = %s", row[0], row[1])
+		}
+	}
+}
+
+func TestFig11Small(t *testing.T) {
+	tbl, cells, err := Fig11(Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 9 || len(cells) != 8*4 {
+		t.Errorf("Fig11 shape wrong: %d rows, %d cells", len(tbl.Rows), len(cells))
+	}
+}
+
+func TestFig12Small(t *testing.T) {
+	tbl, err := Fig12(Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Errorf("Fig12 rows = %d", len(tbl.Rows))
+	}
+}
+
+func TestFig13Small(t *testing.T) {
+	tbl, err := Fig13(Small, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 8*4 {
+		t.Errorf("Fig13 rows = %d", len(tbl.Rows))
+	}
+	// O rows must sum components to the total column within rounding.
+	for _, row := range tbl.Rows {
+		if row[1] == "O" && row[6] != "1.00" {
+			t.Errorf("%s/O total = %s, want 1.00", row[0], row[6])
+		}
+	}
+}
+
+func TestFig14aSmall(t *testing.T) {
+	tbl, err := Fig14a(Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 { // +Adv, +Fine, +Hot, O(all)
+		t.Errorf("Fig14a rows = %d", len(tbl.Rows))
+	}
+}
+
+func TestFig14bSmall(t *testing.T) {
+	tbl, err := Fig14b(Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Errorf("Fig14b rows = %d", len(tbl.Rows))
+	}
+	// The dynamic row is the reference: both ratios exactly 1.
+	if tbl.Rows[0][1] != "1.00" || tbl.Rows[0][2] != "1.00" {
+		t.Errorf("dynamic reference row = %v", tbl.Rows[0])
+	}
+}
+
+func TestFig16bSmall(t *testing.T) {
+	tbl, err := Fig16b(Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 5 {
+		t.Errorf("Fig16b rows = %d", len(tbl.Rows))
+	}
+}
+
+func TestSplitDBSmall(t *testing.T) {
+	tbl, err := SplitDB(Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Errorf("SplitDB rows = %d", len(tbl.Rows))
+	}
+}
+
+func TestRunDesignRejectsUnknownApp(t *testing.T) {
+	if _, err := runDesign(Small, "nope", config.DesignO, nil); err == nil {
+		t.Error("unknown app must fail")
+	}
+}
+
+func TestL2VariantsSmall(t *testing.T) {
+	tbl, err := L2Variants(Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("L2Variants rows = %d", len(tbl.Rows))
+	}
+	if tbl.Rows[0][1] != "1.00" {
+		t.Errorf("host transport must be the 1.00 reference, got %v", tbl.Rows[0])
+	}
+}

@@ -1,0 +1,586 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ndpbridge/internal/config"
+	"ndpbridge/internal/core"
+	"ndpbridge/internal/stats"
+	"ndpbridge/internal/workloads"
+)
+
+// mainDesigns is the C/B/W/O comparison set of Table II.
+var mainDesigns = []config.Design{config.DesignC, config.DesignB, config.DesignW, config.DesignO}
+
+// Fig2 reproduces Figure 2: tree traversal on the baseline DRAM-bank NDP
+// architecture (design C), reporting the communication wait time and the
+// max-vs-average imbalance.
+func Fig2(sc Scale) (*stats.Table, error) {
+	r, err := runDesign(sc, "tree", config.DesignC, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &stats.Table{
+		Title:  "Fig. 2 — tree traversal on baseline DRAM-bank NDP (design C)",
+		Header: []string{"metric", "value", "paper"},
+		Rows: [][]string{
+			{"wait time / total", pct(r.WaitFrac()), "32.9%"},
+			{"avg time / max time", pct(r.AvgFrac()), "low (severe imbalance)"},
+			{"makespan (cycles)", fmt.Sprintf("%d", r.Makespan), "-"},
+		},
+	}, nil
+}
+
+// Fig10 reproduces Figure 10: overall performance of C, B, W, O on the eight
+// applications. Values are speedups normalized to C (higher is better), plus
+// wait-time and balance indicators.
+func Fig10(sc Scale) (*stats.Table, []CellResult, error) {
+	cells, err := Grid(sc, Apps(), mainDesigns, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	m, order := byApp(cells)
+	t := &stats.Table{
+		Title:  "Fig. 10 — speedup over C (makespan ratio); wait% ; avg/max%",
+		Header: []string{"app", "C", "B", "W", "O", "waitC", "waitB", "waitW", "waitO", "avg/maxB", "avg/maxO"},
+	}
+	for _, a := range order {
+		c := m[a]["C"]
+		row := []string{a}
+		for _, d := range []string{"C", "B", "W", "O"} {
+			row = append(row, f2(float64(c.Makespan)/float64(m[a][d].Makespan)))
+		}
+		for _, d := range []string{"C", "B", "W", "O"} {
+			row = append(row, pct(m[a][d].WaitFrac()))
+		}
+		row = append(row, pct(m[a]["B"].AvgFrac()), pct(m[a]["O"].AvgFrac()))
+		// Keep the table shape: header has 11 columns.
+		row = append(row[:5], row[5:]...)
+		t.Rows = append(t.Rows, row[:11])
+	}
+	t.Rows = append(t.Rows, []string{
+		"geomean",
+		"1.00",
+		f2(speedupGeomean(m, order, "C", "B")),
+		f2(speedupGeomean(m, order, "C", "W")),
+		f2(speedupGeomean(m, order, "C", "O")),
+		"-", "-", "-", "-", "-", "-",
+	})
+	return t, cells, nil
+}
+
+// Fig11 reproduces Figure 11: NDPBridge vs host-only execution (H) and
+// RowClone (R), normalized to O.
+func Fig11(sc Scale) (*stats.Table, []CellResult, error) {
+	designs := []config.Design{config.DesignH, config.DesignR, config.DesignC, config.DesignO}
+	cells, err := Grid(sc, Apps(), designs, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	m, order := byApp(cells)
+	t := &stats.Table{
+		Title:  "Fig. 11 — comparison with other architectures (speedup of O over each)",
+		Header: []string{"app", "O/H", "O/R", "O/C", "R/C", "C/H"},
+	}
+	for _, a := range order {
+		o := m[a]["O"]
+		t.Rows = append(t.Rows, []string{
+			a,
+			f2(o.Speedup(m[a]["H"])),
+			f2(o.Speedup(m[a]["R"])),
+			f2(o.Speedup(m[a]["C"])),
+			f2(float64(m[a]["C"].Makespan) / float64(m[a]["R"].Makespan)),
+			f2(float64(m[a]["H"].Makespan) / float64(m[a]["C"].Makespan)),
+		})
+	}
+	t.Rows = append(t.Rows, []string{
+		"geomean",
+		f2(speedupGeomean(m, order, "H", "O")),
+		f2(speedupGeomean(m, order, "R", "O")),
+		f2(speedupGeomean(m, order, "C", "O")),
+		f2(speedupGeomean(m, order, "C", "R")),
+		f2(speedupGeomean(m, order, "H", "C")),
+	})
+	return t, cells, nil
+}
+
+// Fig12 reproduces Figure 12: scalability of pr from 64 to 1024 units.
+// Values are normalized to C at 64 units (higher is better). A reduced
+// PageRank keeps the 20-run sweep tractable.
+func Fig12(sc Scale) (*stats.Table, error) {
+	unitCounts := []int{64, 128, 256, 512, 1024}
+	switch sc {
+	case Small:
+		unitCounts = []int{8, 16}
+	case Medium:
+		unitCounts = []int{64, 256, 1024}
+	}
+	prParams := workloads.GraphParams{Scale: 15, EdgeFactor: 8, Seed: 23, Roots: 4, Iters: 2, MaxEpochs: 64}
+	switch sc {
+	case Small:
+		prParams = workloads.SmallGraphParams()
+	case Medium:
+		prParams = workloads.MediumGraphParams()
+	}
+	t := &stats.Table{
+		Title:  "Fig. 12 — pr scalability (speedup over C @ smallest scale)",
+		Header: []string{"units", "C", "B", "W", "O"},
+	}
+	var base float64
+	for _, n := range unitCounts {
+		row := []string{fmt.Sprintf("%d", n)}
+		for _, d := range mainDesigns {
+			cfg := baseConfig(sc).WithDesign(d)
+			var err error
+			if sc == Small {
+				// Vary chips per rank to scale the small system.
+				cfg.Geometry.ChipsPerRank = n / (cfg.Geometry.Channels * cfg.Geometry.RanksPerChannel * cfg.Geometry.BanksPerChip)
+			} else {
+				cfg, err = cfg.WithUnits(n)
+				if err != nil {
+					return nil, err
+				}
+			}
+			sys, err := core.New(cfg)
+			if err != nil {
+				return nil, err
+			}
+			r, err := sys.Run(workloads.NewPR(prParams))
+			if err != nil {
+				return nil, fmt.Errorf("pr/%v@%d: %w", d, n, err)
+			}
+			if base == 0 {
+				base = float64(r.Makespan)
+			}
+			row = append(row, f2(base/float64(r.Makespan)))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Fig13 reproduces Figure 13: energy breakdown of C, B, W, O per app,
+// normalized to O's total.
+func Fig13(sc Scale, cells []CellResult) (*stats.Table, error) {
+	var err error
+	if cells == nil {
+		cells, err = Grid(sc, Apps(), mainDesigns, nil)
+		if err != nil {
+			return nil, err
+		}
+	}
+	m, order := byApp(cells)
+	t := &stats.Table{
+		Title:  "Fig. 13 — energy relative to O (core+SRAM / localDRAM / comm / static)",
+		Header: []string{"app", "design", "core+SRAM", "localDRAM", "comm", "static", "total"},
+	}
+	for _, a := range order {
+		oTotal := m[a]["O"].Energy.Total()
+		for _, d := range []string{"C", "B", "W", "O"} {
+			r, ok := m[a][d]
+			if !ok {
+				continue
+			}
+			e := r.Energy
+			t.Rows = append(t.Rows, []string{
+				a, d,
+				f2(e.CoreSRAM / oTotal), f2(e.LocalDRAM / oTotal),
+				f2(e.CommDRAM / oTotal), f2(e.Static / oTotal),
+				f2(e.Total() / oTotal),
+			})
+		}
+	}
+	return t, nil
+}
+
+// Fig14a reproduces Figure 14(a): the impact of the three data-transfer-
+// aware techniques applied individually on top of W, as geomean speedups
+// over W.
+func Fig14a(sc Scale) (*stats.Table, error) {
+	type variant struct {
+		name string
+		mut  func(*config.Config)
+	}
+	variants := []variant{
+		{"W", nil},
+		{"+Adv", func(c *config.Config) { c.LoadBalance.Adv = true }},
+		{"+Fine", func(c *config.Config) { c.LoadBalance.Fine = true }},
+		{"+Hot", func(c *config.Config) { c.LoadBalance.Hot = true }},
+	}
+	apps := Apps()
+	makespans := make(map[string]map[string]uint64) // variant → app → makespan
+	for _, v := range variants {
+		makespans[v.name] = make(map[string]uint64)
+		for _, a := range apps {
+			r, err := runDesign(sc, a, config.DesignW, v.mut)
+			if err != nil {
+				return nil, fmt.Errorf("%s %s: %w", v.name, a, err)
+			}
+			makespans[v.name][a] = r.Makespan
+		}
+	}
+	// Full O for the combined bar.
+	oMakespans := make(map[string]uint64)
+	for _, a := range apps {
+		r, err := runDesign(sc, a, config.DesignO, nil)
+		if err != nil {
+			return nil, err
+		}
+		oMakespans[a] = r.Makespan
+	}
+	t := &stats.Table{
+		Title:  "Fig. 14(a) — data-transfer-aware techniques, geomean speedup over W",
+		Header: []string{"variant", "speedup", "paper"},
+	}
+	paper := map[string]string{"W": "1.00", "+Adv": "1.05", "+Fine": "1.19", "+Hot": "1.29", "O(all)": "1.35"}
+	for _, v := range variants[1:] {
+		var xs []float64
+		for _, a := range apps {
+			xs = append(xs, float64(makespans["W"][a])/float64(makespans[v.name][a]))
+		}
+		t.Rows = append(t.Rows, []string{v.name, f2(geomean(xs)), paper[v.name]})
+	}
+	var xs []float64
+	for _, a := range apps {
+		xs = append(xs, float64(makespans["W"][a])/float64(oMakespans[a]))
+	}
+	t.Rows = append(t.Rows, []string{"O(all)", f2(geomean(xs)), paper["O(all)"]})
+	return t, nil
+}
+
+// Fig14b reproduces Figure 14(b): dynamic communication triggering vs fixed
+// intervals — performance and communication energy, geomean across apps,
+// relative to dynamic.
+func Fig14b(sc Scale) (*stats.Table, error) {
+	triggers := []config.Trigger{config.TriggerDynamic, config.TriggerFixedIMin, config.TriggerFixed2IMin}
+	apps := Apps()
+	makespans := make(map[config.Trigger]map[string]*stats.Result)
+	for _, tr := range triggers {
+		tr := tr
+		makespans[tr] = make(map[string]*stats.Result)
+		for _, a := range apps {
+			r, err := runDesign(sc, a, config.DesignO, func(c *config.Config) { c.Trigger = tr })
+			if err != nil {
+				return nil, fmt.Errorf("%v %s: %w", tr, a, err)
+			}
+			makespans[tr][a] = r
+		}
+	}
+	t := &stats.Table{
+		Title:  "Fig. 14(b) — communication triggering (relative to dynamic)",
+		Header: []string{"trigger", "rel. performance", "rel. comm energy"},
+	}
+	for _, tr := range triggers {
+		var perf, energy []float64
+		for _, a := range apps {
+			dyn := makespans[config.TriggerDynamic][a]
+			r := makespans[tr][a]
+			perf = append(perf, float64(dyn.Makespan)/float64(r.Makespan))
+			de := dyn.Energy.CommDRAM
+			if de == 0 {
+				de = 1e-12
+			}
+			re := r.Energy.CommDRAM
+			if re == 0 {
+				re = 1e-12
+			}
+			energy = append(energy, re/de)
+		}
+		t.Rows = append(t.Rows, []string{tr.String(), f2(geomean(perf)), f2(geomean(energy))})
+	}
+	return t, nil
+}
+
+// Fig15 reproduces Figure 15: performance with x4/x8/x16 DRAM chips,
+// normalized to O within each configuration.
+func Fig15(sc Scale) (*stats.Table, error) {
+	widths := []int{4, 8, 16}
+	t := &stats.Table{
+		Title:  "Fig. 15 — DQ pin widths (speedup over C within each width)",
+		Header: []string{"width", "units", "B/C", "W/C", "O/C"},
+	}
+	for _, wbits := range widths {
+		results := make(map[string]map[string]*stats.Result)
+		for _, d := range mainDesigns {
+			for _, a := range Apps() {
+				cfg := baseConfig(sc).WithDesign(d)
+				var err error
+				if sc != Small {
+					cfg, err = cfg.WithDQWidth(wbits)
+					if err != nil {
+						return nil, err
+					}
+				} else {
+					// Small systems scale the DQ rate only.
+					switch wbits {
+					case 4:
+						cfg.Timing.ChipDQBytesPerCycle = 3
+					case 16:
+						cfg.Timing.ChipDQBytesPerCycle = 12
+					}
+				}
+				r, err := run(cfg, a, sc)
+				if err != nil {
+					return nil, fmt.Errorf("x%d %s/%v: %w", wbits, a, d, err)
+				}
+				if results[a] == nil {
+					results[a] = make(map[string]*stats.Result)
+				}
+				results[a][d.String()] = r
+			}
+		}
+		apps := sortedKeys(results)
+		units := baseConfig(sc).Geometry.Units()
+		if sc != Small {
+			cfg, _ := baseConfig(sc).WithDQWidth(wbits)
+			units = cfg.Geometry.Units()
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("x%d", wbits),
+			fmt.Sprintf("%d", units),
+			f2(speedupGeomean(results, apps, "C", "B")),
+			f2(speedupGeomean(results, apps, "C", "W")),
+			f2(speedupGeomean(results, apps, "C", "O")),
+		})
+	}
+	return t, nil
+}
+
+// Fig16a reproduces Figure 16(a): G_xfer × metadata-size sweep, geomean
+// speedup over the default (256 B, 1×).
+func Fig16a(sc Scale) (*stats.Table, error) {
+	gxfers := []uint64{64, 256, 1024}
+	metaScales := []int{-4, 1, 4} // ¼×, 1×, 4×
+	apps := Apps()
+	base := make(map[string]uint64)
+	t := &stats.Table{
+		Title:  "Fig. 16(a) — G_xfer and metadata size (geomean speedup vs default)",
+		Header: []string{"gxfer", "meta¼", "meta1", "meta4"},
+	}
+	for _, a := range apps {
+		r, err := runDesign(sc, a, config.DesignO, nil)
+		if err != nil {
+			return nil, err
+		}
+		base[a] = r.Makespan
+	}
+	for _, g := range gxfers {
+		row := []string{fmt.Sprintf("%dB", g)}
+		for _, ms := range metaScales {
+			var xs []float64
+			for _, a := range apps {
+				r, err := runDesign(sc, a, config.DesignO, func(c *config.Config) {
+					c.GXfer = g
+					scaleMeta(c, ms)
+				})
+				if err != nil {
+					return nil, fmt.Errorf("g=%d m=%d %s: %w", g, ms, a, err)
+				}
+				xs = append(xs, float64(base[a])/float64(r.Makespan))
+			}
+			row = append(row, f2(geomean(xs)))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+func scaleMeta(c *config.Config, ms int) {
+	switch {
+	case ms < 0:
+		c.Metadata.UnitBorrowedEntries /= -ms
+		c.Metadata.BridgeBorrowedEntries /= -ms
+	case ms > 1:
+		c.Metadata.UnitBorrowedEntries *= ms
+		c.Metadata.BridgeBorrowedEntries *= ms
+	}
+}
+
+// Fig16b reproduces Figure 16(b): the I_state sweep, geomean speedup vs the
+// 2000-cycle default.
+func Fig16b(sc Scale) (*stats.Table, error) {
+	values := []uint64{500, 1000, 2000, 4000, 8000}
+	apps := Apps()
+	base := make(map[string]uint64)
+	for _, a := range apps {
+		r, err := runDesign(sc, a, config.DesignO, nil)
+		if err != nil {
+			return nil, err
+		}
+		base[a] = r.Makespan
+	}
+	t := &stats.Table{
+		Title:  "Fig. 16(b) — I_state sweep (geomean speedup vs 2000 cycles)",
+		Header: []string{"istate", "speedup"},
+	}
+	for _, v := range values {
+		var xs []float64
+		for _, a := range apps {
+			r, err := runDesign(sc, a, config.DesignO, func(c *config.Config) { c.IState = v })
+			if err != nil {
+				return nil, fmt.Errorf("istate=%d %s: %w", v, a, err)
+			}
+			xs = append(xs, float64(base[a])/float64(r.Makespan))
+		}
+		t.Rows = append(t.Rows, []string{fmt.Sprintf("%d", v), f2(geomean(xs))})
+	}
+	return t, nil
+}
+
+// Fig16cd reproduces Figure 16(c,d): the sketch shape sweeps, geomean
+// speedup vs the 16×16 default.
+func Fig16cd(sc Scale) (*stats.Table, error) {
+	apps := Apps()
+	base := make(map[string]uint64)
+	for _, a := range apps {
+		r, err := runDesign(sc, a, config.DesignO, nil)
+		if err != nil {
+			return nil, err
+		}
+		base[a] = r.Makespan
+	}
+	t := &stats.Table{
+		Title:  "Fig. 16(c,d) — sketch shape (geomean speedup vs 16 buckets × 16 entries)",
+		Header: []string{"shape", "speedup"},
+	}
+	sweep := func(label string, mut func(*config.Config)) error {
+		var xs []float64
+		for _, a := range apps {
+			r, err := runDesign(sc, a, config.DesignO, mut)
+			if err != nil {
+				return fmt.Errorf("%s %s: %w", label, a, err)
+			}
+			xs = append(xs, float64(base[a])/float64(r.Makespan))
+		}
+		t.Rows = append(t.Rows, []string{label, f2(geomean(xs))})
+		return nil
+	}
+	for _, b := range []int{4, 8, 16, 32} {
+		b := b
+		if err := sweep(fmt.Sprintf("%d buckets", b), func(c *config.Config) { c.Sketch.Buckets = b }); err != nil {
+			return nil, err
+		}
+	}
+	for _, e := range []int{4, 8, 16, 32} {
+		e := e
+		if err := sweep(fmt.Sprintf("%d entries", e), func(c *config.Config) { c.Sketch.EntriesPerBkt = e }); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// SplitDB reproduces the Section VIII-A split-DIMM-buffer study: the
+// chameleon-s implementation vs the default unified buffer, geomean across
+// apps.
+func SplitDB(sc Scale) (*stats.Table, error) {
+	apps := Apps()
+	var perf, wait []float64
+	for _, a := range apps {
+		def, err := runDesign(sc, a, config.DesignO, nil)
+		if err != nil {
+			return nil, err
+		}
+		split, err := runDesign(sc, a, config.DesignO, func(c *config.Config) {
+			c.SplitDIMMBuffer = true
+		})
+		if err != nil {
+			return nil, err
+		}
+		perf = append(perf, float64(split.Makespan)/float64(def.Makespan))
+		dw := def.WaitFrac()
+		if dw <= 0 {
+			dw = 1e-3
+		}
+		sw := split.WaitFrac()
+		if sw <= 0 {
+			sw = 1e-3
+		}
+		wait = append(wait, sw/dw)
+	}
+	return &stats.Table{
+		Title:  "Section VIII-A — split DIMM buffers (chameleon-s) vs unified",
+		Header: []string{"metric", "value", "paper"},
+		Rows: [][]string{
+			{"slowdown (geomean)", f2(geomean(perf)), "1.091 (9.1% degradation)"},
+			{"wait-time ratio (geomean)", f2(geomean(wait)), "1.353 (35.3% increase)"},
+		},
+	}, nil
+}
+
+// Table1 renders the Table I configuration.
+func Table1() *stats.Table {
+	cfg := config.Default()
+	return &stats.Table{
+		Title:  "Table I — system configuration",
+		Header: []string{"parameter", "value"},
+		Rows: [][]string{
+			{"NDP system", fmt.Sprintf("%d ch × %d ranks × %d chips × %d banks = %d units",
+				cfg.Geometry.Channels, cfg.Geometry.RanksPerChannel, cfg.Geometry.ChipsPerRank,
+				cfg.Geometry.BanksPerChip, cfg.Geometry.Units())},
+			{"capacity", fmt.Sprintf("%d GB total, %d MB per bank",
+				cfg.Geometry.BankBytes*uint64(cfg.Geometry.Units())>>30, cfg.Geometry.BankBytes>>20)},
+			{"NDP core", "in-order, 400 MHz, 10 mW"},
+			{"DRAM timing", fmt.Sprintf("tRCD=tCAS=tRP=%d cycles (17 ns)", cfg.Timing.TRCD)},
+			{"unit SRAM", fmt.Sprintf("isLent %d blocks, dataBorrowed %d×%d-way",
+				cfg.Geometry.BankBytes/cfg.GXfer, cfg.Metadata.UnitBorrowedEntries, cfg.Metadata.UnitBorrowedWays)},
+			{"bridge SRAM", fmt.Sprintf("scatter %d B/child, mailbox %d kB, backup %d kB, dataBorrowed %d×%d-way",
+				cfg.Buffers.ScatterBufBytes, cfg.Buffers.BridgeMailboxBytes>>10, cfg.Buffers.BackupBufBytes>>10,
+				cfg.Metadata.BridgeBorrowedEntries, cfg.Metadata.BridgeBorrowedWays)},
+			{"sketch", fmt.Sprintf("%d buckets × %d entries, decay %.2f",
+				cfg.Sketch.Buckets, cfg.Sketch.EntriesPerBkt, cfg.Sketch.DecayBase)},
+			{"communication", fmt.Sprintf("G_xfer=%d B, I_state=%d cycles, chip DQ %d B/cyc, channel %d B/cyc",
+				cfg.GXfer, cfg.IState, cfg.Timing.ChipDQBytesPerCycle, cfg.Timing.ChannelBytesPerCycle)},
+		},
+	}
+}
+
+// Table2 renders the Table II design summary.
+func Table2() *stats.Table {
+	return &stats.Table{
+		Title:  "Table II — evaluated DRAM-bank NDP systems",
+		Header: []string{"design", "communication", "load balancing"},
+		Rows: [][]string{
+			{"C", "forwarded by host CPU", "none"},
+			{"B", "using bridges (ours)", "none"},
+			{"W", "using bridges (ours)", "work stealing"},
+			{"O", "using bridges (ours)", "data-transfer-aware (ours)"},
+			{"H", "shared memory (host-only)", "free stealing"},
+			{"R", "RowClone intra-chip + host", "none"},
+		},
+	}
+}
+
+// L2Variants measures the Section V-A alternative level-2 transports — the
+// host runtime the paper evaluates, DIMM-Link peer-to-peer links, and an
+// ABC-DIMM broadcast bus — on full NDPBridge, geomean speedup over the host
+// transport. The paper claims NDPBridge is orthogonal to these inter-DIMM
+// designs; this experiment quantifies what each buys.
+func L2Variants(sc Scale) (*stats.Table, error) {
+	apps := Apps()
+	base := make(map[string]uint64)
+	for _, a := range apps {
+		r, err := runDesign(sc, a, config.DesignO, nil)
+		if err != nil {
+			return nil, err
+		}
+		base[a] = r.Makespan
+	}
+	t := &stats.Table{
+		Title:  "Extension — level-2 transports (geomean speedup over host runtime)",
+		Header: []string{"transport", "speedup"},
+	}
+	for _, tr := range []config.Level2Transport{config.L2Host, config.L2DIMMLink, config.L2ABCDIMM} {
+		tr := tr
+		var xs []float64
+		for _, a := range apps {
+			r, err := runDesign(sc, a, config.DesignO, func(c *config.Config) { c.Level2 = tr })
+			if err != nil {
+				return nil, fmt.Errorf("%v %s: %w", tr, a, err)
+			}
+			xs = append(xs, float64(base[a])/float64(r.Makespan))
+		}
+		t.Rows = append(t.Rows, []string{tr.String(), f2(geomean(xs))})
+	}
+	return t, nil
+}

@@ -1,0 +1,180 @@
+package host
+
+import (
+	"ndpbridge/internal/ndpunit"
+	"ndpbridge/internal/sim"
+	"ndpbridge/internal/task"
+	"ndpbridge/internal/trace"
+)
+
+// ExecEnv extends Env with the task runtime hooks the executor needs.
+type ExecEnv interface {
+	Env
+	Registry() *task.Registry
+	CurrentEpoch() uint32
+	TaskSpawned(ts uint32)
+	TaskDone(ts uint32)
+}
+
+// Executor is the design-H baseline: the host CPU alone runs the task-based
+// application. Its out-of-order cores are modeled as a per-cycle speedup
+// factor over the wimpy NDP cores; all cores share one task pool (free work
+// stealing in shared memory), a last-level cache, and the two DDR channels
+// for memory traffic.
+type Executor struct {
+	env   ExecEnv
+	cores int
+	busy  []bool
+	queue *task.Queue
+	llc   *ndpunit.Cache
+	links []*sim.Link
+
+	busyCycles []uint64
+	tasks      []uint64
+	spawned    uint64
+}
+
+// NewExecutor builds the host execution runtime.
+func NewExecutor(env ExecEnv) *Executor {
+	cfg := env.Cfg()
+	bw := cfg.Host.RandomAccessBW
+	if bw == 0 {
+		bw = cfg.Timing.ChannelBytesPerCycle
+	}
+	links := make([]*sim.Link, cfg.Geometry.Channels)
+	for i := range links {
+		links[i] = sim.NewLink("host-channel", bw, 4)
+	}
+	// Round the LLC down so its set count is a power of two.
+	llcBytes := uint64(64 * 16)
+	for llcBytes*2 <= cfg.Host.LLCBytes {
+		llcBytes *= 2
+	}
+	return &Executor{
+		env:        env,
+		cores:      cfg.Host.Cores,
+		busy:       make([]bool, cfg.Host.Cores),
+		queue:      task.NewQueue(),
+		llc:        ndpunit.NewCache(int(llcBytes), 16, 64),
+		links:      links,
+		busyCycles: make([]uint64, cfg.Host.Cores),
+		tasks:      make([]uint64, cfg.Host.Cores),
+	}
+}
+
+// Links exposes the channel links for traffic accounting.
+func (e *Executor) Links() []*sim.Link { return e.links }
+
+// BusyCycles returns per-core busy cycles.
+func (e *Executor) BusyCycles() []uint64 { return e.busyCycles }
+
+// TasksRun returns per-core executed task counts.
+func (e *Executor) TasksRun() []uint64 { return e.tasks }
+
+// Seed inserts an initial task.
+func (e *Executor) Seed(t task.Task) {
+	e.env.TaskSpawned(t.TS)
+	e.spawned++
+	e.queue.Push(t)
+}
+
+// Kick wakes all idle cores.
+func (e *Executor) Kick() {
+	for c := 0; c < e.cores; c++ {
+		e.tryStart(c)
+	}
+}
+
+// Pending reports whether runnable or future tasks remain queued.
+func (e *Executor) Pending() bool { return e.queue.Len() > 0 }
+
+func (e *Executor) tryStart(c int) {
+	if e.busy[c] {
+		return
+	}
+	t, ok := e.queue.Pop(e.env.CurrentEpoch())
+	if !ok {
+		return
+	}
+	e.busy[c] = true
+	eng := e.env.Engine()
+	now := eng.Now()
+	ctx := &hostCtx{e: e, start: now, cursor: now + e.env.Cfg().Host.DispatchCost}
+	e.env.Registry().Handler(t.Func)(ctx, t)
+	end := ctx.cursor
+	if end <= now {
+		end = now + 1
+	}
+	e.busyCycles[c] += end - now
+	e.tasks[c]++
+	e.env.Trace().Record(trace.KindTask, c, uint64(now), uint64(end), e.env.Registry().Name(t.Func))
+	eng.At(end, func() {
+		e.busy[c] = false
+		e.env.TaskDone(t.TS)
+		e.tryStart(c)
+	})
+}
+
+// hostCtx implements task.Ctx for host execution. Computation is scaled by
+// the host's clock and IPC advantage; memory accesses hit the shared LLC or
+// cross the DDR channel of the address's home bank.
+type hostCtx struct {
+	e      *Executor
+	start  sim.Cycles
+	cursor sim.Cycles
+}
+
+var _ task.Ctx = (*hostCtx)(nil)
+
+func (c *hostCtx) Unit() int       { return -1 }
+func (c *hostCtx) Now() sim.Cycles { return c.start }
+func (c *hostCtx) Rand() *sim.RNG  { return hostRNG }
+
+// hostRNG is shared: host handlers are rare users and determinism across a
+// run is preserved because the engine serializes events.
+var hostRNG = sim.NewRNG(0x415e)
+
+func (c *hostCtx) Compute(cycles sim.Cycles) {
+	f := c.e.env.Cfg().Host.IPCFactor
+	if f <= 0 {
+		f = 1
+	}
+	d := sim.Cycles(float64(cycles) / f)
+	if d == 0 {
+		d = 1
+	}
+	c.cursor += d
+}
+
+func (c *hostCtx) access(addr, n uint64) {
+	if n == 0 {
+		return
+	}
+	cfg := c.e.env.Cfg()
+	hits, misses := c.e.llc.AccessRange(addr, n)
+	c.cursor += sim.Cycles(hits) // LLC hit ≈ one NDP-core cycle
+	if misses > 0 {
+		amap := c.e.env.Map()
+		ch := amap.ChannelOfRank(amap.RankOfAddr(addr))
+		bytes := uint64(misses) * c.e.llc.LineBytes()
+		end := c.e.links[ch].Reserve(c.cursor, bytes)
+		// DRAM array latency on top of the channel occupancy.
+		c.cursor = end + cfg.Timing.TRCD + cfg.Timing.TCAS
+	}
+}
+
+func (c *hostCtx) Read(addr, n uint64)  { c.access(addr, n) }
+func (c *hostCtx) Write(addr, n uint64) { c.access(addr, n) }
+
+func (c *hostCtx) Enqueue(t task.Task) {
+	// Shared memory: every child task is locally runnable.
+	c.e.env.TaskSpawned(t.TS)
+	c.e.spawned++
+	c.e.queue.Push(t)
+	// Wake an idle core at the task's earliest start.
+	e := c.e
+	e.env.Engine().At(c.cursor, func() { e.Kick() })
+}
+
+// Spawned returns the number of child tasks created on the host.
+func (e *Executor) Spawned() uint64 { return e.spawned }

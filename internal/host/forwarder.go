@@ -1,0 +1,206 @@
+// Package host models the host CPU's two roles in the baseline designs:
+// forwarding cross-unit messages over the DDR channels (design C, and the
+// cross-chip path of design R), and executing the task-based applications
+// itself in the non-NDP baseline (design H).
+package host
+
+import (
+	"ndpbridge/internal/config"
+	"ndpbridge/internal/dram"
+	"ndpbridge/internal/msg"
+	"ndpbridge/internal/ndpunit"
+	"ndpbridge/internal/sim"
+	"ndpbridge/internal/trace"
+)
+
+// Env provides global services (a subset of the system orchestrator).
+type Env interface {
+	Engine() *sim.Engine
+	Cfg() *config.Config
+	Map() *dram.AddrMap
+	// Trace returns the activity recorder, or nil when tracing is off.
+	Trace() *trace.Recorder
+}
+
+// ForwarderStats counts host-forwarding activity.
+type ForwarderStats struct {
+	GatherBatches uint64
+	Messages      uint64
+	Bytes         uint64
+}
+
+// Forwarder is the design-C communication path: the host CPU periodically
+// reads each unit's mailbox over the unit's memory channel, examines the
+// messages in software, and writes them to their destination units. Every
+// hop crosses the bandwidth-limited channels and pays a fixed software
+// overhead per batch (Section II-C).
+type Forwarder struct {
+	env   Env
+	units []*ndpunit.Unit
+	links []*sim.Link // per channel
+
+	running  []bool
+	cursor   []int // round-robin position per channel
+	inflight int   // messages the host has read but not yet written back
+
+	st ForwarderStats
+}
+
+// NewForwarder builds the host forwarding runtime over all units.
+func NewForwarder(env Env, units []*ndpunit.Unit) *Forwarder {
+	cfg := env.Cfg()
+	links := make([]*sim.Link, cfg.Geometry.Channels)
+	for i := range links {
+		links[i] = sim.NewLink("host-channel", cfg.Timing.ChannelBytesPerCycle, 4)
+	}
+	return &Forwarder{
+		env:     env,
+		units:   units,
+		links:   links,
+		running: make([]bool, cfg.Geometry.Channels),
+		cursor:  make([]int, cfg.Geometry.Channels),
+	}
+}
+
+// Stats returns forwarding counters.
+func (f *Forwarder) Stats() ForwarderStats { return f.st }
+
+// Links exposes the channel links for traffic accounting.
+func (f *Forwarder) Links() []*sim.Link { return f.links }
+
+// Start begins the periodic mailbox polling.
+func (f *Forwarder) Start() {
+	f.env.Engine().After(f.env.Cfg().IState, f.sweep)
+}
+
+func (f *Forwarder) sweep() {
+	for ch := range f.running {
+		f.ensureLoop(ch)
+	}
+	f.env.Engine().After(f.env.Cfg().IState, f.sweep)
+}
+
+func (f *Forwarder) ensureLoop(ch int) {
+	if f.running[ch] {
+		return
+	}
+	if f.nextUnit(ch) < 0 && !f.anyBacklog(ch) {
+		return
+	}
+	f.running[ch] = true
+	f.env.Engine().After(0, func() { f.step(ch) })
+}
+
+// unitsOn reports whether unit u sits on channel ch.
+func (f *Forwarder) channelOf(u int) int {
+	return f.env.Map().ChannelOfRank(f.env.Map().GlobalRank(u))
+}
+
+// nextUnit finds the next unit on ch with pending mailbox bytes.
+func (f *Forwarder) nextUnit(ch int) int {
+	n := len(f.units)
+	for i := 0; i < n; i++ {
+		idx := (f.cursor[ch] + i) % n
+		if f.channelOf(idx) != ch {
+			continue
+		}
+		if f.units[idx].MailboxUsed() > 0 {
+			f.cursor[ch] = (idx + 1) % n
+			return idx
+		}
+	}
+	return -1
+}
+
+// stateProbeBytes is the per-unit status read the host issues to learn
+// whether a unit's mailbox holds messages (8 B: one chip-parallel burst
+// covers a rank's same-index banks). Polling every unit over the channel is
+// the tax that makes host forwarding scale poorly with the unit count
+// (Section II-C).
+const stateProbeBytes = 8
+
+// step performs one channel sweep: the host polls every unit's status over
+// the channel, drains the non-empty mailboxes, and forwards the messages as
+// one software batch.
+func (f *Forwarder) step(ch int) {
+	cfg := f.env.Cfg()
+	eng := f.env.Engine()
+	now := eng.Now()
+
+	var ms []*msg.Message
+	var bytes uint64
+	polled := 0
+	for i, u := range f.units {
+		if f.channelOf(i) != ch {
+			continue
+		}
+		polled++
+		if u.MailboxUsed() == 0 {
+			continue
+		}
+		got, _ := u.DrainMailbox(cfg.Timing.HostBatchBytes)
+		for _, m := range got {
+			bytes += m.Size()
+		}
+		ms = append(ms, got...)
+	}
+	if len(ms) == 0 {
+		if f.inflight > 0 || f.anyBacklog(ch) {
+			// Idle polls still burn channel bandwidth.
+			f.links[ch].Reserve(now, uint64(polled)*stateProbeBytes)
+			f.st.Bytes += uint64(polled) * stateProbeBytes
+			eng.After(cfg.IMin(), func() { f.step(ch) })
+			return
+		}
+		f.running[ch] = false
+		return
+	}
+	// The sweep reads one status word per unit plus the drained bytes.
+	total := bytes + uint64(polled)*stateProbeBytes
+	end := f.links[ch].Reserve(now, total) + cfg.Timing.HostForwardOverhead
+	f.st.GatherBatches++
+	f.st.Messages += uint64(len(ms))
+	f.st.Bytes += total
+	f.inflight += len(ms)
+	eng.At(end, func() {
+		for _, m := range ms {
+			f.forward(m)
+		}
+		f.step(ch)
+	})
+}
+
+// anyBacklog reports whether any unit on ch still has work.
+func (f *Forwarder) anyBacklog(ch int) bool {
+	for i, u := range f.units {
+		if f.channelOf(i) == ch && u.HasBacklog() {
+			return true
+		}
+	}
+	return false
+}
+
+// forward writes one message to its destination unit over that unit's
+// channel.
+func (f *Forwarder) forward(m *msg.Message) {
+	eng := f.env.Engine()
+	dst := m.Dst
+	if dst < 0 || dst >= len(f.units) {
+		// No load balancing in designs C/R: scheduled-out messages
+		// cannot exist. Route by home as a safety net.
+		if a, ok := m.RouteAddr(); ok {
+			dst = f.env.Map().Home(a)
+			m.Dst = dst
+		} else {
+			return
+		}
+	}
+	ch := f.channelOf(dst)
+	end := f.links[ch].Reserve(eng.Now(), m.Size())
+	f.st.Bytes += m.Size()
+	u := f.units[dst]
+	eng.At(end, func() {
+		f.inflight--
+		u.Deliver(m)
+	})
+}

@@ -1,0 +1,136 @@
+package metadata
+
+import (
+	"fmt"
+)
+
+// Borrowed is a set-associative, LRU-replaced table keyed by a block's
+// original (home) address. In an NDP unit the value is the block's remapped
+// address in the borrowed data region; in a bridge it is the borrowing
+// receiver's unit ID. When an entry is evicted, the owner must return the
+// block home — the Evicted callback result surfaces that.
+type Borrowed struct {
+	sets  int
+	ways  int
+	table []bentry // sets × ways
+	clock uint64
+	used  int
+}
+
+type bentry struct {
+	valid bool
+	key   uint64
+	value uint64
+	lru   uint64
+}
+
+// Eviction describes an entry displaced by Insert.
+type Eviction struct {
+	Key   uint64
+	Value uint64
+}
+
+// NewBorrowed builds a table with the given total entries and associativity.
+// entries must be a multiple of ways and the set count must be a power of
+// two.
+func NewBorrowed(entries, ways int) *Borrowed {
+	if ways <= 0 || entries <= 0 || entries%ways != 0 {
+		panic("metadata: entries must be a positive multiple of ways")
+	}
+	sets := entries / ways
+	if sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("metadata: set count %d must be a power of two", sets))
+	}
+	return &Borrowed{sets: sets, ways: ways, table: make([]bentry, entries)}
+}
+
+func (b *Borrowed) set(key uint64) []bentry {
+	// Keys are block addresses; drop the low bits that are constant
+	// within a block by hashing, so consecutive blocks spread over sets.
+	h := key * 0x9e3779b97f4a7c15
+	s := int(h>>32) & (b.sets - 1)
+	return b.table[s*b.ways : (s+1)*b.ways]
+}
+
+// Lookup returns the value for key and touches its LRU position.
+func (b *Borrowed) Lookup(key uint64) (uint64, bool) {
+	set := b.set(key)
+	for i := range set {
+		if set[i].valid && set[i].key == key {
+			b.clock++
+			set[i].lru = b.clock
+			return set[i].value, true
+		}
+	}
+	return 0, false
+}
+
+// Contains reports presence without touching LRU state.
+func (b *Borrowed) Contains(key uint64) bool {
+	set := b.set(key)
+	for i := range set {
+		if set[i].valid && set[i].key == key {
+			return true
+		}
+	}
+	return false
+}
+
+// Insert adds or updates key→value. If the set is full, the LRU entry is
+// evicted and returned.
+func (b *Borrowed) Insert(key, value uint64) (ev Eviction, evicted bool) {
+	set := b.set(key)
+	b.clock++
+	var victim *bentry
+	for i := range set {
+		e := &set[i]
+		if e.valid && e.key == key {
+			e.value = value
+			e.lru = b.clock
+			return Eviction{}, false
+		}
+		if !e.valid {
+			if victim == nil || victim.valid {
+				victim = e
+			}
+		} else if victim == nil || (victim.valid && e.lru < victim.lru) {
+			victim = e
+		}
+	}
+	if victim.valid {
+		ev = Eviction{Key: victim.key, Value: victim.value}
+		evicted = true
+	} else {
+		b.used++
+	}
+	*victim = bentry{valid: true, key: key, value: value, lru: b.clock}
+	return ev, evicted
+}
+
+// Remove deletes key, reporting whether it was present.
+func (b *Borrowed) Remove(key uint64) bool {
+	set := b.set(key)
+	for i := range set {
+		if set[i].valid && set[i].key == key {
+			set[i] = bentry{}
+			b.used--
+			return true
+		}
+	}
+	return false
+}
+
+// Len returns the number of valid entries.
+func (b *Borrowed) Len() int { return b.used }
+
+// Capacity returns the total entry count.
+func (b *Borrowed) Capacity() int { return b.sets * b.ways }
+
+// ForEach visits every valid entry; the visit order is unspecified.
+func (b *Borrowed) ForEach(fn func(key, value uint64)) {
+	for i := range b.table {
+		if b.table[i].valid {
+			fn(b.table[i].key, b.table[i].value)
+		}
+	}
+}

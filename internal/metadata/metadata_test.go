@@ -1,0 +1,206 @@
+package metadata
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestIsLentBasics(t *testing.T) {
+	l := NewIsLent(64<<20, 256)
+	if l.Blocks() != (64<<20)/256 {
+		t.Fatalf("Blocks = %d", l.Blocks())
+	}
+	if l.Lent(0) || l.Lent(1000) {
+		t.Error("fresh bitmap should be clear")
+	}
+	if !l.SetLent(300, true) {
+		t.Error("SetLent should report change")
+	}
+	// Offsets 256..511 are the same block.
+	if !l.Lent(256) || !l.Lent(511) || l.Lent(512) {
+		t.Error("block granularity wrong")
+	}
+	if l.SetLent(400, true) {
+		t.Error("re-setting should report no change")
+	}
+	if l.Count() != 1 {
+		t.Errorf("Count = %d, want 1", l.Count())
+	}
+	if !l.SetLent(256, false) || l.Count() != 0 {
+		t.Error("clear failed")
+	}
+}
+
+func TestIsLentOutOfRangePanics(t *testing.T) {
+	l := NewIsLent(1024, 256)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	l.Lent(1024)
+}
+
+func TestIsLentNonPow2Panics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewIsLent(1024, 100)
+}
+
+func TestBorrowedInsertLookup(t *testing.T) {
+	b := NewBorrowed(64, 8)
+	if _, ok := b.Lookup(42); ok {
+		t.Error("empty table lookup should miss")
+	}
+	if _, ev := b.Insert(42, 7); ev {
+		t.Error("insert into empty set must not evict")
+	}
+	if v, ok := b.Lookup(42); !ok || v != 7 {
+		t.Errorf("Lookup = %v, %v", v, ok)
+	}
+	// Update in place.
+	if _, ev := b.Insert(42, 9); ev {
+		t.Error("update must not evict")
+	}
+	if v, _ := b.Lookup(42); v != 9 {
+		t.Errorf("after update = %v", v)
+	}
+	if b.Len() != 1 {
+		t.Errorf("Len = %d", b.Len())
+	}
+}
+
+func TestBorrowedRemove(t *testing.T) {
+	b := NewBorrowed(64, 8)
+	b.Insert(1, 100)
+	if !b.Remove(1) {
+		t.Error("Remove should find entry")
+	}
+	if b.Remove(1) {
+		t.Error("double Remove should fail")
+	}
+	if b.Contains(1) || b.Len() != 0 {
+		t.Error("entry not removed")
+	}
+}
+
+func TestBorrowedLRUEviction(t *testing.T) {
+	// Single set of 4 ways: force conflicts.
+	b := NewBorrowed(4, 4)
+	keys := []uint64{10, 20, 30, 40}
+	for i, k := range keys {
+		b.Insert(k, uint64(i))
+	}
+	// Touch 10 so 20 becomes LRU.
+	b.Lookup(10)
+	ev, evicted := b.Insert(50, 99)
+	if !evicted {
+		t.Fatal("fifth insert must evict")
+	}
+	if ev.Key != 20 {
+		t.Errorf("evicted %d, want 20 (LRU)", ev.Key)
+	}
+	if !b.Contains(10) || !b.Contains(50) {
+		t.Error("survivors wrong")
+	}
+	if b.Len() != 4 {
+		t.Errorf("Len = %d, want 4", b.Len())
+	}
+}
+
+func TestBorrowedBadShapePanics(t *testing.T) {
+	for _, c := range []struct{ entries, ways int }{{10, 3}, {0, 1}, {8, 0}, {24, 8}} {
+		func() {
+			defer func() { recover() }()
+			NewBorrowed(c.entries, c.ways)
+			t.Errorf("NewBorrowed(%d,%d) should panic", c.entries, c.ways)
+		}()
+	}
+}
+
+func TestBorrowedForEach(t *testing.T) {
+	b := NewBorrowed(64, 8)
+	want := map[uint64]uint64{1: 10, 2: 20, 3: 30}
+	for k, v := range want {
+		b.Insert(k, v)
+	}
+	got := map[uint64]uint64{}
+	b.ForEach(func(k, v uint64) { got[k] = v })
+	if len(got) != len(want) {
+		t.Fatalf("visited %d, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("entry %d = %d, want %d", k, got[k], v)
+		}
+	}
+}
+
+// Property: a Borrowed table behaves like a size-limited map — any key
+// reported present returns the last inserted value, and Len never exceeds
+// capacity.
+func TestBorrowedMapEquivalenceProperty(t *testing.T) {
+	f := func(keys []uint16, vals []uint16) bool {
+		b := NewBorrowed(16, 4)
+		model := map[uint64]uint64{}
+		for i, kr := range keys {
+			k := uint64(kr % 64)
+			var v uint64
+			if i < len(vals) {
+				v = uint64(vals[i])
+			}
+			ev, evicted := b.Insert(k, v)
+			model[k] = v
+			if evicted {
+				delete(model, ev.Key)
+			}
+			if b.Len() > b.Capacity() {
+				return false
+			}
+			got, ok := b.Lookup(k)
+			if !ok || got != v {
+				return false
+			}
+		}
+		// Every surviving model entry must match the table.
+		okAll := true
+		b.ForEach(func(k, v uint64) {
+			if mv, ok := model[k]; !ok || mv != v {
+				okAll = false
+			}
+		})
+		return okAll && b.Len() == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: isLent Count always equals the number of distinct blocks set.
+func TestIsLentCountProperty(t *testing.T) {
+	f := func(ops []uint16) bool {
+		l := NewIsLent(1<<16, 256)
+		model := map[uint64]bool{}
+		for i, op := range ops {
+			off := uint64(op) % (1 << 16)
+			block := off / 256
+			lent := i%3 != 0
+			l.SetLent(off, lent)
+			if lent {
+				model[block] = true
+			} else {
+				delete(model, block)
+			}
+			if l.Lent(off) != lent {
+				return false
+			}
+		}
+		return l.Count() == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

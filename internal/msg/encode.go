@@ -1,0 +1,151 @@
+package msg
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"ndpbridge/internal/task"
+)
+
+// The wire encoding is little-endian. Layout (Figure 5):
+//
+//	common header: type(1) index(1) total(1) pad(1) src(4) dst(4)
+//	task:  func(2) ts(4) addr(8) workload(4) nargs(1) args(8×nargs)
+//	data:  blockAddr(8) chunkLen(4)            — payload bytes follow
+//	state: lMailbox(8) wQueue(8) wFinished(8) nSched(2) sched(16×n)
+//
+// Encoding exists so the formats are concrete and testable; the simulator's
+// fast path passes Message values and only charges Size() bytes on links.
+
+var errShort = errors.New("msg: buffer too short")
+
+// Encode appends m's wire form to buf and returns the result. Data payload
+// bytes are zero-filled: the simulator does not move real data contents.
+func Encode(buf []byte, m *Message) []byte {
+	var hdr [HeaderSize]byte
+	hdr[0] = byte(m.Type)
+	hdr[1] = m.Index
+	hdr[2] = m.Total
+	var flags byte
+	if m.Sched {
+		flags |= 1
+	}
+	if m.Escalate {
+		flags |= 2
+	}
+	hdr[3] = flags
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(int32(m.Src)))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(int32(m.Dst)))
+	buf = append(buf, hdr[:]...)
+
+	switch m.Type {
+	case TypeTask:
+		var b [19]byte
+		binary.LittleEndian.PutUint16(b[0:], uint16(m.Task.Func))
+		binary.LittleEndian.PutUint32(b[2:], m.Task.TS)
+		binary.LittleEndian.PutUint64(b[6:], m.Task.Addr)
+		binary.LittleEndian.PutUint32(b[14:], m.Task.Workload)
+		b[18] = m.Task.NArgs
+		buf = append(buf, b[:]...)
+		for i := 0; i < int(m.Task.NArgs); i++ {
+			buf = binary.LittleEndian.AppendUint64(buf, m.Task.Args[i])
+		}
+	case TypeData:
+		buf = binary.LittleEndian.AppendUint64(buf, m.BlockAddr)
+		buf = binary.LittleEndian.AppendUint32(buf, m.ChunkLen)
+		buf = append(buf, make([]byte, m.ChunkLen)...)
+	case TypeState:
+		s := m.State
+		if s == nil {
+			s = &State{}
+		}
+		buf = binary.LittleEndian.AppendUint64(buf, s.LMailbox)
+		buf = binary.LittleEndian.AppendUint64(buf, s.WQueue)
+		buf = binary.LittleEndian.AppendUint64(buf, s.WFinished)
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(s.SchedList)))
+		for _, so := range s.SchedList {
+			buf = binary.LittleEndian.AppendUint64(buf, so.BlockAddr)
+			buf = binary.LittleEndian.AppendUint64(buf, so.Workload)
+		}
+	default:
+		panic(fmt.Sprintf("msg: encode of unknown type %d", m.Type))
+	}
+	return buf
+}
+
+// Decode parses one message from buf and returns it with the number of bytes
+// consumed.
+func Decode(buf []byte) (*Message, int, error) {
+	if len(buf) < HeaderSize {
+		return nil, 0, errShort
+	}
+	m := &Message{
+		Type:     Type(buf[0]),
+		Index:    buf[1],
+		Total:    buf[2],
+		Sched:    buf[3]&1 != 0,
+		Escalate: buf[3]&2 != 0,
+		Src:      int(int32(binary.LittleEndian.Uint32(buf[4:]))),
+		Dst:      int(int32(binary.LittleEndian.Uint32(buf[8:]))),
+	}
+	p := HeaderSize
+	switch m.Type {
+	case TypeTask:
+		if len(buf) < p+19 {
+			return nil, 0, errShort
+		}
+		m.Task.Func = task.FuncID(binary.LittleEndian.Uint16(buf[p:]))
+		m.Task.TS = binary.LittleEndian.Uint32(buf[p+2:])
+		m.Task.Addr = binary.LittleEndian.Uint64(buf[p+6:])
+		m.Task.Workload = binary.LittleEndian.Uint32(buf[p+14:])
+		m.Task.NArgs = buf[p+18]
+		p += 19
+		if int(m.Task.NArgs) > len(m.Task.Args) {
+			return nil, 0, fmt.Errorf("msg: task with %d args", m.Task.NArgs)
+		}
+		for i := 0; i < int(m.Task.NArgs); i++ {
+			if len(buf) < p+8 {
+				return nil, 0, errShort
+			}
+			m.Task.Args[i] = binary.LittleEndian.Uint64(buf[p:])
+			p += 8
+		}
+	case TypeData:
+		if len(buf) < p+12 {
+			return nil, 0, errShort
+		}
+		m.BlockAddr = binary.LittleEndian.Uint64(buf[p:])
+		m.ChunkLen = binary.LittleEndian.Uint32(buf[p+8:])
+		p += 12
+		if len(buf) < p+int(m.ChunkLen) {
+			return nil, 0, errShort
+		}
+		p += int(m.ChunkLen)
+	case TypeState:
+		if len(buf) < p+26 {
+			return nil, 0, errShort
+		}
+		s := &State{
+			LMailbox:  binary.LittleEndian.Uint64(buf[p:]),
+			WQueue:    binary.LittleEndian.Uint64(buf[p+8:]),
+			WFinished: binary.LittleEndian.Uint64(buf[p+16:]),
+		}
+		n := int(binary.LittleEndian.Uint16(buf[p+24:]))
+		p += 26
+		for i := 0; i < n; i++ {
+			if len(buf) < p+16 {
+				return nil, 0, errShort
+			}
+			s.SchedList = append(s.SchedList, SchedOut{
+				BlockAddr: binary.LittleEndian.Uint64(buf[p:]),
+				Workload:  binary.LittleEndian.Uint64(buf[p+8:]),
+			})
+			p += 16
+		}
+		m.State = s
+	default:
+		return nil, 0, fmt.Errorf("msg: unknown type %d", buf[0])
+	}
+	return m, p, nil
+}

@@ -1,0 +1,112 @@
+package ndpunit
+
+// Cache is a simple set-associative, LRU, write-allocate cache model for the
+// NDP core's L1 data cache (Table I: 64 kB, 4-way, 64 B lines). It tracks
+// which lines are resident so the execution context can charge DRAM latency
+// only for misses. Contents are not stored — only presence matters for
+// timing.
+type Cache struct {
+	sets     int
+	ways     int
+	lineBits uint
+	lines    []cline
+	clock    uint64
+
+	hits, misses uint64
+}
+
+type cline struct {
+	valid bool
+	tag   uint64
+	lru   uint64
+}
+
+// NewCache builds a cache of capacityBytes with the given associativity and
+// line size. Line size and the derived set count must be powers of two.
+func NewCache(capacityBytes, ways, lineBytes int) *Cache {
+	if capacityBytes <= 0 || ways <= 0 || lineBytes <= 0 {
+		panic("ndpunit: cache shape must be positive")
+	}
+	if lineBytes&(lineBytes-1) != 0 {
+		panic("ndpunit: line size must be a power of two")
+	}
+	totalLines := capacityBytes / lineBytes
+	if totalLines%ways != 0 {
+		panic("ndpunit: capacity/line not divisible by ways")
+	}
+	sets := totalLines / ways
+	if sets&(sets-1) != 0 {
+		panic("ndpunit: set count must be a power of two")
+	}
+	var lb uint
+	for 1<<lb != lineBytes {
+		lb++
+	}
+	return &Cache{sets: sets, ways: ways, lineBits: lb, lines: make([]cline, totalLines)}
+}
+
+// LineBytes returns the line size.
+func (c *Cache) LineBytes() uint64 { return 1 << c.lineBits }
+
+// Touch accesses the line containing addr, returning true on a hit. On a
+// miss the line is filled (LRU victim replaced).
+func (c *Cache) Touch(addr uint64) bool {
+	line := addr >> c.lineBits
+	set := int(line) & (c.sets - 1)
+	ways := c.lines[set*c.ways : (set+1)*c.ways]
+	c.clock++
+	var victim *cline
+	for i := range ways {
+		w := &ways[i]
+		if w.valid && w.tag == line {
+			w.lru = c.clock
+			c.hits++
+			return true
+		}
+		if victim == nil || (!w.valid && victim.valid) || (w.valid == victim.valid && w.lru < victim.lru) {
+			victim = w
+		}
+	}
+	*victim = cline{valid: true, tag: line, lru: c.clock}
+	c.misses++
+	return false
+}
+
+// AccessRange touches every line overlapping [addr, addr+n) and returns the
+// number of hits and misses.
+func (c *Cache) AccessRange(addr, n uint64) (hits, misses int) {
+	if n == 0 {
+		return 0, 0
+	}
+	lb := c.LineBytes()
+	first := addr &^ (lb - 1)
+	last := (addr + n - 1) &^ (lb - 1)
+	for a := first; ; a += lb {
+		if c.Touch(a) {
+			hits++
+		} else {
+			misses++
+		}
+		if a == last {
+			break
+		}
+	}
+	return hits, misses
+}
+
+// Invalidate drops the line containing addr if present (used when a borrowed
+// block is returned home).
+func (c *Cache) Invalidate(addr uint64) {
+	line := addr >> c.lineBits
+	set := int(line) & (c.sets - 1)
+	ways := c.lines[set*c.ways : (set+1)*c.ways]
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == line {
+			ways[i] = cline{}
+			return
+		}
+	}
+}
+
+// Stats returns cumulative hits and misses.
+func (c *Cache) Stats() (hits, misses uint64) { return c.hits, c.misses }

@@ -1,0 +1,98 @@
+package ndpunit
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCacheHitMiss(t *testing.T) {
+	c := NewCache(1024, 2, 64) // 16 lines, 8 sets × 2 ways
+	if c.Touch(0) {
+		t.Error("cold access must miss")
+	}
+	if !c.Touch(0) || !c.Touch(63) {
+		t.Error("same line must hit")
+	}
+	if c.Touch(64) {
+		t.Error("next line must miss")
+	}
+	hits, misses := c.Stats()
+	if hits != 2 || misses != 2 {
+		t.Errorf("stats = %d/%d, want 2/2", hits, misses)
+	}
+}
+
+func TestCacheLRUWithinSet(t *testing.T) {
+	c := NewCache(1024, 2, 64) // 8 sets: lines mapping to same set differ by 512 B
+	c.Touch(0)                 // set 0, way A
+	c.Touch(512)               // set 0, way B
+	c.Touch(0)                 // touch A
+	c.Touch(1024)              // set 0: evicts B (LRU)
+	if !c.Touch(0) {
+		t.Error("recently used line evicted")
+	}
+	if c.Touch(512) {
+		t.Error("LRU line should have been evicted")
+	}
+}
+
+func TestCacheAccessRange(t *testing.T) {
+	c := NewCache(64<<10, 4, 64)
+	hits, misses := c.AccessRange(100, 200) // spans lines 1..4
+	if hits != 0 || misses != 4 {
+		t.Errorf("range = %d/%d, want 0/4", hits, misses)
+	}
+	hits, misses = c.AccessRange(100, 200)
+	if hits != 4 || misses != 0 {
+		t.Errorf("repeat range = %d/%d, want 4/0", hits, misses)
+	}
+	hits, misses = c.AccessRange(0, 0)
+	if hits != 0 || misses != 0 {
+		t.Error("empty range must be free")
+	}
+}
+
+func TestCacheInvalidate(t *testing.T) {
+	c := NewCache(1024, 2, 64)
+	c.Touch(128)
+	c.Invalidate(128)
+	if c.Touch(128) {
+		t.Error("invalidated line must miss")
+	}
+	c.Invalidate(9999) // no-op on absent line
+}
+
+func TestCacheBadShapePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewCache(0, 1, 64) },
+		func() { NewCache(1024, 0, 64) },
+		func() { NewCache(1024, 2, 60) },
+		func() { NewCache(1024, 3, 64) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Property: hits+misses equals the number of distinct lines in each range
+// request.
+func TestCacheRangeCountProperty(t *testing.T) {
+	f := func(addr uint32, nRaw uint16) bool {
+		c := NewCache(64<<10, 4, 64)
+		n := uint64(nRaw) + 1
+		a := uint64(addr)
+		hits, misses := c.AccessRange(a, n)
+		first := a / 64
+		last := (a + n - 1) / 64
+		return uint64(hits+misses) == last-first+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,59 @@
+package ndpunit
+
+import (
+	"fmt"
+
+	"ndpbridge/internal/dram"
+	"ndpbridge/internal/sim"
+	"ndpbridge/internal/task"
+)
+
+// execCtx implements task.Ctx for one task execution. It advances a private
+// cursor through the unit's timeline: cache hits cost one cycle, misses go
+// through the bank arbiter, computation adds cycles directly. Child tasks
+// are routed at creation: locally-available ones enter the local queue,
+// remote ones are staged as messages that leave after the task completes.
+type execCtx struct {
+	u      *Unit
+	start  sim.Cycles
+	cursor sim.Cycles
+}
+
+var _ task.Ctx = (*execCtx)(nil)
+
+func (c *execCtx) Unit() int       { return c.u.id }
+func (c *execCtx) Now() sim.Cycles { return c.start }
+func (c *execCtx) Rand() *sim.RNG  { return c.u.rng }
+
+func (c *execCtx) Compute(cycles sim.Cycles) { c.cursor += cycles }
+
+func (c *execCtx) access(addr, n uint64, write bool) {
+	if n == 0 {
+		return
+	}
+	off, ok := c.u.localOffset(addr)
+	if !ok {
+		panic(fmt.Sprintf("ndpunit: unit %d accessing non-local address %#x", c.u.id, addr))
+	}
+	hits, misses := c.u.cache.AccessRange(addr, n)
+	c.cursor += sim.Cycles(hits) // 1 cycle per hit line
+	if misses > 0 {
+		lineBytes := c.u.cache.LineBytes()
+		epj := c.u.env.Cfg().Energy.DRAMAccessPJPer64b
+		c.cursor = c.u.bank.Access(c.cursor, off, uint64(misses)*lineBytes, write, dram.AccessLocal, epj)
+	}
+}
+
+func (c *execCtx) Read(addr, n uint64)  { c.access(addr, n, false) }
+func (c *execCtx) Write(addr, n uint64) { c.access(addr, n, true) }
+
+func (c *execCtx) Enqueue(t task.Task) {
+	u := c.u
+	u.env.TaskSpawned(t.TS)
+	u.st.Spawned++
+	if _, local := u.localOffset(t.Addr); local {
+		u.acceptTask(t)
+		return
+	}
+	u.emit(u.taskMessage(t, false))
+}

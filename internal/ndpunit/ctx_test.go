@@ -1,0 +1,113 @@
+package ndpunit
+
+import (
+	"testing"
+
+	"ndpbridge/internal/config"
+	"ndpbridge/internal/sim"
+	"ndpbridge/internal/task"
+)
+
+func TestCtxChargesCacheHitsAndMisses(t *testing.T) {
+	env := newStubEnv(smallCfg(config.DesignB))
+	var first, second uint64
+	fn := env.reg.Register("f", func(ctx task.Ctx, tk task.Task) {
+		start := ctx.(*execCtx).cursor
+		ctx.Read(tk.Addr, 256) // 4 cold lines → DRAM
+		first = uint64(ctx.(*execCtx).cursor - start)
+		mid := ctx.(*execCtx).cursor
+		ctx.Read(tk.Addr, 256) // warm → 4 cycles
+		second = uint64(ctx.(*execCtx).cursor - mid)
+	})
+	u := New(0, env, sim.NewRNG(1))
+	u.SeedTask(task.New(fn, 0, 4096, 1))
+	u.Kick()
+	env.eng.Run(0)
+	if second != 4 {
+		t.Errorf("warm read cost = %d, want 4 (cache hits)", second)
+	}
+	if first <= second*5 {
+		t.Errorf("cold read (%d) should dwarf warm read (%d)", first, second)
+	}
+}
+
+func TestCtxComputeAdvancesCursor(t *testing.T) {
+	env := newStubEnv(smallCfg(config.DesignB))
+	fn := env.reg.Register("f", func(ctx task.Ctx, tk task.Task) {
+		ctx.Compute(1234)
+	})
+	u := New(0, env, sim.NewRNG(1))
+	u.SeedTask(task.New(fn, 0, 64, 1))
+	u.Kick()
+	env.eng.Run(0)
+	if u.Stats().Busy < 1234 {
+		t.Errorf("busy = %d, want ≥ 1234", u.Stats().Busy)
+	}
+}
+
+func TestCtxIdentity(t *testing.T) {
+	env := newStubEnv(smallCfg(config.DesignB))
+	var unit int
+	var now sim.Cycles
+	var rngOK bool
+	fn := env.reg.Register("f", func(ctx task.Ctx, tk task.Task) {
+		unit = ctx.Unit()
+		now = ctx.Now()
+		rngOK = ctx.Rand() != nil
+	})
+	u := New(2, env, sim.NewRNG(1))
+	addr := env.amap.Base(2) + 64
+	u.SeedTask(task.New(fn, 0, addr, 1))
+	u.Kick()
+	env.eng.Run(0)
+	if unit != 2 {
+		t.Errorf("Unit = %d", unit)
+	}
+	if !rngOK {
+		t.Error("Rand must not be nil")
+	}
+	_ = now
+}
+
+func TestCtxNonLocalAccessPanics(t *testing.T) {
+	env := newStubEnv(smallCfg(config.DesignB))
+	fn := env.reg.Register("f", func(ctx task.Ctx, tk task.Task) {
+		ctx.Read(env.amap.Base(3), 64) // unit 3's data from unit 0
+	})
+	u := New(0, env, sim.NewRNG(1))
+	u.SeedTask(task.New(fn, 0, 64, 1))
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for non-local access")
+		}
+	}()
+	u.Kick()
+	env.eng.Run(0)
+}
+
+func TestCtxZeroLengthAccessFree(t *testing.T) {
+	env := newStubEnv(smallCfg(config.DesignB))
+	fn := env.reg.Register("f", func(ctx task.Ctx, tk task.Task) {
+		ctx.Read(tk.Addr, 0)
+		ctx.Write(tk.Addr, 0)
+	})
+	u := New(0, env, sim.NewRNG(1))
+	u.SeedTask(task.New(fn, 0, 64, 1))
+	u.Kick()
+	env.eng.Run(0)
+	// Busy = queue-pop charge + minimum 1 cycle, nothing from the reads.
+	if u.Stats().Busy > 64 {
+		t.Errorf("zero-length accesses should be free, busy=%d", u.Stats().Busy)
+	}
+}
+
+func TestWastedGatherChargesBank(t *testing.T) {
+	env := newStubEnv(smallCfg(config.DesignB))
+	u := New(0, env, sim.NewRNG(1))
+	before := u.Bank().Stats().CommBytes
+	u.WastedGather()
+	after := u.Bank().Stats().CommBytes
+	if after != before+env.cfg.GXfer {
+		t.Errorf("wasted gather charged %d bytes, want %d", after-before, env.cfg.GXfer)
+	}
+}

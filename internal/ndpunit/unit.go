@@ -1,0 +1,692 @@
+// Package ndpunit models one NDP unit of a DRAM-bank NDP system
+// (Section V-A, Figure 4(b)): a wimpy in-order core with an L1 cache, a DRAM
+// bank behind an access arbiter, and the extended unit controller holding the
+// task queue, the mailbox region, the borrowed data region, the isLent /
+// dataBorrowed migration metadata, and the sketch + reserved queue used for
+// hot-data load balancing.
+//
+// Units are passive with respect to communication: the parent bridge (or the
+// host forwarder in baseline designs) drains their mailboxes with GATHER,
+// delivers messages with SCATTER, reads their state with STATE-GATHER, and
+// commands load-balancing with SCHEDULE. All of those entry points charge
+// bank time through the access arbiter.
+package ndpunit
+
+import (
+	"fmt"
+
+	"ndpbridge/internal/config"
+	"ndpbridge/internal/dram"
+	"ndpbridge/internal/mailbox"
+	"ndpbridge/internal/metadata"
+	"ndpbridge/internal/msg"
+	"ndpbridge/internal/sim"
+	"ndpbridge/internal/sketch"
+	"ndpbridge/internal/stats"
+	"ndpbridge/internal/task"
+	"ndpbridge/internal/trace"
+)
+
+// Env is the runtime environment a unit operates in, implemented by the
+// system orchestrator. It provides global services: the event engine, the
+// configuration, the address map, the task registry, and the bulk-sync epoch
+// accounting.
+type Env interface {
+	Engine() *sim.Engine
+	Cfg() *config.Config
+	Map() *dram.AddrMap
+	Registry() *task.Registry
+	CurrentEpoch() uint32
+	// TaskSpawned/TaskDone maintain the per-epoch outstanding-task counts
+	// used for bulk-sync termination detection.
+	TaskSpawned(ts uint32)
+	TaskDone(ts uint32)
+	// MsgStaged/MsgDelivered maintain the in-flight message count, which
+	// must reach zero before an epoch can end.
+	MsgStaged()
+	MsgDelivered()
+	// Trace returns the activity recorder, or nil when tracing is off.
+	Trace() *trace.Recorder
+}
+
+// taskRecordBytes is the DRAM footprint of one task queue record.
+const taskRecordBytes = 32
+
+// Unit is one NDP unit.
+type Unit struct {
+	id  int
+	env Env
+
+	bank  *dram.Bank
+	cache *Cache
+	queue *task.Queue
+	mb    *mailbox.Mailbox
+	// chipMail holds same-chip messages in design R, where RowClone
+	// serves intra-chip transfers and only cross-chip traffic goes
+	// through host forwarding.
+	chipMail *mailbox.Mailbox
+
+	isLent   *metadata.IsLent
+	borrowed *metadata.Borrowed
+	slots    []uint64 // free borrowed-region slot offsets (stack)
+
+	sk         *sketch.Sketch
+	rq         *sketch.ReservedQueue
+	rqWorkload uint64
+
+	rng *sim.RNG
+
+	running bool
+	staged  []*msg.Message // outgoing messages waiting for mailbox space
+
+	// DRAM layout offsets within the bank.
+	mailboxOff  uint64
+	borrowedOff uint64
+	queueOff    uint64
+
+	finishedWorkload uint64
+	schedOut         []msg.SchedOut
+
+	st stats.Unit
+
+	hits64     uint64 // SRAM access approximation counter
+	lastBounce uint64 // most recent bounced task address, for diagnostics
+}
+
+// New builds a unit. rng must be a dedicated stream for this unit.
+func New(id int, env Env, rng *sim.RNG) *Unit {
+	cfg := env.Cfg()
+	u := &Unit{
+		id:    id,
+		env:   env,
+		bank:  dram.NewBank(cfg.Timing),
+		cache: NewCache(64<<10, 4, 64),
+		queue: task.NewQueue(),
+		mb:    mailbox.New(cfg.Buffers.MailboxBytes),
+		rng:   rng,
+	}
+	u.isLent = metadata.NewIsLent(cfg.Geometry.BankBytes, cfg.GXfer)
+	u.borrowed = metadata.NewBorrowed(cfg.Metadata.UnitBorrowedEntries, cfg.Metadata.UnitBorrowedWays)
+	u.mailboxOff = cfg.Geometry.BankBytes - cfg.Buffers.MailboxBytes
+	u.borrowedOff = u.mailboxOff - cfg.Metadata.BorrowedRegionBytes
+	u.queueOff = u.borrowedOff - (64 << 10)
+
+	nSlots := int(cfg.Metadata.BorrowedRegionBytes / cfg.GXfer)
+	u.slots = make([]uint64, 0, nSlots)
+	for i := nSlots - 1; i >= 0; i-- {
+		u.slots = append(u.slots, u.borrowedOff+uint64(i)*cfg.GXfer)
+	}
+
+	if cfg.Design == config.DesignR {
+		u.chipMail = mailbox.New(cfg.Buffers.MailboxBytes)
+	}
+	if u.hotEnabled() {
+		u.sk = sketch.New(cfg.Sketch.Buckets, cfg.Sketch.EntriesPerBkt, cfg.Sketch.DecayBase, rng.Split())
+		chunkTasks := int(cfg.GXfer) / taskRecordBytes
+		if chunkTasks < 1 {
+			chunkTasks = 1
+		}
+		u.rq = sketch.NewReservedQueue(cfg.Sketch.ReservedChunks, chunkTasks)
+	}
+	return u
+}
+
+func (u *Unit) hotEnabled() bool {
+	cfg := u.env.Cfg()
+	return cfg.Design.LoadBalancing() && cfg.LoadBalance.Hot
+}
+
+// ID returns the unit's system-wide ID.
+func (u *Unit) ID() int { return u.id }
+
+// Bank exposes the unit's DRAM bank for stats collection.
+func (u *Unit) Bank() *dram.Bank { return u.bank }
+
+// Cache exposes the L1 model for stats collection.
+func (u *Unit) Cache() *Cache { return u.cache }
+
+// Stats returns the unit's counters.
+func (u *Unit) Stats() stats.Unit { return u.st }
+
+// SRAMAccesses approximates the number of SRAM accesses performed.
+func (u *Unit) SRAMAccesses() uint64 {
+	h, m := u.cache.Stats()
+	return h + m + u.hits64
+}
+
+func (u *Unit) gxfer() uint64 { return u.env.Cfg().GXfer }
+
+func (u *Unit) block(addr uint64) uint64 { return dram.BlockAlign(addr, u.gxfer()) }
+
+// localOffset resolves addr to a bank offset if the data is locally
+// available: in the home region and not lent, or present in the borrowed
+// region. The second return is false when the data is not local.
+func (u *Unit) localOffset(addr uint64) (uint64, bool) {
+	m := u.env.Map()
+	if m.Home(addr) == u.id {
+		off := m.Offset(addr)
+		if !u.isLent.Lent(off) {
+			return off, true
+		}
+		return 0, false
+	}
+	blk := u.block(addr)
+	if slot, ok := u.borrowed.Lookup(blk); ok {
+		u.hits64++
+		return slot + (addr - blk), true
+	}
+	return 0, false
+}
+
+// IsLocal reports whether addr's data is currently available at this unit.
+func (u *Unit) IsLocal(addr uint64) bool {
+	_, ok := u.localOffset(addr)
+	return ok
+}
+
+// SeedTask injects an initial task directly into the unit's queue, modeling
+// the static initial assignment done at data-loading time (no communication
+// charge).
+func (u *Unit) SeedTask(t task.Task) {
+	u.env.TaskSpawned(t.TS)
+	u.st.Spawned++
+	if _, local := u.localOffset(t.Addr); !local {
+		// The block was lent out in an earlier epoch: forward the
+		// seed to its current holder through the fabric.
+		u.emit(u.taskMessage(t, u.env.Map().Home(t.Addr) == u.id))
+		u.flushStaged()
+		return
+	}
+	u.acceptTask(t)
+}
+
+// acceptTask routes a locally-available task into the reserved queue (when
+// hot tracking covers its block) or the main task queue.
+func (u *Unit) acceptTask(t task.Task) {
+	if u.sk != nil && t.TS == u.env.CurrentEpoch() {
+		blk := u.block(t.Addr)
+		u.sk.Observe(blk, t.EffectiveWorkload())
+		u.hits64++
+		if _, tracked := u.sk.Lookup(blk); tracked && u.rq.Add(blk, t) {
+			u.rqWorkload += t.EffectiveWorkload()
+			return
+		}
+	}
+	u.queue.Push(t)
+}
+
+// Kick prompts the core to start executing if it is idle. The system calls
+// it at start-of-run and after deliveries and epoch advances.
+func (u *Unit) Kick() { u.tryStart() }
+
+// nextTask obtains the next runnable task of the current epoch, pulling
+// reserved tasks back into the main queue when it runs dry.
+func (u *Unit) nextTask(ts uint32) (task.Task, bool) {
+	for {
+		if t, ok := u.queue.Pop(ts); ok {
+			return t, true
+		}
+		if u.rq == nil || u.rq.Total() == 0 {
+			return task.Task{}, false
+		}
+		// Refill from the hottest reserved block; those tasks were
+		// candidates to give away, but nobody asked — run them.
+		e, ok := u.sk.Hottest()
+		var tasks []task.Task
+		if ok {
+			tasks = u.rq.Take(e.Addr)
+			u.sk.Remove(e.Addr)
+		}
+		if len(tasks) == 0 {
+			tasks = u.rq.Drain()
+		}
+		if len(tasks) == 0 {
+			return task.Task{}, false
+		}
+		for _, t := range tasks {
+			u.rqWorkload -= t.EffectiveWorkload()
+			u.queue.Push(t)
+		}
+	}
+}
+
+func (u *Unit) tryStart() {
+	if u.running {
+		return
+	}
+	if len(u.staged) > 0 && !u.flushStaged() {
+		return // stalled: mailbox full, resume on next drain
+	}
+	eng := u.env.Engine()
+	ts := u.env.CurrentEpoch()
+	epj := u.env.Cfg().Energy.DRAMAccessPJPer64b
+
+	for {
+		t, ok := u.nextTask(ts)
+		if !ok {
+			return
+		}
+		if _, local := u.localOffset(t.Addr); !local {
+			// The block was lent away after this task was queued:
+			// bounce the task back into the fabric (Section VI-B).
+			u.st.Bounces++
+			u.lastBounce = t.Addr
+			u.emit(u.taskMessage(t, true))
+			if len(u.staged) > 0 && !u.flushStaged() {
+				return
+			}
+			continue
+		}
+		u.runTask(t, eng, epj)
+		return
+	}
+}
+
+func (u *Unit) runTask(t task.Task, eng *sim.Engine, epj float64) {
+	u.running = true
+	now := eng.Now()
+	// Task queue pop: one DRAM record read.
+	cursor := u.bank.Access(now, u.queueOff, taskRecordBytes, false, dram.AccessLocal, epj)
+	ctx := &execCtx{u: u, start: now, cursor: cursor}
+	u.env.Registry().Handler(t.Func)(ctx, t)
+	end := ctx.cursor
+	if end <= now {
+		end = now + 1
+	}
+	u.st.Busy += end - now
+	u.st.Tasks++
+	u.finishedWorkload += t.EffectiveWorkload()
+	u.env.Trace().Record(trace.KindTask, u.id, now, end, u.env.Registry().Name(t.Func))
+	eng.At(end, func() {
+		u.running = false
+		u.env.TaskDone(t.TS)
+		u.tryStart()
+	})
+}
+
+// taskMessage builds an outgoing task message addressed to the home unit.
+// escalate marks the cross-rank chase described in Section VI-B.
+func (u *Unit) taskMessage(t task.Task, escalate bool) *msg.Message {
+	m := msg.NewTask(u.id, u.env.Map().Home(t.Addr), t)
+	m.Escalate = escalate
+	return m
+}
+
+// emit stages an outgoing message. Staged messages move to the mailbox as
+// space allows; the caller decides when a failed flush should stall the core.
+func (u *Unit) emit(m *msg.Message) {
+	u.env.MsgStaged()
+	u.staged = append(u.staged, m)
+}
+
+// flushStaged moves staged messages into the mailbox (or the chip mailbox
+// for same-chip destinations in design R), charging a DRAM write per
+// message. It returns false while messages remain (mailbox full).
+func (u *Unit) flushStaged() bool {
+	epj := u.env.Cfg().Energy.DRAMAccessPJPer64b
+	now := u.env.Engine().Now()
+	for len(u.staged) > 0 {
+		m := u.staged[0]
+		mb := u.mb
+		if u.chipMail != nil && m.Dst >= 0 && !m.Sched && u.env.Map().SameChip(u.id, m.Dst) {
+			mb = u.chipMail
+		}
+		if !mb.Enqueue(m) {
+			u.st.Stalls++
+			return false
+		}
+		u.st.MsgsOut++
+		u.bank.Access(now, u.mailboxOff, m.Size(), true, dram.AccessComm, epj)
+		u.staged = u.staged[1:]
+	}
+	u.staged = nil
+	return true
+}
+
+// ChipMailUsed returns the bytes waiting for intra-chip RowClone transfer
+// (design R only).
+func (u *Unit) ChipMailUsed() uint64 {
+	if u.chipMail == nil {
+		return 0
+	}
+	return u.chipMail.Used()
+}
+
+// DrainChipMail removes up to budget bytes of same-chip messages; the
+// RowClone engine transfers them within the chip.
+func (u *Unit) DrainChipMail(budget uint64) []*msg.Message {
+	if u.chipMail == nil {
+		return nil
+	}
+	ms := u.chipMail.DrainUpTo(budget)
+	if len(ms) > 0 {
+		epj := u.env.Cfg().Energy.DRAMAccessPJPer64b
+		u.bank.Access(u.env.Engine().Now(), u.mailboxOff, msg.TotalSize(ms), false, dram.AccessComm, epj)
+		if len(u.staged) > 0 && u.flushStaged() {
+			u.tryStart()
+		}
+	}
+	return ms
+}
+
+// --- Fabric-facing entry points (GATHER / SCATTER / STATE-GATHER / SCHEDULE) ---
+
+// MailboxUsed returns the bytes waiting in the mailbox (L_mailbox).
+func (u *Unit) MailboxUsed() uint64 { return u.mb.Used() }
+
+// DrainMailbox serves a GATHER command: it removes up to budget bytes of
+// messages from the mailbox head, charging the bank read, and returns the
+// messages with the bank-side completion time. After a drain, staged
+// messages get another chance to enter the mailbox and the core resumes if
+// it was stalled.
+func (u *Unit) DrainMailbox(budget uint64) ([]*msg.Message, sim.Cycles) {
+	now := u.env.Engine().Now()
+	ms := u.mb.DrainUpTo(budget)
+	if len(ms) == 0 {
+		return nil, now
+	}
+	epj := u.env.Cfg().Energy.DRAMAccessPJPer64b
+	done := u.bank.Access(now, u.mailboxOff, msg.TotalSize(ms), false, dram.AccessComm, epj)
+	if len(u.staged) > 0 {
+		if u.flushStaged() {
+			u.tryStart()
+		}
+	}
+	return ms, done
+}
+
+// LastBounce returns the most recently bounced task address and the total
+// bounce count, for livelock diagnostics.
+func (u *Unit) LastBounce() (addr uint64, n uint64) { return u.lastBounce, u.st.Bounces }
+
+// LentAt reports whether the home-owned block containing addr is marked
+// lent (diagnostic/invariant-test hook).
+func (u *Unit) LentAt(addr uint64) bool {
+	if u.env.Map().Home(addr) != u.id {
+		return false
+	}
+	return u.isLent.Lent(u.env.Map().Offset(addr))
+}
+
+// BorrowedBlocks returns the original addresses of all blocks this unit
+// currently borrows (diagnostic/invariant-test hook).
+func (u *Unit) BorrowedBlocks() []uint64 {
+	var out []uint64
+	u.borrowed.ForEach(func(k, _ uint64) { out = append(out, k) })
+	return out
+}
+
+// WastedGather charges the bank cost of a GATHER that found no messages —
+// fixed-interval triggering reads the transfer granularity from the mailbox
+// region regardless of content (Section V-C).
+func (u *Unit) WastedGather() {
+	epj := u.env.Cfg().Energy.DRAMAccessPJPer64b
+	u.bank.Access(u.env.Engine().Now(), u.mailboxOff, u.gxfer(), false, dram.AccessComm, epj)
+}
+
+// Deliver serves a SCATTER of one message to this unit. It charges the bank
+// write and schedules the message's effect at the completion time. The
+// returned cycle is when the bank transaction finishes.
+func (u *Unit) Deliver(m *msg.Message) sim.Cycles {
+	eng := u.env.Engine()
+	epj := u.env.Cfg().Energy.DRAMAccessPJPer64b
+	var off uint64
+	switch m.Type {
+	case msg.TypeTask:
+		off = u.queueOff
+	case msg.TypeData:
+		off = u.borrowedOff
+	default:
+		off = u.queueOff
+	}
+	done := u.bank.Access(eng.Now(), off, m.Size(), true, dram.AccessComm, epj)
+	eng.At(done, func() { u.receive(m) })
+	return done
+}
+
+// receive applies a delivered message at bank-commit time.
+func (u *Unit) receive(m *msg.Message) {
+	u.st.MsgsIn++
+	u.env.MsgDelivered()
+	now := uint64(u.env.Engine().Now())
+	u.env.Trace().Record(trace.KindDeliver, u.id, now, now, "")
+	switch m.Type {
+	case msg.TypeTask:
+		t := m.Task
+		if _, local := u.localOffset(t.Addr); !local {
+			// Chasing a moving block: re-emit toward its home;
+			// escalate if we are the home (it lives in another
+			// rank).
+			u.st.Bounces++
+			u.lastBounce = t.Addr
+			u.env.MsgStaged() // re-enters flight
+			u.staged = append(u.staged, u.taskMessage(t, u.env.Map().Home(t.Addr) == u.id))
+			u.flushStaged()
+			return
+		}
+		u.acceptTask(t)
+		u.tryStart()
+	case msg.TypeData:
+		u.receiveData(m)
+	default:
+		panic(fmt.Sprintf("ndpunit: unit %d received %v message", u.id, m.Type))
+	}
+}
+
+// receiveData handles an incoming data block chunk: either a block being
+// lent to us (store in the borrowed region, update dataBorrowed) or one of
+// our own blocks returning home (clear isLent).
+func (u *Unit) receiveData(m *msg.Message) {
+	home := u.env.Map().Home(m.BlockAddr)
+	if home == u.id {
+		// Returning home.
+		off := u.env.Map().Offset(m.BlockAddr)
+		if int(m.Index) == int(m.Total)-1 {
+			if u.isLent.SetLent(off, false) {
+				u.st.Returns++
+			}
+			u.tryStart() // queued tasks for this block may now run
+		}
+		return
+	}
+	// Borrowed block chunk: allocate a region slot on the first chunk.
+	blk := u.block(m.BlockAddr)
+	if _, ok := u.borrowed.Lookup(blk); !ok {
+		slot, ok := u.allocSlot()
+		if !ok {
+			// Region exhausted: evict the LRU borrowed block to
+			// make room (return it home first).
+			if !u.evictOneBorrowed() {
+				return // nothing to evict; drop tracking (block bounces will heal)
+			}
+			slot, _ = u.allocSlot()
+		}
+		ev, evicted := u.borrowed.Insert(blk, slot)
+		u.hits64++
+		if evicted {
+			u.returnBlock(ev.Key, ev.Value)
+		}
+		u.st.Borrowed++
+	}
+	if int(m.Index) == int(m.Total)-1 {
+		u.tryStart()
+	}
+}
+
+func (u *Unit) allocSlot() (uint64, bool) {
+	if len(u.slots) == 0 {
+		return 0, false
+	}
+	s := u.slots[len(u.slots)-1]
+	u.slots = u.slots[:len(u.slots)-1]
+	return s, true
+}
+
+// evictOneBorrowed returns an arbitrary borrowed block home to free a slot.
+func (u *Unit) evictOneBorrowed() bool {
+	var key, val uint64
+	found := false
+	u.borrowed.ForEach(func(k, v uint64) {
+		if !found {
+			key, val = k, v
+			found = true
+		}
+	})
+	if !found {
+		return false
+	}
+	u.borrowed.Remove(key)
+	u.returnBlock(key, val)
+	return true
+}
+
+// returnBlock sends a borrowed block home and frees its slot.
+func (u *Unit) returnBlock(blk, slot uint64) {
+
+	u.slots = append(u.slots, slot)
+	u.cache.Invalidate(blk)
+	home := u.env.Map().Home(blk)
+	for _, dm := range msg.SplitData(u.id, home, blk, uint32(u.gxfer())) {
+		u.emit(dm)
+	}
+	u.flushStaged()
+	u.st.Returns++
+}
+
+// ForceReturn is the back-invalidation used when a bridge-level dataBorrowed
+// entry is evicted: the receiver must return the block to keep the tables
+// inclusive.
+func (u *Unit) ForceReturn(blk uint64) {
+	if slot, ok := u.borrowed.Lookup(blk); ok {
+		u.borrowed.Remove(blk)
+		u.returnBlock(blk, slot)
+	}
+}
+
+// StateSnapshot serves STATE-GATHER: it returns the unit's state message
+// payload and transfers ownership of the pending scheduled-out list.
+func (u *Unit) StateSnapshot() msg.State {
+	ts := u.env.CurrentEpoch()
+	s := msg.State{
+		LMailbox:  u.mb.Used(),
+		WQueue:    u.queue.Workload(ts) + u.rqWorkload,
+		WFinished: u.finishedWorkload,
+		SchedList: u.schedOut,
+	}
+	u.schedOut = nil
+	return s
+}
+
+// QueueWorkload exposes the current-epoch queue workload (for tests and the
+// host executor).
+func (u *Unit) QueueWorkload() uint64 {
+	return u.queue.Workload(u.env.CurrentEpoch()) + u.rqWorkload
+}
+
+// Idle reports whether the core is idle with nothing runnable.
+func (u *Unit) Idle() bool {
+	return !u.running && u.queue.LenEpoch(u.env.CurrentEpoch()) == 0 && (u.rq == nil || u.rq.Total() == 0)
+}
+
+// HasBacklog reports whether the unit holds any queued work or undelivered
+// outgoing messages (used for termination debugging).
+func (u *Unit) HasBacklog() bool {
+	return u.running || u.queue.Len() > 0 || (u.rq != nil && u.rq.Total() > 0) ||
+		!u.mb.Empty() || len(u.staged) > 0 || (u.chipMail != nil && !u.chipMail.Empty())
+}
+
+// CommandSchedule serves the SCHEDULE command (Section VI-A step 2): the
+// giver selects tasks worth at least budget workload, together with their
+// data blocks, marks the blocks lent, and stages the messages tagged with
+// the commanding round. The selected list is reported back through the next
+// state message.
+func (u *Unit) CommandSchedule(budget uint64, round uint32) {
+	ts := u.env.CurrentEpoch()
+	cfg := u.env.Cfg()
+	type sel struct {
+		blk   uint64
+		tasks []task.Task
+		w     uint64
+	}
+	var selected []sel
+	var acc uint64
+
+	useHot := u.sk != nil && cfg.LoadBalance.Hot
+	if useHot {
+		for acc < budget {
+			e, ok := u.sk.Hottest()
+			if !ok {
+				break
+			}
+			tasks := u.rq.Take(e.Addr)
+			u.sk.Remove(e.Addr)
+			if len(tasks) == 0 {
+				continue
+			}
+			var w uint64
+			for _, t := range tasks {
+				w += t.EffectiveWorkload()
+				u.rqWorkload -= t.EffectiveWorkload()
+			}
+			// Only blocks currently resident at home can be lent:
+			// borrowed blocks and blocks already lent out are
+			// requeued (their tasks will bounce to the holder).
+			if u.env.Map().Home(e.Addr) != u.id || u.isLent.Lent(u.env.Map().Offset(e.Addr)) {
+				for _, t := range tasks {
+					u.queue.Push(t)
+				}
+				continue
+			}
+			selected = append(selected, sel{blk: e.Addr, tasks: tasks, w: w})
+			acc += w
+		}
+	}
+	// Fallback (and the whole path for work stealing): pop from the queue
+	// tail, grouping tasks by block.
+	if acc < budget {
+		byBlock := make(map[uint64]int)
+		var skipped []task.Task
+		for acc < budget {
+			t, ok := u.queue.PopTail(ts)
+			if !ok {
+				break
+			}
+			blk := u.block(t.Addr)
+			if u.env.Map().Home(blk) != u.id || u.isLent.Lent(u.env.Map().Offset(blk)) {
+				skipped = append(skipped, t)
+				continue
+			}
+			if i, ok := byBlock[blk]; ok {
+				selected[i].tasks = append(selected[i].tasks, t)
+				selected[i].w += t.EffectiveWorkload()
+			} else {
+				byBlock[blk] = len(selected)
+				selected = append(selected, sel{blk: blk, tasks: []task.Task{t}, w: t.EffectiveWorkload()})
+			}
+			acc += t.EffectiveWorkload()
+		}
+		for _, t := range skipped {
+			u.queue.Push(t)
+		}
+	}
+
+	for _, s := range selected {
+		off := u.env.Map().Offset(s.blk)
+		u.isLent.SetLent(off, true)
+		u.cache.Invalidate(s.blk)
+		u.st.Lent++
+		for _, dm := range msg.SplitData(u.id, -1, s.blk, uint32(u.gxfer())) {
+			dm.Sched = true
+			dm.Round = round
+			u.emit(dm)
+		}
+		for _, t := range s.tasks {
+			tm := msg.NewTask(u.id, -1, t)
+			tm.Sched = true
+			tm.Round = round
+			u.emit(tm)
+		}
+		u.schedOut = append(u.schedOut, msg.SchedOut{BlockAddr: s.blk, Workload: s.w})
+	}
+	u.flushStaged()
+}

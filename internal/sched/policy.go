@@ -1,0 +1,159 @@
+// Package sched implements the load-balancing decision logic of Section VI
+// as pure functions over gathered child state, so bridges at both levels can
+// share it and the ablation study (Figure 14(a)) can toggle each optimization
+// independently:
+//
+//   - in-advance scheduling (+Adv): a child becomes a receiver when its
+//     remaining queue workload drops below W_th, instead of at empty,
+//     hiding the data transfer latency;
+//   - fine-grained stealing (+Fine): each receiver asks for only
+//     StealFactor × W_th workload instead of half the victim's queue,
+//     avoiding transfer congestion;
+//   - workload correction: W_queue is corrected by the toArrive counter of
+//     already-scheduled but still-transferring work.
+//
+// Hot-data selection (+Hot) lives on the giver side (ndpunit.CommandSchedule).
+package sched
+
+import (
+	"ndpbridge/internal/config"
+	"ndpbridge/internal/sim"
+)
+
+// ChildState is the scheduler's view of one child (an NDP unit under a
+// level-1 bridge, or a level-1 bridge under the level-2 bridge).
+type ChildState struct {
+	ID       int
+	WQueue   uint64 // queued workload from the last state message
+	ToArrive uint64 // scheduled but still-transferring workload
+	Idle     bool   // the child reported no runnable work at all
+}
+
+// Command instructs one giver to schedule out Budget workload.
+type Command struct {
+	Giver  int
+	Budget uint64
+	// Receivers lists the matched receivers, in the order blocks should
+	// be assigned to them.
+	Receivers []int
+}
+
+// Wth computes the in-advance threshold W_th = 2 × G_xfer × S_exe / S_xfer
+// (Section VI-C). sexe is workload executed per cycle, sxfer bytes per cycle
+// between units and the bridge. The factor 2 accounts for transfers to and
+// from the bridge. The result is at least 1.
+func Wth(gxfer uint64, sexe, sxfer float64) uint64 {
+	if sxfer <= 0 {
+		return 1
+	}
+	if sexe <= 0 {
+		sexe = 1
+	}
+	w := uint64(2 * float64(gxfer) * sexe / sxfer)
+	if w == 0 {
+		w = 1
+	}
+	return w
+}
+
+// EstimateSexe derives the average execution speed (workload per cycle) from
+// the finished-workload delta across one state period.
+func EstimateSexe(deltaFinished uint64, interval sim.Cycles, children int) float64 {
+	if interval == 0 || children == 0 {
+		return 1
+	}
+	s := float64(deltaFinished) / float64(interval) / float64(children)
+	if s <= 0 {
+		return 1
+	}
+	return s
+}
+
+// effective returns the corrected queue workload of a child.
+func effective(c ChildState, lb config.LoadBalance) uint64 {
+	w := c.WQueue
+	if lb.Correction {
+		w += c.ToArrive
+	}
+	return w
+}
+
+// Receivers returns the children that should be refilled. Without +Adv a
+// child is a receiver only when its (corrected) workload is zero; with +Adv,
+// when it falls below wth.
+func Receivers(states []ChildState, lb config.LoadBalance, wth uint64) []int {
+	var out []int
+	for _, c := range states {
+		w := effective(c, lb)
+		if lb.Adv {
+			if w < wth {
+				out = append(out, c.ID)
+			}
+		} else if w == 0 {
+			out = append(out, c.ID)
+		}
+	}
+	return out
+}
+
+// Givers returns the children with enough spare work to lend: corrected
+// workload strictly above the giver floor (wth, or 1 for non-Adv policies so
+// a queue of a single task is not raided).
+func Givers(states []ChildState, lb config.LoadBalance, wth uint64) []int {
+	floor := wth
+	if !lb.Adv && floor < 2 {
+		floor = 2
+	}
+	var out []int
+	for _, c := range states {
+		if effective(c, lb) > floor {
+			out = append(out, c.ID)
+		}
+	}
+	return out
+}
+
+// Required returns how much workload one receiver asks for. With +Fine it is
+// StealFactor × wth; otherwise it is half the matched giver's queue
+// (traditional work stealing).
+func Required(lb config.LoadBalance, wth, giverQueue uint64) uint64 {
+	if lb.Fine {
+		r := uint64(lb.StealFactor) * wth
+		if r == 0 {
+			r = 1
+		}
+		return r
+	}
+	r := giverQueue / 2
+	if r == 0 {
+		r = 1
+	}
+	return r
+}
+
+// Match randomly pairs each receiver with a giver (Section VI-A step 1) and
+// accumulates per-giver budgets. queueOf returns the giver's current queue
+// workload for the traditional-stealing amount.
+func Match(rng *sim.RNG, receivers, givers []int, lb config.LoadBalance, wth uint64, queueOf func(giver int) uint64) []Command {
+	if len(receivers) == 0 || len(givers) == 0 {
+		return nil
+	}
+	byGiver := make(map[int]*Command)
+	var order []int
+	for _, r := range receivers {
+		g := givers[rng.Intn(len(givers))]
+		cmd := byGiver[g]
+		if cmd == nil {
+			cmd = &Command{Giver: g}
+			byGiver[g] = cmd
+			order = append(order, g)
+		}
+		cmd.Budget += Required(lb, wth, queueOf(g))
+		cmd.Receivers = append(cmd.Receivers, r)
+	}
+	out := make([]Command, 0, len(order))
+	for _, g := range order {
+		out = append(out, *byGiver[g])
+	}
+	return out
+}

@@ -1,0 +1,159 @@
+package sched
+
+import (
+	"testing"
+
+	"ndpbridge/internal/config"
+	"ndpbridge/internal/sim"
+)
+
+func lbO() config.LoadBalance {
+	return config.LoadBalance{Adv: true, Fine: true, Hot: true, StealFactor: 2, Correction: true}
+}
+
+func lbW() config.LoadBalance {
+	return config.LoadBalance{Correction: true, StealFactor: 2}
+}
+
+func TestWth(t *testing.T) {
+	// 2 × 256 × 1 / 6 = 85.
+	if got := Wth(256, 1, 6); got != 85 {
+		t.Errorf("Wth = %d, want 85", got)
+	}
+	if Wth(256, 0, 6) == 0 {
+		t.Error("zero sexe must not zero the threshold")
+	}
+	if Wth(256, 1, 0) != 1 {
+		t.Error("zero sxfer must degrade to 1")
+	}
+	if Wth(1, 0.001, 1000) != 1 {
+		t.Error("threshold must be at least 1")
+	}
+}
+
+func TestEstimateSexe(t *testing.T) {
+	if got := EstimateSexe(4000, 2000, 2); got != 1 {
+		t.Errorf("Sexe = %v, want 1", got)
+	}
+	if EstimateSexe(0, 2000, 2) != 1 {
+		t.Error("zero progress must default to 1")
+	}
+	if EstimateSexe(100, 0, 2) != 1 {
+		t.Error("zero interval must default to 1")
+	}
+}
+
+func TestReceiversAdvVsPlain(t *testing.T) {
+	states := []ChildState{
+		{ID: 0, WQueue: 0},
+		{ID: 1, WQueue: 50},
+		{ID: 2, WQueue: 200},
+	}
+	// +Adv with wth=100: children below 100 are receivers.
+	got := Receivers(states, lbO(), 100)
+	if len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("Adv receivers = %v, want [0 1]", got)
+	}
+	// Without Adv: only empty queues.
+	got = Receivers(states, lbW(), 100)
+	if len(got) != 1 || got[0] != 0 {
+		t.Errorf("plain receivers = %v, want [0]", got)
+	}
+}
+
+func TestReceiversCorrection(t *testing.T) {
+	states := []ChildState{{ID: 0, WQueue: 0, ToArrive: 500}}
+	if got := Receivers(states, lbO(), 100); len(got) != 0 {
+		t.Errorf("child with pending arrivals must not be a receiver, got %v", got)
+	}
+	lb := lbO()
+	lb.Correction = false
+	if got := Receivers(states, lb, 100); len(got) != 1 {
+		t.Errorf("without correction the child looks idle, got %v", got)
+	}
+}
+
+func TestGivers(t *testing.T) {
+	states := []ChildState{
+		{ID: 0, WQueue: 0},
+		{ID: 1, WQueue: 101},
+		{ID: 2, WQueue: 99},
+	}
+	got := Givers(states, lbO(), 100)
+	if len(got) != 1 || got[0] != 1 {
+		t.Errorf("givers = %v, want [1]", got)
+	}
+	// Plain stealing: anything above the tiny floor gives.
+	got = Givers(states, lbW(), 100)
+	if len(got) != 1 || got[0] != 1 {
+		t.Errorf("plain givers (floor=wth) = %v", got)
+	}
+}
+
+func TestRequired(t *testing.T) {
+	// +Fine: StealFactor × wth.
+	if got := Required(lbO(), 85, 10000); got != 170 {
+		t.Errorf("fine Required = %d, want 170", got)
+	}
+	// Traditional: half the victim queue.
+	if got := Required(lbW(), 85, 10000); got != 5000 {
+		t.Errorf("stealing Required = %d, want 5000", got)
+	}
+	if Required(lbW(), 85, 1) != 1 {
+		t.Error("Required must be at least 1")
+	}
+}
+
+func TestMatchBudgetsSum(t *testing.T) {
+	rng := sim.NewRNG(3)
+	receivers := []int{10, 11, 12, 13}
+	givers := []int{1, 2}
+	queueOf := func(g int) uint64 { return 1000 }
+	cmds := Match(rng, receivers, givers, lbO(), 85, queueOf)
+	var budget uint64
+	var rcount int
+	seen := map[int]bool{}
+	for _, c := range cmds {
+		if seen[c.Giver] {
+			t.Error("duplicate giver command")
+		}
+		seen[c.Giver] = true
+		budget += c.Budget
+		rcount += len(c.Receivers)
+		if c.Budget != uint64(len(c.Receivers))*170 {
+			t.Errorf("budget %d for %d receivers", c.Budget, len(c.Receivers))
+		}
+	}
+	if rcount != 4 {
+		t.Errorf("matched %d receivers, want 4", rcount)
+	}
+	if budget != 4*170 {
+		t.Errorf("total budget = %d, want %d", budget, 4*170)
+	}
+}
+
+func TestMatchEmpty(t *testing.T) {
+	rng := sim.NewRNG(1)
+	if Match(rng, nil, []int{1}, lbO(), 85, func(int) uint64 { return 0 }) != nil {
+		t.Error("no receivers → no commands")
+	}
+	if Match(rng, []int{1}, nil, lbO(), 85, func(int) uint64 { return 0 }) != nil {
+		t.Error("no givers → no commands")
+	}
+}
+
+func TestMatchDeterministicWithSeed(t *testing.T) {
+	mk := func() []Command {
+		return Match(sim.NewRNG(42), []int{1, 2, 3}, []int{7, 8, 9}, lbO(), 85,
+			func(int) uint64 { return 100 })
+	}
+	a, b := mk(), mk()
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic match")
+	}
+	for i := range a {
+		if a[i].Giver != b[i].Giver || a[i].Budget != b[i].Budget {
+			t.Fatal("nondeterministic match")
+		}
+	}
+}

@@ -1,0 +1,128 @@
+// Package sim provides the discrete-event simulation kernel used by the
+// NDPBridge system model: an event engine ordered by cycle time, a
+// deterministic random number generator, and bandwidth-reserving links.
+//
+// All simulator time is measured in NDP-core cycles (400 MHz, 2.5 ns per
+// cycle in the default configuration). The engine is deliberately minimal:
+// components schedule closures at absolute or relative times and the engine
+// runs them in (time, insertion) order until the event queue drains or a
+// limit is reached.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+)
+
+// Cycles is a point in (or duration of) simulated time, in NDP-core cycles.
+type Cycles = uint64
+
+// Event is a scheduled callback. Events with equal times fire in insertion
+// order, which keeps runs deterministic.
+type event struct {
+	time Cycles
+	seq  uint64
+	fn   func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = event{}
+	*h = old[:n-1]
+	return ev
+}
+
+// ErrLimit is returned by Run when the event budget is exhausted before the
+// event queue drains, which usually indicates a livelocked model.
+var ErrLimit = errors.New("sim: event limit exceeded")
+
+// Engine is a discrete-event simulator. The zero value is not usable; call
+// NewEngine.
+type Engine struct {
+	now     Cycles
+	seq     uint64
+	pq      eventHeap
+	stopped bool
+
+	// Processed counts events executed so far; useful for budgeting.
+	processed uint64
+}
+
+// NewEngine returns an empty engine at time zero.
+func NewEngine() *Engine {
+	e := &Engine{}
+	heap.Init(&e.pq)
+	return e
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Cycles { return e.now }
+
+// Processed returns the number of events executed so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// Pending returns the number of events currently scheduled.
+func (e *Engine) Pending() int { return e.pq.Len() }
+
+// At schedules fn at absolute time t. Scheduling in the past panics: it is
+// always a model bug.
+func (e *Engine) At(t Cycles, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling at %d before now %d", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.pq, event{time: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn d cycles from now.
+func (e *Engine) After(d Cycles, fn func()) { e.At(e.now+d, fn) }
+
+// Stop makes Run return after the current event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events until the queue drains, Stop is called, or maxEvents
+// events have run (0 means no limit). It returns ErrLimit if the budget was
+// exhausted with events still pending.
+func (e *Engine) Run(maxEvents uint64) error {
+	e.stopped = false
+	for e.pq.Len() > 0 && !e.stopped {
+		if maxEvents > 0 && e.processed >= maxEvents {
+			return ErrLimit
+		}
+		ev := heap.Pop(&e.pq).(event)
+		if ev.time < e.now {
+			panic("sim: event time regression")
+		}
+		e.now = ev.time
+		e.processed++
+		ev.fn()
+	}
+	return nil
+}
+
+// RunUntil executes events with time <= t, then sets now = t.
+func (e *Engine) RunUntil(t Cycles) {
+	for e.pq.Len() > 0 && e.pq[0].time <= t && !e.stopped {
+		ev := heap.Pop(&e.pq).(event)
+		e.now = ev.time
+		e.processed++
+		ev.fn()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}

@@ -1,0 +1,142 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.At(10, func() { got = append(got, 1) })
+	e.At(5, func() { got = append(got, 0) })
+	e.At(10, func() { got = append(got, 2) }) // same time: insertion order
+	e.At(20, func() { got = append(got, 3) })
+	if err := e.Run(0); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := []int{0, 1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 20 {
+		t.Errorf("Now = %d, want 20", e.Now())
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var fired []Cycles
+	e.At(1, func() {
+		fired = append(fired, e.Now())
+		e.After(4, func() { fired = append(fired, e.Now()) })
+		e.After(2, func() { fired = append(fired, e.Now()) })
+	})
+	if err := e.Run(0); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := []Cycles{1, 3, 5}
+	if len(fired) != len(want) {
+		t.Fatalf("fired %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired %v, want %v", fired, want)
+		}
+	}
+}
+
+func TestEngineSchedulingInPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic scheduling in the past")
+			}
+		}()
+		e.At(5, func() {})
+	})
+	if err := e.Run(0); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestEngineEventLimit(t *testing.T) {
+	e := NewEngine()
+	var spin func()
+	spin = func() { e.After(1, spin) }
+	e.At(0, spin)
+	if err := e.Run(100); err != ErrLimit {
+		t.Fatalf("Run = %v, want ErrLimit", err)
+	}
+	if e.Processed() != 100 {
+		t.Errorf("Processed = %d, want 100", e.Processed())
+	}
+}
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	e.At(1, func() { n++; e.Stop() })
+	e.At(2, func() { n++ })
+	if err := e.Run(0); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if n != 1 {
+		t.Errorf("executed %d events, want 1 (stopped)", n)
+	}
+	// Remaining event still pending.
+	if e.Pending() != 1 {
+		t.Errorf("Pending = %d, want 1", e.Pending())
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	var fired []Cycles
+	for _, c := range []Cycles{3, 7, 11} {
+		c := c
+		e.At(c, func() { fired = append(fired, c) })
+	}
+	e.RunUntil(7)
+	if len(fired) != 2 || fired[0] != 3 || fired[1] != 7 {
+		t.Fatalf("fired = %v, want [3 7]", fired)
+	}
+	if e.Now() != 7 {
+		t.Errorf("Now = %d, want 7", e.Now())
+	}
+	e.RunUntil(100)
+	if len(fired) != 3 {
+		t.Fatalf("fired = %v, want 3 events", fired)
+	}
+	if e.Now() != 100 {
+		t.Errorf("Now = %d, want 100", e.Now())
+	}
+}
+
+// Property: however events are inserted, they fire in non-decreasing time
+// order.
+func TestEngineMonotonicProperty(t *testing.T) {
+	f := func(times []uint16) bool {
+		e := NewEngine()
+		var fired []Cycles
+		for _, raw := range times {
+			c := Cycles(raw)
+			e.At(c, func() { fired = append(fired, e.Now()) })
+		}
+		if err := e.Run(0); err != nil {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return len(fired) == len(times)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

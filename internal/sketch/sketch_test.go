@@ -1,0 +1,138 @@
+package sketch
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ndpbridge/internal/sim"
+)
+
+func newSketch() *Sketch { return New(16, 16, 1.08, sim.NewRNG(1)) }
+
+func TestSketchObserveAndLookup(t *testing.T) {
+	s := newSketch()
+	s.Observe(0x100, 10)
+	s.Observe(0x100, 5)
+	if w, ok := s.Lookup(0x100); !ok || w != 15 {
+		t.Errorf("Lookup = %d, %v; want 15", w, ok)
+	}
+	if _, ok := s.Lookup(0x200); ok {
+		t.Error("missing entry should not be found")
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len = %d", s.Len())
+	}
+}
+
+func TestSketchZeroWorkloadCountsAsOne(t *testing.T) {
+	s := newSketch()
+	s.Observe(0x100, 0)
+	if w, _ := s.Lookup(0x100); w != 1 {
+		t.Errorf("w = %d, want 1", w)
+	}
+}
+
+func TestSketchHottest(t *testing.T) {
+	s := newSketch()
+	if _, ok := s.Hottest(); ok {
+		t.Error("empty sketch has no hottest")
+	}
+	s.Observe(0x100, 5)
+	s.Observe(0x200, 50)
+	s.Observe(0x300, 20)
+	e, ok := s.Hottest()
+	if !ok || e.Addr != 0x200 || e.Workload != 50 {
+		t.Errorf("Hottest = %+v, %v", e, ok)
+	}
+	if !s.Remove(0x200) {
+		t.Error("Remove failed")
+	}
+	e, _ = s.Hottest()
+	if e.Addr != 0x300 {
+		t.Errorf("next hottest = %+v, want 0x300", e)
+	}
+	if s.Remove(0x200) {
+		t.Error("double Remove should fail")
+	}
+}
+
+func TestSketchIdentifiesHeavyHitters(t *testing.T) {
+	// With Zipf-like traffic, the sketch must retain the heavy hitters
+	// even under bucket pressure. Blocks 0..9 are hot; 10..999 are cold.
+	s := newSketch()
+	rng := sim.NewRNG(7)
+	for i := 0; i < 50000; i++ {
+		if rng.Intn(2) == 0 {
+			s.Observe(uint64(rng.Intn(10))*64, 10)
+		} else {
+			s.Observe(uint64(10+rng.Intn(990))*64, 1)
+		}
+	}
+	found := 0
+	for hot := uint64(0); hot < 10; hot++ {
+		if _, ok := s.Lookup(hot * 64); ok {
+			found++
+		}
+	}
+	if found < 8 {
+		t.Errorf("only %d/10 heavy hitters retained", found)
+	}
+}
+
+func TestSketchDecayReplaces(t *testing.T) {
+	// One bucket, one entry: a new heavy flow must eventually displace a
+	// light one.
+	s := New(1, 1, 1.08, sim.NewRNG(3))
+	s.Observe(1, 1)
+	for i := 0; i < 200; i++ {
+		s.Observe(2, 5)
+	}
+	if _, ok := s.Lookup(2); !ok {
+		t.Error("heavy newcomer never displaced light entry")
+	}
+}
+
+func TestSketchReset(t *testing.T) {
+	s := newSketch()
+	s.Observe(1, 5)
+	s.Reset()
+	if s.Len() != 0 || s.InsertedWorkload() != 0 {
+		t.Error("Reset incomplete")
+	}
+}
+
+func TestSketchBadShapePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { New(0, 1, 1.08, sim.NewRNG(1)) },
+		func() { New(1, 0, 1.08, sim.NewRNG(1)) },
+		func() { New(1, 1, 1.0, sim.NewRNG(1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Property: tracked workload never exceeds inserted workload (decay only
+// removes counts), and Len never exceeds buckets × entries.
+func TestSketchConservationProperty(t *testing.T) {
+	f := func(addrs []uint16, loads []uint8, seed uint64) bool {
+		s := New(4, 4, 1.08, sim.NewRNG(seed))
+		for i, a := range addrs {
+			var w uint64 = 1
+			if i < len(loads) {
+				w = uint64(loads[i]) + 1
+			}
+			s.Observe(uint64(a), w)
+		}
+		return s.TrackedWorkload() <= s.InsertedWorkload() && s.Len() <= 16
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

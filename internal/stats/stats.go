@@ -1,0 +1,194 @@
+// Package stats defines the measurement records produced by a simulation
+// run: per-unit execution counters and the aggregated Result that the
+// experiment harness turns into the paper's figures.
+package stats
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Unit holds per-NDP-unit counters.
+type Unit struct {
+	Busy     uint64 // cycles spent executing tasks (incl. local DRAM waits)
+	Tasks    uint64 // tasks executed
+	Spawned  uint64 // tasks created here
+	MsgsOut  uint64 // messages placed in the mailbox
+	MsgsIn   uint64 // messages delivered to this unit
+	Stalls   uint64 // mailbox-full stalls
+	Bounces  uint64 // tasks re-emitted because the block moved
+	Borrowed uint64 // data blocks received for load balancing
+	Lent     uint64 // data blocks lent out
+	Returns  uint64 // borrowed blocks returned home (LRU evictions)
+}
+
+// Energy is the Figure 13 breakdown, in millijoules.
+type Energy struct {
+	CoreSRAM  float64 // NDP cores and SRAM caches/metadata
+	LocalDRAM float64 // local bank accesses for computation
+	CommDRAM  float64 // bank + channel accesses for cross-unit communication
+	Static    float64
+}
+
+// Total sums the components.
+func (e Energy) Total() float64 { return e.CoreSRAM + e.LocalDRAM + e.CommDRAM + e.Static }
+
+// Add accumulates o into e.
+func (e *Energy) Add(o Energy) {
+	e.CoreSRAM += o.CoreSRAM
+	e.LocalDRAM += o.LocalDRAM
+	e.CommDRAM += o.CommDRAM
+	e.Static += o.Static
+}
+
+// Result is the outcome of one simulation run.
+type Result struct {
+	App    string
+	Design string
+
+	// Makespan is the end-to-end execution time in NDP-core cycles — the
+	// "maximum time" bars of Figures 2 and 10.
+	Makespan uint64
+	// MaxBusy is the busy time of the busiest unit. Makespan − MaxBusy is
+	// the communication wait time highlighted in the figures.
+	MaxBusy uint64
+	// AvgBusy is the mean busy time across units — the "average time"
+	// square marks.
+	AvgBusy float64
+
+	TasksExecuted uint64
+	TasksSpawned  uint64
+	MsgsDelivered uint64
+
+	// Traffic in bytes by locality class.
+	IntraRankBytes uint64
+	CrossRankBytes uint64
+	HostBytes      uint64 // through the host (designs C/R and level-2)
+
+	BlocksMigrated uint64
+	BlocksReturned uint64
+	Bounces        uint64
+	LBRounds       uint64
+	GatherRounds   uint64 // communication rounds issued by bridges/host
+
+	Energy Energy
+
+	Units []Unit
+}
+
+// WaitFrac returns the fraction of the makespan the critical unit spent
+// waiting on communication: 1 − MaxBusy/Makespan.
+func (r *Result) WaitFrac() float64 {
+	if r.Makespan == 0 {
+		return 0
+	}
+	return 1 - float64(r.MaxBusy)/float64(r.Makespan)
+}
+
+// AvgFrac returns AvgBusy/Makespan — the load-balance indicator (close to 1
+// means perfectly balanced).
+func (r *Result) AvgFrac() float64 {
+	if r.Makespan == 0 {
+		return 0
+	}
+	return r.AvgBusy / float64(r.Makespan)
+}
+
+// Speedup returns base.Makespan / r.Makespan.
+func (r *Result) Speedup(base *Result) float64 {
+	if r.Makespan == 0 {
+		return 0
+	}
+	return float64(base.Makespan) / float64(r.Makespan)
+}
+
+// Finalize derives MaxBusy/AvgBusy/TasksExecuted from the per-unit records.
+func (r *Result) Finalize() {
+	var sum, count, tasks, spawned uint64
+	r.MaxBusy = 0
+	for _, u := range r.Units {
+		if u.Busy > r.MaxBusy {
+			r.MaxBusy = u.Busy
+		}
+		sum += u.Busy
+		tasks += u.Tasks
+		spawned += u.Spawned
+		r.Bounces += u.Bounces
+		count++
+	}
+	if count > 0 {
+		r.AvgBusy = float64(sum) / float64(count)
+	}
+	r.TasksExecuted = tasks
+	r.TasksSpawned = spawned
+}
+
+// String renders a one-line summary.
+func (r *Result) String() string {
+	return fmt.Sprintf("%s/%s: makespan=%d cycles, wait=%.1f%%, avg/max=%.1f%%, tasks=%d, energy=%.2f mJ",
+		r.App, r.Design, r.Makespan, 100*r.WaitFrac(), 100*r.AvgFrac(), r.TasksExecuted, r.Energy.Total())
+}
+
+// Table renders rows of (label, values...) with aligned columns, used by the
+// experiment harness to print paper-style tables.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// Render formats the table.
+func (t *Table) Render() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return b.String()
+}
+
+// CSV writes the table as RFC-4180 CSV (header row first). Cells containing
+// commas or quotes are quoted.
+func (t *Table) CSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Header); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

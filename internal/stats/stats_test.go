@@ -1,0 +1,105 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestResultFinalize(t *testing.T) {
+	r := Result{
+		App: "tree", Design: "O", Makespan: 1000,
+		Units: []Unit{
+			{Busy: 900, Tasks: 10, Spawned: 12, Bounces: 1},
+			{Busy: 500, Tasks: 5, Spawned: 3},
+			{Busy: 100, Tasks: 2, Spawned: 2, Bounces: 2},
+		},
+	}
+	r.Finalize()
+	if r.MaxBusy != 900 {
+		t.Errorf("MaxBusy = %d", r.MaxBusy)
+	}
+	if r.AvgBusy != 500 {
+		t.Errorf("AvgBusy = %v", r.AvgBusy)
+	}
+	if r.TasksExecuted != 17 || r.TasksSpawned != 17 {
+		t.Errorf("tasks = %d/%d", r.TasksExecuted, r.TasksSpawned)
+	}
+	if r.Bounces != 3 {
+		t.Errorf("Bounces = %d", r.Bounces)
+	}
+	if got := r.WaitFrac(); got < 0.0999 || got > 0.1001 {
+		t.Errorf("WaitFrac = %v, want 0.1", got)
+	}
+	if got := r.AvgFrac(); got != 0.5 {
+		t.Errorf("AvgFrac = %v, want 0.5", got)
+	}
+}
+
+func TestResultZeroMakespan(t *testing.T) {
+	var r Result
+	if r.WaitFrac() != 0 || r.AvgFrac() != 0 || r.Speedup(&Result{Makespan: 5}) != 0 {
+		t.Error("zero makespan must not divide by zero")
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	base := &Result{Makespan: 3000}
+	fast := &Result{Makespan: 1000}
+	if got := fast.Speedup(base); got != 3.0 {
+		t.Errorf("Speedup = %v, want 3", got)
+	}
+}
+
+func TestEnergyAddTotal(t *testing.T) {
+	e := Energy{CoreSRAM: 1, LocalDRAM: 2, CommDRAM: 3, Static: 4}
+	if e.Total() != 10 {
+		t.Errorf("Total = %v", e.Total())
+	}
+	e.Add(Energy{CoreSRAM: 1, Static: 1})
+	if e.CoreSRAM != 2 || e.Static != 5 {
+		t.Errorf("Add wrong: %+v", e)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := Table{
+		Title:  "Fig X",
+		Header: []string{"app", "C", "O"},
+		Rows: [][]string{
+			{"tree", "2.98", "1.00"},
+			{"ll", "1.50", "1.00"},
+		},
+	}
+	out := tb.Render()
+	if !strings.Contains(out, "Fig X") || !strings.Contains(out, "tree") {
+		t.Errorf("render missing content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, sep, 2 rows
+		t.Errorf("got %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r := Result{App: "pr", Design: "B", Makespan: 100, MaxBusy: 80}
+	s := r.String()
+	if !strings.Contains(s, "pr/B") || !strings.Contains(s, "20.0%") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := Table{
+		Header: []string{"app", "value"},
+		Rows:   [][]string{{"tree", "1.00"}, {"with,comma", `q"uote`}},
+	}
+	var b strings.Builder
+	if err := tb.CSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	want := "app,value\ntree,1.00\n\"with,comma\",\"q\"\"uote\"\n"
+	if got != want {
+		t.Errorf("CSV = %q, want %q", got, want)
+	}
+}

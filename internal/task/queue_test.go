@@ -1,0 +1,179 @@
+package task
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestQueueFIFOWithinEpoch(t *testing.T) {
+	q := NewQueue()
+	for i := uint64(0); i < 5; i++ {
+		q.Push(New(0, 1, i, 10))
+	}
+	for i := uint64(0); i < 5; i++ {
+		tk, ok := q.Pop(1)
+		if !ok || tk.Addr != i {
+			t.Fatalf("pop %d: got %v, %v", i, tk.Addr, ok)
+		}
+	}
+	if _, ok := q.Pop(1); ok {
+		t.Error("pop from empty epoch should fail")
+	}
+}
+
+func TestQueueEpochIsolation(t *testing.T) {
+	q := NewQueue()
+	q.Push(New(0, 2, 100, 1)) // future epoch
+	q.Push(New(0, 1, 200, 1)) // current epoch
+	if _, ok := q.Pop(1); !ok {
+		t.Fatal("current epoch task missing")
+	}
+	if _, ok := q.Pop(1); ok {
+		t.Fatal("must not return future-epoch task for epoch 1")
+	}
+	if tk, ok := q.Pop(2); !ok || tk.Addr != 100 {
+		t.Fatal("future epoch task lost")
+	}
+}
+
+func TestQueueWorkloadTracking(t *testing.T) {
+	q := NewQueue()
+	q.Push(New(0, 1, 0, 10))
+	q.Push(New(0, 1, 1, 20))
+	q.Push(New(0, 2, 2, 5))
+	if q.Workload(1) != 30 {
+		t.Errorf("Workload(1) = %d, want 30", q.Workload(1))
+	}
+	if q.Workload(2) != 5 {
+		t.Errorf("Workload(2) = %d, want 5", q.Workload(2))
+	}
+	if q.TotalWorkload() != 35 {
+		t.Errorf("TotalWorkload = %d, want 35", q.TotalWorkload())
+	}
+	q.Pop(1)
+	if q.Workload(1) != 20 {
+		t.Errorf("after pop Workload(1) = %d, want 20", q.Workload(1))
+	}
+	// Unspecified workload counts as 1.
+	q.Push(New(0, 1, 3, 0))
+	if q.Workload(1) != 21 {
+		t.Errorf("Workload(1) = %d, want 21", q.Workload(1))
+	}
+}
+
+func TestQueuePopTail(t *testing.T) {
+	q := NewQueue()
+	for i := uint64(0); i < 3; i++ {
+		q.Push(New(0, 1, i, 1))
+	}
+	tk, ok := q.PopTail(1)
+	if !ok || tk.Addr != 2 {
+		t.Fatalf("PopTail = %v, %v; want addr 2", tk.Addr, ok)
+	}
+	// Head unaffected.
+	tk, _ = q.Pop(1)
+	if tk.Addr != 0 {
+		t.Fatalf("Pop after PopTail = %v, want 0", tk.Addr)
+	}
+}
+
+func TestQueueLenEpoch(t *testing.T) {
+	q := NewQueue()
+	q.Push(New(0, 3, 0, 1))
+	q.Push(New(0, 3, 1, 1))
+	if q.LenEpoch(3) != 2 || q.LenEpoch(4) != 0 {
+		t.Error("LenEpoch wrong")
+	}
+	if q.Len() != 2 {
+		t.Error("Len wrong")
+	}
+}
+
+func TestQueueCompaction(t *testing.T) {
+	// Push and pop enough to trigger internal compaction; FIFO order must
+	// survive.
+	q := NewQueue()
+	const n = 1000
+	next := uint64(0)
+	pushed := uint64(0)
+	for pushed < n {
+		q.Push(New(0, 1, pushed, 1))
+		pushed++
+		if pushed%3 == 0 {
+			tk, ok := q.Pop(1)
+			if !ok || tk.Addr != next {
+				t.Fatalf("order broken at %d: got %d", next, tk.Addr)
+			}
+			next++
+		}
+	}
+	for {
+		tk, ok := q.Pop(1)
+		if !ok {
+			break
+		}
+		if tk.Addr != next {
+			t.Fatalf("order broken at %d: got %d", next, tk.Addr)
+		}
+		next++
+	}
+	if next != n {
+		t.Fatalf("drained %d, want %d", next, n)
+	}
+}
+
+// Property: workload sum always equals the sum of effective workloads of the
+// tasks currently in the queue, under any interleaving of pushes and pops.
+func TestQueueWorkloadInvariantProperty(t *testing.T) {
+	f := func(ops []uint8, loads []uint8) bool {
+		q := NewQueue()
+		var model []Task
+		li := 0
+		for _, op := range ops {
+			switch op % 3 {
+			case 0: // push
+				var w uint32
+				if li < len(loads) {
+					w = uint32(loads[li])
+					li++
+				}
+				tk := New(0, 1, uint64(li), w)
+				q.Push(tk)
+				model = append(model, tk)
+			case 1: // pop head
+				tk, ok := q.Pop(1)
+				if ok != (len(model) > 0) {
+					return false
+				}
+				if ok {
+					if tk != model[0] {
+						return false
+					}
+					model = model[1:]
+				}
+			case 2: // pop tail
+				tk, ok := q.PopTail(1)
+				if ok != (len(model) > 0) {
+					return false
+				}
+				if ok {
+					if tk != model[len(model)-1] {
+						return false
+					}
+					model = model[:len(model)-1]
+				}
+			}
+			var want uint64
+			for _, m := range model {
+				want += m.EffectiveWorkload()
+			}
+			if q.Workload(1) != want || q.Len() != len(model) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

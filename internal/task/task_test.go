@@ -1,0 +1,73 @@
+package task
+
+import (
+	"testing"
+)
+
+func TestNewTask(t *testing.T) {
+	tk := New(3, 7, 0x1000, 42, 1, 2, 3)
+	if tk.Func != 3 || tk.TS != 7 || tk.Addr != 0x1000 || tk.Workload != 42 {
+		t.Fatalf("fields wrong: %+v", tk)
+	}
+	args := tk.ArgSlice()
+	if len(args) != 3 || args[0] != 1 || args[1] != 2 || args[2] != 3 {
+		t.Fatalf("args = %v", args)
+	}
+}
+
+func TestNewTaskTooManyArgsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New(0, 0, 0, 0, 1, 2, 3, 4)
+}
+
+func TestEffectiveWorkload(t *testing.T) {
+	if New(0, 0, 0, 0).EffectiveWorkload() != 1 {
+		t.Error("unspecified workload should default to 1")
+	}
+	if New(0, 0, 0, 99).EffectiveWorkload() != 99 {
+		t.Error("specified workload should pass through")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	called := 0
+	id1 := r.Register("a", func(Ctx, Task) { called++ })
+	id2 := r.Register("b", func(Ctx, Task) { called += 10 })
+	if id1 == id2 {
+		t.Fatal("duplicate FuncIDs")
+	}
+	r.Handler(id1)(nil, Task{})
+	r.Handler(id2)(nil, Task{})
+	if called != 11 {
+		t.Errorf("called = %d, want 11", called)
+	}
+	if r.Name(id1) != "a" || r.Name(id2) != "b" {
+		t.Error("names wrong")
+	}
+	if r.Len() != 2 {
+		t.Errorf("Len = %d", r.Len())
+	}
+}
+
+func TestRegistryNilHandlerPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewRegistry().Register("bad", nil)
+}
+
+func TestRegistryUnknownIDPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewRegistry().Handler(5)
+}

@@ -1,0 +1,68 @@
+package workloads
+
+import (
+	"fmt"
+
+	"ndpbridge/internal/core"
+)
+
+// Names lists the eight evaluated applications in the paper's order.
+var Names = []string{"ll", "ht", "tree", "spmv", "bfs", "sssp", "pr", "wcc"}
+
+// Size selects a workload parameter set.
+type Size int
+
+const (
+	// SizeFull is the paper-sized workload for the 512-unit system.
+	SizeFull Size = iota
+	// SizeMedium keeps the full system but cuts task counts ~4×, for
+	// benchmarking the whole figure suite in minutes.
+	SizeMedium
+	// SizeSmall fits 8-unit test systems.
+	SizeSmall
+)
+
+// New builds an application by name at the default (paper-sized) parameters.
+func New(name string) (core.App, error) { return NewSized(name, SizeFull) }
+
+// NewSmall builds an application by name at test-sized parameters.
+func NewSmall(name string) (core.App, error) { return NewSized(name, SizeSmall) }
+
+// NewMedium builds an application by name at bench-sized parameters.
+func NewMedium(name string) (core.App, error) { return NewSized(name, SizeMedium) }
+
+// NewSized builds an application by name at the requested size.
+func NewSized(name string, sz Size) (core.App, error) {
+	switch name {
+	case "ll":
+		return NewLL(pick(sz, DefaultLLParams, MediumLLParams, SmallLLParams)), nil
+	case "ht":
+		return NewHT(pick(sz, DefaultHTParams, MediumHTParams, SmallHTParams)), nil
+	case "tree":
+		return NewTree(pick(sz, DefaultTreeParams, MediumTreeParams, SmallTreeParams)), nil
+	case "spmv":
+		return NewSpMV(pick(sz, DefaultSpMVParams, MediumSpMVParams, SmallSpMVParams)), nil
+	case "bfs":
+		return NewBFS(pick(sz, DefaultGraphParams, MediumGraphParams, SmallGraphParams)), nil
+	case "sssp":
+		return NewSSSP(pick(sz, DefaultGraphParams, MediumGraphParams, SmallGraphParams)), nil
+	case "pr":
+		return NewPR(pick(sz, DefaultGraphParams, MediumGraphParams, SmallGraphParams)), nil
+	case "wcc":
+		return NewWCC(pick(sz, DefaultGraphParams, MediumGraphParams, SmallGraphParams)), nil
+	case "stencil":
+		return NewStencil(pick(sz, DefaultStencilParams, MediumStencilParams, SmallStencilParams)), nil
+	}
+	return nil, fmt.Errorf("workloads: unknown application %q (want one of %v)", name, Names)
+}
+
+// pick selects a parameter constructor by size.
+func pick[P any](sz Size, full, medium, small func() P) P {
+	switch sz {
+	case SizeMedium:
+		return medium()
+	case SizeSmall:
+		return small()
+	}
+	return full()
+}

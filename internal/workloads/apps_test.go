@@ -1,0 +1,263 @@
+package workloads
+
+import (
+	"math"
+	"testing"
+
+	"ndpbridge/internal/config"
+	"ndpbridge/internal/core"
+)
+
+// smallCfg builds an 8-unit test system.
+func smallCfg(d config.Design) config.Config {
+	cfg := config.Default().WithDesign(d)
+	cfg.Geometry = config.Geometry{
+		Channels: 2, RanksPerChannel: 1, ChipsPerRank: 2, BanksPerChip: 2,
+		BankBytes: 8 << 20,
+	}
+	cfg.Metadata.BridgeBorrowedEntries = 2048
+	cfg.Metadata.BridgeBorrowedWays = 16
+	return cfg
+}
+
+func runSmall(t *testing.T, name string, d config.Design) (core.App, uint64) {
+	t.Helper()
+	app, err := NewSmall(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := core.New(smallCfg(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := sys.Run(app)
+	if err != nil {
+		t.Fatalf("%s/%v: %v", name, d, err)
+	}
+	if r.Makespan == 0 || r.TasksExecuted == 0 {
+		t.Fatalf("%s/%v: empty run: %+v", name, d, r)
+	}
+	if r.TasksExecuted != r.TasksSpawned {
+		t.Fatalf("%s/%v: task conservation violated: %d executed vs %d spawned",
+			name, d, r.TasksExecuted, r.TasksSpawned)
+	}
+	return app, r.Makespan
+}
+
+func TestAllAppsAllDesigns(t *testing.T) {
+	designs := []config.Design{
+		config.DesignC, config.DesignB, config.DesignW,
+		config.DesignO, config.DesignH, config.DesignR,
+	}
+	for _, name := range Names {
+		for _, d := range designs {
+			name, d := name, d
+			t.Run(name+"/"+d.String(), func(t *testing.T) {
+				runSmall(t, name, d)
+			})
+		}
+	}
+}
+
+func TestBFSVisitsSameSetAcrossDesigns(t *testing.T) {
+	var counts []int
+	for _, d := range []config.Design{config.DesignB, config.DesignO, config.DesignH} {
+		app, _ := runSmall(t, "bfs", d)
+		counts = append(counts, app.(*BFS).VisitedCount())
+	}
+	if counts[0] == 0 {
+		t.Fatal("BFS visited nothing")
+	}
+	for i := 1; i < len(counts); i++ {
+		if counts[i] != counts[0] {
+			t.Errorf("visited count differs across designs: %v", counts)
+		}
+	}
+}
+
+func TestSSSPReachesSameSetAcrossDesigns(t *testing.T) {
+	a, _ := runSmall(t, "sssp", config.DesignB)
+	b, _ := runSmall(t, "sssp", config.DesignO)
+	if a.(*SSSP).Reached() == 0 {
+		t.Fatal("SSSP reached nothing")
+	}
+	if a.(*SSSP).Reached() != b.(*SSSP).Reached() {
+		t.Errorf("reached set differs: %d vs %d", a.(*SSSP).Reached(), b.(*SSSP).Reached())
+	}
+	// Distances must agree exactly (deterministic weights, same graph).
+	da, db := a.(*SSSP).dist, b.(*SSSP).dist
+	for v := range da {
+		if da[v] != db[v] {
+			t.Fatalf("distance of %d differs: %d vs %d", v, da[v], db[v])
+		}
+	}
+}
+
+func TestWCCLabelsConverge(t *testing.T) {
+	a, _ := runSmall(t, "wcc", config.DesignO)
+	labels := a.(*WCC).Labels()
+	g := a.(*WCC).l.G
+	// Fixed point: no edge can still lower a label.
+	for v := 0; v < g.V; v++ {
+		for _, w := range g.Neighbors(v) {
+			if labels[v] < labels[w] {
+				t.Fatalf("not converged: edge %d→%d with labels %d→%d", v, w, labels[v], labels[w])
+			}
+		}
+	}
+	// Every vertex got a label at most its own ID.
+	for v, l := range labels {
+		if l > int32(v) {
+			t.Fatalf("vertex %d kept label %d", v, l)
+		}
+	}
+}
+
+func TestPageRankMassConserved(t *testing.T) {
+	a, _ := runSmall(t, "pr", config.DesignO)
+	ranks := a.(*PR).Ranks()
+	var sum float64
+	for _, r := range ranks {
+		sum += r
+	}
+	// Mass leaks only through dangling vertices; the total must stay
+	// within (0, 1].
+	if sum <= 0 || sum > 1.0001 {
+		t.Errorf("rank mass = %v", sum)
+	}
+}
+
+func TestPageRankMatchesReference(t *testing.T) {
+	a, _ := runSmall(t, "pr", config.DesignB)
+	got := a.(*PR).Ranks()
+	g := a.(*PR).l.G
+	iters := SmallGraphParams().Iters
+
+	// Reference: sequential synchronous PageRank, same damping.
+	v := float64(g.V)
+	ref := make([]float64, g.V)
+	next := make([]float64, g.V)
+	for i := range ref {
+		ref[i] = 1 / v
+	}
+	for it := 0; it < iters-0; it++ {
+		for i := range next {
+			next[i] = 0
+		}
+		for s := 0; s < g.V; s++ {
+			d := g.Degree(s)
+			if d == 0 {
+				continue
+			}
+			c := ref[s] / float64(d)
+			for _, w := range g.Neighbors(s) {
+				next[w] += c
+			}
+		}
+		for i := range ref {
+			ref[i] = 0.15/v + 0.85*next[i]
+		}
+	}
+	// The simulated version folds at epoch boundaries; after `iters`
+	// seeded epochs only iters-1 folds have happened plus the final
+	// accumulation is left unfolded. Compare against the matching fold
+	// count by recomputing with iters-1 folds.
+	ref2 := make([]float64, g.V)
+	next2 := make([]float64, g.V)
+	for i := range ref2 {
+		ref2[i] = 1 / v
+	}
+	for it := 0; it < iters-1; it++ {
+		for i := range next2 {
+			next2[i] = 0
+		}
+		for s := 0; s < g.V; s++ {
+			d := g.Degree(s)
+			if d == 0 {
+				continue
+			}
+			c := ref2[s] / float64(d)
+			for _, w := range g.Neighbors(s) {
+				next2[w] += c
+			}
+		}
+		for i := range ref2 {
+			ref2[i] = 0.15/v + 0.85*next2[i]
+		}
+	}
+	for i := range got {
+		if math.Abs(got[i]-ref2[i]) > 1e-9 {
+			t.Fatalf("rank[%d] = %v, reference %v", i, got[i], ref2[i])
+		}
+	}
+}
+
+func TestSpMVResultIndependentOfDesign(t *testing.T) {
+	a, _ := runSmall(t, "spmv", config.DesignB)
+	b, _ := runSmall(t, "spmv", config.DesignO)
+	ya, yb := a.(*SpMV).Result(), b.(*SpMV).Result()
+	for i := range ya {
+		if ya[i] != yb[i] {
+			t.Fatalf("row %d differs: %v vs %v", i, ya[i], yb[i])
+		}
+	}
+	// Each row's result equals its nnz count (synthetic ones).
+	g := a.(*SpMV).l.G
+	for v := 0; v < g.V; v++ {
+		if ya[v] != float64(g.Degree(v)) {
+			t.Fatalf("row %d = %v, want %d", v, ya[v], g.Degree(v))
+		}
+	}
+}
+
+func TestLayoutBlockDiscipline(t *testing.T) {
+	sys, err := core.New(smallCfg(config.DesignB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := RMAT(sys.Rand().Split(), 8, 4)
+	l := NewGraphLayout(sys, g)
+	gx := sys.Cfg().GXfer
+	for v := 0; v < g.V; v++ {
+		// Vertex records must not straddle blocks.
+		if l.VAddr[v]/gx != (l.VAddr[v]+vertexRecordBytes-1)/gx {
+			t.Fatalf("vertex %d record straddles a block", v)
+		}
+		// Segments must be block-aligned and cover the degree.
+		total := 0
+		for si, a := range l.SegAddr[v] {
+			if a%gx != 0 {
+				t.Fatalf("segment %d of %d misaligned", si, v)
+			}
+			if int(l.SegLen[v][si]) > l.SegCap {
+				t.Fatalf("segment too long")
+			}
+			total += int(l.SegLen[v][si])
+		}
+		if total != g.Degree(v) {
+			t.Fatalf("vertex %d segments cover %d of %d edges", v, total, g.Degree(v))
+		}
+		// Segment neighbor slices reconstruct the adjacency exactly.
+		var rec []int32
+		for si := range l.SegAddr[v] {
+			rec = append(rec, l.SegNeighbors(v, si)...)
+		}
+		ns := g.Neighbors(v)
+		for i := range ns {
+			if rec[i] != ns[i] {
+				t.Fatalf("vertex %d neighbor %d mismatch", v, i)
+			}
+		}
+	}
+}
+
+func TestNewUnknownApp(t *testing.T) {
+	if _, err := New("nope"); err == nil {
+		t.Error("unknown app must error")
+	}
+	for _, n := range Names {
+		if _, err := New(n); err != nil {
+			t.Errorf("New(%s): %v", n, err)
+		}
+	}
+}

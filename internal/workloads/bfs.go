@@ -1,0 +1,163 @@
+package workloads
+
+import (
+	"ndpbridge/internal/core"
+	"ndpbridge/internal/sim"
+	"ndpbridge/internal/task"
+)
+
+// GraphParams configures the four graph kernels (bfs, sssp, pr, wcc) over a
+// shared RMAT generator.
+type GraphParams struct {
+	Scale      int
+	EdgeFactor int
+	Seed       uint64
+	Roots      int // BFS/SSSP source count
+	Iters      int // PageRank iterations
+	MaxEpochs  int // safety bound for propagation kernels
+}
+
+// DefaultGraphParams sizes the graphs for the 512-unit system.
+func DefaultGraphParams() GraphParams {
+	return GraphParams{Scale: 16, EdgeFactor: 8, Seed: 23, Roots: 4, Iters: 3, MaxEpochs: 64}
+}
+
+// SmallGraphParams sizes the graphs for small test systems.
+func SmallGraphParams() GraphParams {
+	return GraphParams{Scale: 8, EdgeFactor: 4, Seed: 23, Roots: 2, Iters: 2, MaxEpochs: 64}
+}
+
+const (
+	visitCycles = 60
+	scanCycles  = 6 // per neighbor
+	edgeWeights = 15
+)
+
+// BFS is level-synchronous breadth-first search in push style (the classic
+// bulk-synchronous formulation): each epoch expands the current frontier —
+// an expand task per frontier vertex reads its record and spawns per-segment
+// scan tasks, which push visit tasks to the neighbors' current locations.
+// Visits mark newly reached vertices, which form the next epoch's frontier.
+// The task counts are deterministic across designs, so makespans compare
+// like for like.
+type BFS struct {
+	p        GraphParams
+	l        *GraphLayout
+	visited  []bool
+	frontier []int32
+	fnExpand task.FuncID
+	fnScan   task.FuncID
+	fnVisit  task.FuncID
+}
+
+// NewBFS builds the application.
+func NewBFS(p GraphParams) *BFS { return &BFS{p: p} }
+
+// Name implements core.App.
+func (a *BFS) Name() string { return "bfs" }
+
+// Prepare implements core.App.
+func (a *BFS) Prepare(s *core.System) error {
+	g := RMAT(sim.NewRNG(a.p.Seed), a.p.Scale, a.p.EdgeFactor)
+	a.l = NewGraphLayout(s, g)
+	a.visited = make([]bool, g.V)
+	a.fnExpand = s.Register("bfs.expand", a.expand)
+	a.fnScan = s.Register("bfs.scan", a.scan)
+	a.fnVisit = s.Register("bfs.visit", a.visit)
+	return nil
+}
+
+func (a *BFS) expand(ctx task.Ctx, t task.Task) {
+	v := int(t.Args[0])
+	ctx.Read(t.Addr, vertexRecordBytes)
+	ctx.Compute(visitCycles)
+	for si := range a.l.SegAddr[v] {
+		w := uint32(a.l.SegLen[v][si])*scanCycles + 10
+		ctx.Enqueue(task.New(a.fnScan, t.TS, a.l.SegAddr[v][si], w, uint64(v), uint64(si)))
+	}
+}
+
+func (a *BFS) scan(ctx task.Ctx, t task.Task) {
+	v, si := int(t.Args[0]), int(t.Args[1])
+	ctx.Read(t.Addr, a.l.SegBytes(v, si))
+	ctx.Compute(uint64(a.l.SegLen[v][si]) * scanCycles)
+	for _, w := range a.l.SegNeighbors(v, si) {
+		if a.visited[w] {
+			continue // already-reached vertices are filtered push-side
+		}
+		ctx.Enqueue(task.New(a.fnVisit, t.TS, a.l.VAddr[w], 20, uint64(w)))
+	}
+}
+
+func (a *BFS) visit(ctx task.Ctx, t task.Task) {
+	w := int(t.Args[0])
+	if a.visited[w] {
+		ctx.Compute(4)
+		return
+	}
+	a.visited[w] = true
+	ctx.Write(t.Addr, 8)
+	ctx.Compute(10)
+	a.frontier = append(a.frontier, int32(w))
+}
+
+// SeedEpoch implements core.App: epoch k expands the vertices reached in
+// epoch k−1.
+func (a *BFS) SeedEpoch(s *core.System, ts uint32) bool {
+	if int(ts) >= a.p.MaxEpochs {
+		return false
+	}
+	if ts == 0 {
+		for _, r := range sources(a.l.G, a.p.Roots) {
+			if !a.visited[r] {
+				a.visited[r] = true
+				a.frontier = append(a.frontier, int32(r))
+			}
+		}
+	}
+	if len(a.frontier) == 0 {
+		return false
+	}
+	frontier := a.frontier
+	a.frontier = nil
+	for _, v := range frontier {
+		w := uint32(visitCycles + a.l.G.Degree(int(v))*scanCycles/4 + 10)
+		s.Seed(task.New(a.fnExpand, ts, a.l.VAddr[v], w, uint64(v)))
+	}
+	return true
+}
+
+// VisitedCount exposes reachability for verification.
+func (a *BFS) VisitedCount() int {
+	n := 0
+	for _, v := range a.visited {
+		if v {
+			n++
+		}
+	}
+	return n
+}
+
+// sources picks the k highest-degree vertices as search roots — they are in
+// the giant component of an RMAT graph.
+func sources(g *Graph, k int) []int {
+	if k < 1 {
+		k = 1
+	}
+	out := make([]int, 0, k)
+	used := make(map[int]bool, k)
+	for len(out) < k {
+		best, bestDeg := -1, -1
+		for v := 0; v < g.V; v++ {
+			if !used[v] && g.Degree(v) > bestDeg {
+				best, bestDeg = v, g.Degree(v)
+			}
+		}
+		if best < 0 {
+			break
+		}
+		used[best] = true
+		out = append(out, best)
+	}
+	return out
+}

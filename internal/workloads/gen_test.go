@@ -1,0 +1,132 @@
+package workloads
+
+import (
+	"testing"
+
+	"ndpbridge/internal/sim"
+)
+
+func TestZipfRange(t *testing.T) {
+	z := NewZipf(sim.NewRNG(1), 100, 0.99)
+	for i := 0; i < 10000; i++ {
+		v := z.Next()
+		if v < 0 || v >= 100 {
+			t.Fatalf("Zipf out of range: %d", v)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	z := NewZipf(sim.NewRNG(2), 1000, 0.99)
+	counts := make([]int, 1000)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[z.Next()]++
+	}
+	// Item 0 should be far hotter than the median item.
+	if counts[0] < counts[500]*20 {
+		t.Errorf("insufficient skew: head=%d median=%d", counts[0], counts[500])
+	}
+	// Monotonic-ish decay: head dominates the tail half.
+	head, tail := 0, 0
+	for i, c := range counts {
+		if i < 100 {
+			head += c
+		} else if i >= 500 {
+			tail += c
+		}
+	}
+	if head < tail {
+		t.Errorf("head %d < tail %d", head, tail)
+	}
+}
+
+func TestZipfUniformWhenThetaZero(t *testing.T) {
+	z := NewZipf(sim.NewRNG(3), 10, 0)
+	counts := make([]int, 10)
+	for i := 0; i < 50000; i++ {
+		counts[z.Next()]++
+	}
+	for i, c := range counts {
+		if c < 3500 || c > 6500 {
+			t.Errorf("bucket %d = %d, expected ~5000", i, c)
+		}
+	}
+}
+
+func TestZipfBadNPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewZipf(sim.NewRNG(1), 0, 1)
+}
+
+func TestRMATShape(t *testing.T) {
+	g := RMAT(sim.NewRNG(7), 10, 8)
+	if g.V != 1024 {
+		t.Fatalf("V = %d", g.V)
+	}
+	if g.E() != 1024*8 {
+		t.Fatalf("E = %d", g.E())
+	}
+	// CSR consistency.
+	if int(g.Offsets[g.V]) != g.E() {
+		t.Fatal("offsets do not cover edges")
+	}
+	total := 0
+	for v := 0; v < g.V; v++ {
+		d := g.Degree(v)
+		if d < 0 {
+			t.Fatal("negative degree")
+		}
+		total += d
+		for _, w := range g.Neighbors(v) {
+			if w < 0 || int(w) >= g.V {
+				t.Fatalf("edge target out of range: %d", w)
+			}
+		}
+	}
+	if total != g.E() {
+		t.Fatalf("degree sum %d != E %d", total, g.E())
+	}
+}
+
+func TestRMATPowerLaw(t *testing.T) {
+	g := RMAT(sim.NewRNG(9), 12, 8)
+	// A power-law graph's max degree vastly exceeds the average.
+	avg := g.E() / g.V
+	if g.MaxDegree() < avg*10 {
+		t.Errorf("max degree %d not skewed vs avg %d", g.MaxDegree(), avg)
+	}
+}
+
+func TestRMATDeterministic(t *testing.T) {
+	a := RMAT(sim.NewRNG(5), 8, 4)
+	b := RMAT(sim.NewRNG(5), 8, 4)
+	if a.E() != b.E() {
+		t.Fatal("nondeterministic")
+	}
+	for i := range a.Edges {
+		if a.Edges[i] != b.Edges[i] {
+			t.Fatal("nondeterministic edges")
+		}
+	}
+}
+
+func TestChain(t *testing.T) {
+	g := Chain(5)
+	if g.V != 5 || g.E() != 4 {
+		t.Fatalf("chain shape wrong: V=%d E=%d", g.V, g.E())
+	}
+	for v := 0; v < 4; v++ {
+		ns := g.Neighbors(v)
+		if len(ns) != 1 || int(ns[0]) != v+1 {
+			t.Fatalf("vertex %d neighbors = %v", v, ns)
+		}
+	}
+	if g.Degree(4) != 0 {
+		t.Fatal("last vertex must have no out-edges")
+	}
+}

@@ -1,0 +1,121 @@
+package workloads
+
+import (
+	"ndpbridge/internal/core"
+	"ndpbridge/internal/sim"
+	"ndpbridge/internal/task"
+)
+
+// HTParams configures the hash-table workload: a chained hash table whose
+// buckets each live wholly in one unit (so the baseline needs no
+// communication, Section VIII-A). Key insertion is Zipf-skewed, so hot
+// buckets carry long overflow chains spanning many blocks, and lookups are
+// Zipf-skewed too — the hot units drown in work while others idle.
+type HTParams struct {
+	Buckets int
+	Keys    int
+	Queries int
+	Theta   float64
+	Seed    uint64
+}
+
+// DefaultHTParams sizes the workload for the 512-unit system.
+func DefaultHTParams() HTParams {
+	return HTParams{Buckets: 16384, Keys: 262144, Queries: 49152, Theta: 0.99, Seed: 13}
+}
+
+// SmallHTParams sizes the workload for small test systems.
+func SmallHTParams() HTParams {
+	return HTParams{Buckets: 64, Keys: 512, Queries: 192, Theta: 0.99, Seed: 13}
+}
+
+const (
+	htNodeBytes  = 64 // chain node: a few keys plus the next pointer
+	htNodeCycles = 40
+)
+
+// HT is the hash-table lookup application: each query walks its bucket's
+// overflow chain node by node; every hop is a child task bound to the next
+// chain node's address, exactly like a pointer-chasing lookup on a real
+// chained table.
+type HT struct {
+	p       HTParams
+	chains  [][]uint64 // per bucket, chain node addresses
+	queries []int32
+	qDepth  []int32 // how deep each query walks (match position)
+	fn      task.FuncID
+}
+
+// NewHT builds the application.
+func NewHT(p HTParams) *HT { return &HT{p: p} }
+
+// Name implements core.App.
+func (a *HT) Name() string { return "ht" }
+
+// Prepare implements core.App.
+func (a *HT) Prepare(s *core.System) error {
+	rng := sim.NewRNG(a.p.Seed)
+	units := s.Units()
+	placer := NewPlacer(s)
+
+	// Insert keys with Zipf-skewed hashing: hot buckets grow long chains.
+	fill := make([]int32, a.p.Buckets)
+	kz := NewZipf(rng, a.p.Buckets, a.p.Theta/2)
+	for i := 0; i < a.p.Keys; i++ {
+		fill[kz.Next()]++
+	}
+	const keysPerNode = 4
+	a.chains = make([][]uint64, a.p.Buckets)
+	for b := 0; b < a.p.Buckets; b++ {
+		nodes := (int(fill[b]) + keysPerNode - 1) / keysPerNode
+		if nodes == 0 {
+			nodes = 1
+		}
+		u := b % units
+		addrs := make([]uint64, nodes)
+		for i := range addrs {
+			addrs[i] = placer.Alloc(u, htNodeBytes, htNodeBytes)
+		}
+		a.chains[b] = addrs
+	}
+
+	qz := NewZipf(rng, a.p.Buckets, a.p.Theta)
+	a.queries = make([]int32, a.p.Queries)
+	a.qDepth = make([]int32, a.p.Queries)
+	for i := range a.queries {
+		b := qz.Next()
+		a.queries[i] = int32(b)
+		// The probed key sits at a uniform position in the chain.
+		a.qDepth[i] = int32(rng.Intn(len(a.chains[b]))) + 1
+	}
+	a.fn = s.Register("ht.step", a.step)
+	return nil
+}
+
+// step probes one chain node. Args: bucket, node index, remaining depth.
+func (a *HT) step(ctx task.Ctx, t task.Task) {
+	bucket, idx, depth := int(t.Args[0]), int(t.Args[1]), int(t.Args[2])
+	ctx.Read(t.Addr, htNodeBytes)
+	ctx.Compute(htNodeCycles)
+	if depth <= 1 {
+		return // found
+	}
+	next := idx + 1
+	if next >= len(a.chains[bucket]) {
+		return // not present
+	}
+	ctx.Enqueue(task.New(a.fn, t.TS, a.chains[bucket][next], htNodeCycles+15,
+		uint64(bucket), uint64(next), uint64(depth-1)))
+}
+
+// SeedEpoch implements core.App: one epoch of Zipfian lookups.
+func (a *HT) SeedEpoch(s *core.System, ts uint32) bool {
+	if ts > 0 {
+		return false
+	}
+	for i, q := range a.queries {
+		s.Seed(task.New(a.fn, 0, a.chains[q][0], htNodeCycles+15,
+			uint64(q), 0, uint64(a.qDepth[i])))
+	}
+	return true
+}

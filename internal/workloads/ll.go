@@ -1,0 +1,102 @@
+package workloads
+
+import (
+	"ndpbridge/internal/core"
+	"ndpbridge/internal/sim"
+	"ndpbridge/internal/task"
+)
+
+// LLParams configures linked-list traversal: Lists lists whose nodes live
+// wholly in one unit each (so the baseline needs no communication,
+// Section VIII-A), queried by Zipfian-popular traversals.
+type LLParams struct {
+	Lists   int
+	AvgLen  int
+	Queries int
+	Theta   float64
+	Seed    uint64
+}
+
+// DefaultLLParams sizes the workload for the 512-unit system.
+func DefaultLLParams() LLParams {
+	return LLParams{Lists: 4096, AvgLen: 24, Queries: 24576, Theta: 0.99, Seed: 11}
+}
+
+// SmallLLParams sizes the workload for small test systems.
+func SmallLLParams() LLParams {
+	return LLParams{Lists: 32, AvgLen: 8, Queries: 128, Theta: 0.99, Seed: 11}
+}
+
+const (
+	llNodeBytes  = 64
+	llNodeCycles = 80
+)
+
+// LL is the linked-list traversal application: each query walks one list
+// node by node; every hop is a child task bound to the next node's address.
+type LL struct {
+	p       LLParams
+	nodes   [][]uint64 // per list, node addresses
+	queries []int32
+	fn      task.FuncID
+}
+
+// NewLL builds the application.
+func NewLL(p LLParams) *LL { return &LL{p: p} }
+
+// Name implements core.App.
+func (a *LL) Name() string { return "ll" }
+
+// Prepare implements core.App.
+func (a *LL) Prepare(s *core.System) error {
+	rng := sim.NewRNG(a.p.Seed)
+	units := s.Units()
+	placer := NewPlacer(s)
+	a.nodes = make([][]uint64, a.p.Lists)
+	// List lengths are themselves skewed: popular lists are longer,
+	// compounding the Zipfian query imbalance.
+	lengthOf := func(l int) int {
+		n := 1 + a.p.AvgLen*2*(a.p.Lists-l)/(a.p.Lists+1)
+		if n < 1 {
+			n = 1
+		}
+		return n
+	}
+	for l := 0; l < a.p.Lists; l++ {
+		u := l % units
+		n := lengthOf(l)
+		addrs := make([]uint64, n)
+		for i := range addrs {
+			addrs[i] = placer.Alloc(u, llNodeBytes, llNodeBytes)
+		}
+		a.nodes[l] = addrs
+	}
+	z := NewZipf(rng, a.p.Lists, a.p.Theta)
+	a.queries = make([]int32, a.p.Queries)
+	for i := range a.queries {
+		a.queries[i] = int32(z.Next())
+	}
+	a.fn = s.Register("ll.step", a.step)
+	return nil
+}
+
+func (a *LL) step(ctx task.Ctx, t task.Task) {
+	list, idx := int(t.Args[0]), int(t.Args[1])
+	ctx.Read(t.Addr, llNodeBytes)
+	ctx.Compute(llNodeCycles)
+	if next := idx + 1; next < len(a.nodes[list]) {
+		ctx.Enqueue(task.New(a.fn, t.TS, a.nodes[list][next], llNodeCycles+15,
+			uint64(list), uint64(next)))
+	}
+}
+
+// SeedEpoch implements core.App: one epoch of Zipfian queries.
+func (a *LL) SeedEpoch(s *core.System, ts uint32) bool {
+	if ts > 0 {
+		return false
+	}
+	for _, q := range a.queries {
+		s.Seed(task.New(a.fn, 0, a.nodes[q][0], llNodeCycles+15, uint64(q), 0))
+	}
+	return true
+}

@@ -1,0 +1,26 @@
+package workloads
+
+// MediumLLParams sizes ll for quick full-geometry benchmarking: the full
+// 512-unit system with roughly a quarter of the paper-sized task count.
+func MediumLLParams() LLParams {
+	return LLParams{Lists: 2048, AvgLen: 16, Queries: 8192, Theta: 0.99, Seed: 11}
+}
+
+// MediumHTParams sizes ht for quick full-geometry benchmarking.
+func MediumHTParams() HTParams {
+	return HTParams{Buckets: 8192, Keys: 65536, Queries: 12288, Theta: 0.99, Seed: 13}
+}
+
+// MediumTreeParams sizes tree for quick full-geometry benchmarking.
+func MediumTreeParams() TreeParams {
+	return TreeParams{Trees: 1024, NodesEach: 1023, Queries: 8192, Theta: 0.99, Seed: 17}
+}
+
+// MediumSpMVParams sizes spmv for quick full-geometry benchmarking.
+func MediumSpMVParams() SpMVParams { return SpMVParams{Scale: 14, EdgeFactor: 8, Seed: 19} }
+
+// MediumGraphParams sizes the graph kernels for quick full-geometry
+// benchmarking.
+func MediumGraphParams() GraphParams {
+	return GraphParams{Scale: 14, EdgeFactor: 8, Seed: 23, Roots: 4, Iters: 2, MaxEpochs: 64}
+}

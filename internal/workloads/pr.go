@@ -1,0 +1,98 @@
+package workloads
+
+import (
+	"math"
+	"ndpbridge/internal/sim"
+
+	"ndpbridge/internal/core"
+	"ndpbridge/internal/task"
+)
+
+// PR is bulk-synchronous PageRank: each iteration is one epoch in which every
+// vertex pushes rank/degree to its neighbors (the push-task style of
+// Section IV), and the damping fold happens at the barrier.
+type PR struct {
+	p      GraphParams
+	l      *GraphLayout
+	rank   []float64
+	next   []float64
+	fnPush task.FuncID
+	fnScan task.FuncID
+	fnAcc  task.FuncID
+}
+
+// NewPR builds the application.
+func NewPR(p GraphParams) *PR { return &PR{p: p} }
+
+// Name implements core.App.
+func (a *PR) Name() string { return "pr" }
+
+// Prepare implements core.App.
+func (a *PR) Prepare(s *core.System) error {
+	g := RMAT(sim.NewRNG(a.p.Seed), a.p.Scale, a.p.EdgeFactor)
+	a.l = NewGraphLayout(s, g)
+	a.rank = make([]float64, g.V)
+	a.next = make([]float64, g.V)
+	for i := range a.rank {
+		a.rank[i] = 1 / float64(g.V)
+	}
+	a.fnPush = s.Register("pr.push", a.push)
+	a.fnScan = s.Register("pr.scan", a.scan)
+	a.fnAcc = s.Register("pr.acc", a.acc)
+	return nil
+}
+
+func (a *PR) push(ctx task.Ctx, t task.Task) {
+	v := int(t.Args[0])
+	ctx.Read(t.Addr, vertexRecordBytes)
+	ctx.Compute(visitCycles)
+	deg := a.l.G.Degree(v)
+	if deg == 0 {
+		return
+	}
+	contrib := math.Float64bits(a.rank[v] / float64(deg))
+	for si := range a.l.SegAddr[v] {
+		w := uint32(a.l.SegLen[v][si])*scanCycles + 10
+		ctx.Enqueue(task.New(a.fnScan, t.TS, a.l.SegAddr[v][si], w,
+			uint64(v), uint64(si), contrib))
+	}
+}
+
+func (a *PR) scan(ctx task.Ctx, t task.Task) {
+	v, si, contrib := int(t.Args[0]), int(t.Args[1]), t.Args[2]
+	ctx.Read(t.Addr, a.l.SegBytes(v, si))
+	ctx.Compute(uint64(a.l.SegLen[v][si]) * scanCycles)
+	for _, w := range a.l.SegNeighbors(v, si) {
+		ctx.Enqueue(task.New(a.fnAcc, t.TS, a.l.VAddr[w], 30, uint64(w), contrib))
+	}
+}
+
+func (a *PR) acc(ctx task.Ctx, t task.Task) {
+	w := int(t.Args[0])
+	a.next[w] += math.Float64frombits(t.Args[1])
+	ctx.Write(t.Addr, 8)
+	ctx.Compute(24)
+}
+
+// SeedEpoch implements core.App: each epoch is one PageRank iteration.
+func (a *PR) SeedEpoch(s *core.System, ts uint32) bool {
+	if int(ts) >= a.p.Iters {
+		return false
+	}
+	if ts > 0 {
+		// Fold the accumulated contributions at the barrier.
+		v := float64(a.l.G.V)
+		for i := range a.rank {
+			a.rank[i] = 0.15/v + 0.85*a.next[i]
+			a.next[i] = 0
+		}
+	}
+	for v := 0; v < a.l.G.V; v++ {
+		w := uint32(visitCycles + a.l.G.Degree(v)*scanCycles/4 + 10)
+		s.Seed(task.New(a.fnPush, ts, a.l.VAddr[v], w, uint64(v)))
+	}
+	return true
+}
+
+// Ranks exposes the final vector for verification.
+func (a *PR) Ranks() []float64 { return a.rank }

@@ -1,0 +1,68 @@
+package workloads
+
+import (
+	"testing"
+
+	"ndpbridge/internal/config"
+	"ndpbridge/internal/core"
+	"ndpbridge/internal/task"
+)
+
+// hotRoot mimics a serialized hot spot: N root tasks at unit 0, each
+// spawning a chain of depth hops across pseudo-random units.
+type hotRoot struct {
+	n, depth int
+	fn       task.FuncID
+}
+
+func (a *hotRoot) Name() string { return "hotroot" }
+
+func (a *hotRoot) Prepare(s *core.System) error {
+	units := s.Units()
+	a.fn = s.Register("hr", func(ctx task.Ctx, t task.Task) {
+		ctx.Read(t.Addr, 64)
+		ctx.Compute(80)
+		hop := int(t.Args[0])
+		if hop < a.depth {
+			q := t.Args[1]
+			next := int((q*2654435761 + uint64(hop)*40503) % uint64(units))
+			ctx.Enqueue(task.New(a.fn, t.TS, s.UnitBase(next)+uint64(q%1000)*256, 100, uint64(hop+1), q))
+		}
+	})
+	return nil
+}
+
+func (a *hotRoot) SeedEpoch(s *core.System, ts uint32) bool {
+	if ts > 0 {
+		return false
+	}
+	for q := 0; q < a.n; q++ {
+		s.Seed(task.New(a.fn, 0, s.UnitBase(0)+uint64(q%1000)*256, 100, 0, uint64(q)))
+	}
+	return true
+}
+
+// TestFabricKeepsUpWithSerializedProducer: when one unit is the serialized
+// producer of all work, the fabric must deliver downstream tasks fast enough
+// that the makespan stays close to the producer's busy time (small wait
+// fraction). This is a full-scale (512-unit) throughput regression guard.
+func TestFabricKeepsUpWithSerializedProducer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale system")
+	}
+	sys, err := core.New(config.Default().WithDesign(config.DesignB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := &hotRoot{n: 2000, depth: 10}
+	r, err := sys.Run(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := r.WaitFrac(); w > 0.25 {
+		t.Errorf("wait fraction %.2f too high: fabric cannot keep up", w)
+	}
+	if r.TasksExecuted != 2000*11 {
+		t.Errorf("tasks = %d, want %d", r.TasksExecuted, 2000*11)
+	}
+}

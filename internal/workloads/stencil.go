@@ -1,0 +1,159 @@
+package workloads
+
+import (
+	"ndpbridge/internal/core"
+	"ndpbridge/internal/task"
+)
+
+// StencilParams configures the 2D stencil workload — the example the paper
+// itself uses to explain push-style programming (Section IV): "(1) each
+// pixel pushes its current value (by invoking tasks) to all its neighbors;
+// (2) each pixel uses the received value to update its own value."
+// The grid is row-partitioned over the units; each iteration is one epoch
+// of push tasks followed by accumulate tasks at the neighbors.
+type StencilParams struct {
+	Width  int
+	Height int
+	Iters  int
+	Seed   uint64
+}
+
+// DefaultStencilParams sizes the grid for the 512-unit system.
+func DefaultStencilParams() StencilParams {
+	return StencilParams{Width: 512, Height: 512, Iters: 3, Seed: 29}
+}
+
+// MediumStencilParams sizes the grid for benchmarking.
+func MediumStencilParams() StencilParams {
+	return StencilParams{Width: 256, Height: 256, Iters: 2, Seed: 29}
+}
+
+// SmallStencilParams sizes the grid for small test systems.
+func SmallStencilParams() StencilParams {
+	return StencilParams{Width: 32, Height: 32, Iters: 2, Seed: 29}
+}
+
+const (
+	pixelBytes  = 16 // value + accumulator
+	pixelCycles = 25
+	accCycles   = 8
+)
+
+// Stencil is a 5-point Jacobi smoothing pass in push style. Rows are
+// partitioned contiguously, so three of four neighbor pushes stay in the
+// local unit and the row-boundary pushes cross banks — the classic
+// halo-exchange pattern.
+type Stencil struct {
+	p      StencilParams
+	addr   []uint64 // pixel record address, row-major
+	val    []float64
+	acc    []int64 // micro-units: integer so accumulation order cannot matter
+	deg    []int32
+	fnPush task.FuncID
+	fnAcc  task.FuncID
+}
+
+// NewStencil builds the application.
+func NewStencil(p StencilParams) *Stencil { return &Stencil{p: p} }
+
+// Name implements core.App.
+func (a *Stencil) Name() string { return "stencil" }
+
+func (a *Stencil) idx(x, y int) int { return y*a.p.Width + x }
+
+// Prepare implements core.App.
+func (a *Stencil) Prepare(s *core.System) error {
+	n := a.p.Width * a.p.Height
+	units := s.Units()
+	placer := NewPlacer(s)
+	a.addr = make([]uint64, n)
+	a.val = make([]float64, n)
+	a.acc = make([]int64, n)
+	a.deg = make([]int32, n)
+	for y := 0; y < a.p.Height; y++ {
+		u := y * units / a.p.Height
+		for x := 0; x < a.p.Width; x++ {
+			i := a.idx(x, y)
+			a.addr[i] = placer.Alloc(u, pixelBytes, pixelBytes)
+			a.val[i] = float64((x*31+y*17)%256) / 256
+			a.deg[i] = int32(a.neighborCount(x, y))
+		}
+	}
+	a.fnPush = s.Register("stencil.push", a.push)
+	a.fnAcc = s.Register("stencil.acc", a.accumulate)
+	return nil
+}
+
+func (a *Stencil) neighborCount(x, y int) int {
+	n := 0
+	if x > 0 {
+		n++
+	}
+	if x < a.p.Width-1 {
+		n++
+	}
+	if y > 0 {
+		n++
+	}
+	if y < a.p.Height-1 {
+		n++
+	}
+	return n
+}
+
+// push sends the pixel's value to its four neighbors.
+func (a *Stencil) push(ctx task.Ctx, t task.Task) {
+	i := int(t.Args[0])
+	x, y := i%a.p.Width, i/a.p.Width
+	ctx.Read(t.Addr, pixelBytes)
+	ctx.Compute(pixelCycles)
+	v := a.val[i]
+	send := func(nx, ny int) {
+		j := a.idx(nx, ny)
+		ctx.Enqueue(task.New(a.fnAcc, t.TS, a.addr[j], accCycles+8,
+			uint64(j), uint64(int64(v*1e6))))
+	}
+	if x > 0 {
+		send(x-1, y)
+	}
+	if x < a.p.Width-1 {
+		send(x+1, y)
+	}
+	if y > 0 {
+		send(x, y-1)
+	}
+	if y < a.p.Height-1 {
+		send(x, y+1)
+	}
+}
+
+// accumulate folds a neighbor's value into the pixel's accumulator.
+func (a *Stencil) accumulate(ctx task.Ctx, t task.Task) {
+	j := int(t.Args[0])
+	a.acc[j] += int64(t.Args[1])
+	ctx.Write(t.Addr, 8)
+	ctx.Compute(accCycles)
+}
+
+// SeedEpoch implements core.App: each epoch pushes every pixel and folds the
+// accumulated neighbor values at the barrier.
+func (a *Stencil) SeedEpoch(s *core.System, ts uint32) bool {
+	if int(ts) >= a.p.Iters {
+		return false
+	}
+	if ts > 0 {
+		for i := range a.val {
+			if a.deg[i] > 0 {
+				a.val[i] = float64(a.acc[i]) / 1e6 / float64(a.deg[i])
+			}
+			a.acc[i] = 0
+		}
+	}
+	for i := range a.addr {
+		s.Seed(task.New(a.fnPush, ts, a.addr[i], pixelCycles+20, uint64(i)))
+	}
+	return true
+}
+
+// Values exposes the grid for verification.
+func (a *Stencil) Values() []float64 { return a.val }

@@ -1,0 +1,88 @@
+package workloads
+
+import (
+	"math"
+	"testing"
+
+	"ndpbridge/internal/config"
+	"ndpbridge/internal/core"
+)
+
+func runStencil(t *testing.T, d config.Design) *Stencil {
+	t.Helper()
+	app := NewStencil(SmallStencilParams())
+	sys, err := core.New(smallCfg(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Run(app); err != nil {
+		t.Fatal(err)
+	}
+	return app
+}
+
+func TestStencilMatchesReference(t *testing.T) {
+	app := runStencil(t, config.DesignB)
+	p := SmallStencilParams()
+
+	// Sequential reference: Jacobi averaging with the same init.
+	w, h := p.Width, p.Height
+	val := make([]float64, w*h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			val[y*w+x] = float64((x*31+y*17)%256) / 256
+		}
+	}
+	// The simulated version folds at epoch starts, so after Iters seeded
+	// epochs only Iters−1 folds happened.
+	for it := 0; it < p.Iters-1; it++ {
+		next := make([]float64, w*h)
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				sum, n := 0.0, 0
+				add := func(xx, yy int) {
+					if xx >= 0 && xx < w && yy >= 0 && yy < h {
+						sum += val[yy*w+xx]
+						n++
+					}
+				}
+				add(x-1, y)
+				add(x+1, y)
+				add(x, y-1)
+				add(x, y+1)
+				if n > 0 {
+					next[y*w+x] = sum / float64(n)
+				}
+			}
+		}
+		val = next
+	}
+	got := app.Values()
+	for i := range val {
+		// The push path quantizes values to 1e-6.
+		if math.Abs(got[i]-val[i]) > 1e-4 {
+			t.Fatalf("pixel %d = %v, reference %v", i, got[i], val[i])
+		}
+	}
+}
+
+func TestStencilSameAcrossDesigns(t *testing.T) {
+	a := runStencil(t, config.DesignB)
+	b := runStencil(t, config.DesignO)
+	va, vb := a.Values(), b.Values()
+	for i := range va {
+		if va[i] != vb[i] {
+			t.Fatalf("pixel %d differs across designs: %v vs %v", i, va[i], vb[i])
+		}
+	}
+}
+
+func TestStencilViaRegistry(t *testing.T) {
+	app, err := NewSized("stencil", SizeSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app.Name() != "stencil" {
+		t.Errorf("Name = %s", app.Name())
+	}
+}

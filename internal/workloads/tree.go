@@ -1,0 +1,166 @@
+package workloads
+
+import (
+	"ndpbridge/internal/core"
+	"ndpbridge/internal/sim"
+	"ndpbridge/internal/task"
+)
+
+// TreeParams configures tree traversal: a forest of balanced binary search
+// trees whose nodes are scattered across the units, searched by Zipfian
+// queries. Every descent hop usually crosses banks, making this the paper's
+// motivating communication-heavy workload (Figure 2).
+type TreeParams struct {
+	Trees     int
+	NodesEach int // nodes per tree; rounded to 2^d − 1
+	Queries   int
+	Theta     float64
+	Seed      uint64
+}
+
+// DefaultTreeParams sizes the workload for the 512-unit system.
+func DefaultTreeParams() TreeParams {
+	return TreeParams{Trees: 2048, NodesEach: 1023, Queries: 24576, Theta: 0.99, Seed: 17}
+}
+
+// SmallTreeParams sizes the workload for small test systems.
+func SmallTreeParams() TreeParams {
+	return TreeParams{Trees: 4, NodesEach: 63, Queries: 96, Theta: 0.99, Seed: 17}
+}
+
+const (
+	treeNodeBytes  = 64
+	treeNodeCycles = 60
+)
+
+// Tree is the tree-traversal application (Algorithm 1): each node visit
+// compares the query against the node's key range and pushes a child task to
+// the unit storing the chosen child.
+type Tree struct {
+	p     TreeParams
+	nodes [][]uint64 // per tree, heap-indexed node addresses
+	size  int        // nodes per tree (2^d − 1)
+	keys  int        // key space per tree = size
+	qTree []int32
+	qKey  []int32
+	fn    task.FuncID
+}
+
+// NewTree builds the application.
+func NewTree(p TreeParams) *Tree { return &Tree{p: p} }
+
+// Name implements core.App.
+func (a *Tree) Name() string { return "tree" }
+
+// Prepare implements core.App.
+func (a *Tree) Prepare(s *core.System) error {
+	rng := sim.NewRNG(a.p.Seed)
+	units := s.Units()
+	placer := NewPlacer(s)
+	// Round nodes to a full binary tree.
+	a.size = 1
+	for a.size*2-1 <= a.p.NodesEach {
+		a.size = a.size * 2
+	}
+	a.size-- // 2^d − 1
+	a.keys = a.size
+	a.nodes = make([][]uint64, a.p.Trees)
+	geo := s.Cfg().Geometry
+	banksPerChip := geo.BanksPerChip
+	perRank := geo.UnitsPerRank()
+	unitOf := make([]int, a.size)
+	for t := 0; t < a.p.Trees; t++ {
+		addrs := make([]uint64, a.size)
+		for i := range addrs {
+			// Nodes scatter across banks, with the locality a real
+			// allocator exhibits: children often land in the same
+			// chip or rank as their parent.
+			u := rng.Intn(units)
+			if i > 0 {
+				parent := unitOf[(i-1)/2]
+				switch r := rng.Float64(); {
+				case r < 0.35: // same chip
+					u = parent/banksPerChip*banksPerChip + rng.Intn(banksPerChip)
+				case r < 0.60: // same rank
+					u = parent/perRank*perRank + rng.Intn(perRank)
+				}
+			}
+			unitOf[i] = u
+			addrs[i] = placer.Alloc(u, treeNodeBytes, treeNodeBytes)
+		}
+		a.nodes[t] = addrs
+	}
+	// Tree popularity is milder than key popularity: an index shard
+	// serves many tenants.
+	tz := NewZipf(rng, a.p.Trees, a.p.Theta*0.6)
+	kz := NewZipf(rng, a.keys, a.p.Theta)
+	a.qTree = make([]int32, a.p.Queries)
+	a.qKey = make([]int32, a.p.Queries)
+	for i := range a.qTree {
+		a.qTree[i] = int32(tz.Next())
+		a.qKey[i] = int32(kz.Next())
+	}
+	a.fn = s.Register("tree.visit", a.visit)
+	return nil
+}
+
+// visit implements one TreeTrav step (Algorithm 1). Args: tree, heap node
+// index, target key. The implicit balanced BST stores the in-order key at
+// each heap position.
+func (a *Tree) visit(ctx task.Ctx, t task.Task) {
+	tree, node, target := int(t.Args[0]), int(t.Args[1]), int(t.Args[2])
+	ctx.Read(t.Addr, treeNodeBytes)
+	ctx.Compute(treeNodeCycles)
+	key := inorderKey(node, a.size)
+	var child int
+	switch {
+	case target == key:
+		return // found
+	case target < key:
+		child = 2*node + 1
+	default:
+		child = 2*node + 2
+	}
+	if child >= a.size {
+		return // not present
+	}
+	ctx.Enqueue(task.New(a.fn, t.TS, a.nodes[tree][child], treeNodeCycles+10,
+		uint64(tree), uint64(child), uint64(target)))
+}
+
+// inorderKey returns the in-order rank of heap index node in a full binary
+// tree of size nodes — the key an implicitly-balanced BST stores there.
+func inorderKey(node, size int) int {
+	// Record the root-to-node path, then replay it narrowing the key
+	// range as a binary search would.
+	lo, hi := 0, size
+	i := node
+	var path []int
+	for i > 0 {
+		path = append(path, (i-1)%2) // 0 = left child, 1 = right child
+		i = (i - 1) / 2
+	}
+	key := (lo + hi) / 2
+	for j := len(path) - 1; j >= 0; j-- {
+		if path[j] == 0 {
+			hi = key
+		} else {
+			lo = key + 1
+		}
+		key = (lo + hi) / 2
+	}
+	return key
+}
+
+// SeedEpoch implements core.App: one epoch of root-to-leaf searches.
+func (a *Tree) SeedEpoch(s *core.System, ts uint32) bool {
+	if ts > 0 {
+		return false
+	}
+	for i := range a.qTree {
+		tr := a.qTree[i]
+		s.Seed(task.New(a.fn, 0, a.nodes[tr][0], treeNodeCycles+10,
+			uint64(tr), 0, uint64(a.qKey[i])))
+	}
+	return true
+}

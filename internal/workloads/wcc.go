@@ -1,0 +1,113 @@
+package workloads
+
+import (
+	"math"
+
+	"ndpbridge/internal/core"
+	"ndpbridge/internal/sim"
+	"ndpbridge/internal/task"
+)
+
+// WCC computes connected components by bulk-synchronous min-label
+// propagation: each epoch the vertices whose label dropped propagate it to
+// their neighbors. (The RMAT generator emits directed edges; propagation
+// follows out-edges, the reachability-closure approximation used by
+// push-style NDP frameworks.) Task counts are deterministic across designs.
+type WCC struct {
+	p        GraphParams
+	l        *GraphLayout
+	labels   []int32
+	changed  []int32
+	dirty    []bool
+	fnExpand task.FuncID
+	fnScan   task.FuncID
+	fnProp   task.FuncID
+}
+
+// NewWCC builds the application.
+func NewWCC(p GraphParams) *WCC { return &WCC{p: p} }
+
+// Name implements core.App.
+func (a *WCC) Name() string { return "wcc" }
+
+// Prepare implements core.App.
+func (a *WCC) Prepare(s *core.System) error {
+	g := RMAT(sim.NewRNG(a.p.Seed), a.p.Scale, a.p.EdgeFactor)
+	a.l = NewGraphLayout(s, g)
+	a.labels = make([]int32, g.V)
+	a.dirty = make([]bool, g.V)
+	for i := range a.labels {
+		a.labels[i] = math.MaxInt32
+	}
+	a.fnExpand = s.Register("wcc.expand", a.expand)
+	a.fnScan = s.Register("wcc.scan", a.scan)
+	a.fnProp = s.Register("wcc.prop", a.prop)
+	return nil
+}
+
+func (a *WCC) expand(ctx task.Ctx, t task.Task) {
+	v := int(t.Args[0])
+	ctx.Read(t.Addr, vertexRecordBytes)
+	ctx.Compute(visitCycles)
+	label := uint64(a.labels[v])
+	for si := range a.l.SegAddr[v] {
+		w := uint32(a.l.SegLen[v][si])*scanCycles + 10
+		ctx.Enqueue(task.New(a.fnScan, t.TS, a.l.SegAddr[v][si], w,
+			uint64(v), uint64(si), label))
+	}
+}
+
+func (a *WCC) scan(ctx task.Ctx, t task.Task) {
+	v, si, label := int(t.Args[0]), int(t.Args[1]), int32(t.Args[2])
+	ctx.Read(t.Addr, a.l.SegBytes(v, si))
+	ctx.Compute(uint64(a.l.SegLen[v][si]) * scanCycles)
+	for _, w := range a.l.SegNeighbors(v, si) {
+		if label >= a.labels[w] {
+			continue
+		}
+		ctx.Enqueue(task.New(a.fnProp, t.TS, a.l.VAddr[w], 20, uint64(w), uint64(label)))
+	}
+}
+
+func (a *WCC) prop(ctx task.Ctx, t task.Task) {
+	w, label := int(t.Args[0]), int32(t.Args[1])
+	if label >= a.labels[w] {
+		ctx.Compute(4)
+		return
+	}
+	a.labels[w] = label
+	ctx.Write(t.Addr, 8)
+	ctx.Compute(10)
+	if !a.dirty[w] {
+		a.dirty[w] = true
+		a.changed = append(a.changed, int32(w))
+	}
+}
+
+// SeedEpoch implements core.App: epoch 0 seeds every vertex with its own
+// label; epoch k propagates the labels lowered in epoch k−1.
+func (a *WCC) SeedEpoch(s *core.System, ts uint32) bool {
+	if int(ts) >= a.p.MaxEpochs {
+		return false
+	}
+	if ts == 0 {
+		for v := 0; v < a.l.G.V; v++ {
+			a.labels[v] = int32(v)
+			a.changed = append(a.changed, int32(v))
+		}
+	}
+	if len(a.changed) == 0 {
+		return false
+	}
+	frontier := a.changed
+	a.changed = nil
+	for _, v := range frontier {
+		a.dirty[v] = false
+		w := uint32(visitCycles + a.l.G.Degree(int(v))*scanCycles/4 + 10)
+		s.Seed(task.New(a.fnExpand, ts, a.l.VAddr[v], w, uint64(v)))
+	}
+	return true
+}
+
+// Labels exposes the final labels for verification.
+func (a *WCC) Labels() []int32 { return a.labels }

@@ -1,0 +1,139 @@
+// Package ndpbridge is a discrete-event simulator of NDPBridge (Tian et al.,
+// ISCA 2024): hardware-software co-design for cross-bank communication and
+// dynamic load balancing in near-DRAM-bank processing architectures.
+//
+// The package simulates a DRAM-bank NDP system — one wimpy core per DRAM
+// bank, 512 units in the default Table I configuration — together with the
+// NDPBridge hardware bridges, the task-based message-passing programming
+// model, and the data-transfer-aware load balancer. Six system designs can
+// be compared (Table II): host-forwarded communication (C), bridges only
+// (B), bridges with work stealing (W), full NDPBridge (O), host-only
+// execution (H), and RowClone-style intra-chip transfers (R).
+//
+// # Quick start
+//
+//	cfg := ndpbridge.DefaultConfig()          // Table I, design O
+//	sys, err := ndpbridge.NewSystem(cfg)
+//	if err != nil { ... }
+//	app, err := ndpbridge.NewApp("tree")      // one of the 8 paper workloads
+//	if err != nil { ... }
+//	result, err := sys.Run(app)
+//	fmt.Println(result)                       // makespan, wait %, energy, …
+//
+// # Custom applications
+//
+// Implement the App interface: register task handlers in Prepare and inject
+// work in SeedEpoch. Handlers express computation through the task.Ctx they
+// receive — Read/Write charge DRAM time, Compute charges cycles, and Enqueue
+// pushes child tasks to the unit currently holding their data:
+//
+//	type myApp struct{ fn ndpbridge.FuncID }
+//
+//	func (a *myApp) Name() string { return "mine" }
+//	func (a *myApp) Prepare(s *ndpbridge.System) error {
+//		a.fn = s.Register("mine.step", func(ctx ndpbridge.Ctx, t ndpbridge.Task) {
+//			ctx.Read(t.Addr, 64)
+//			ctx.Compute(100)
+//		})
+//		return nil
+//	}
+//	func (a *myApp) SeedEpoch(s *ndpbridge.System, ts uint32) bool {
+//		if ts > 0 { return false }
+//		s.Seed(ndpbridge.NewTask(a.fn, 0, s.UnitBase(3)+128, 100))
+//		return true
+//	}
+package ndpbridge
+
+import (
+	"ndpbridge/internal/config"
+	"ndpbridge/internal/core"
+	"ndpbridge/internal/stats"
+	"ndpbridge/internal/task"
+	"ndpbridge/internal/workloads"
+)
+
+// Config is the full system configuration (geometry, timing, energy, the
+// load-balancing knobs, and the design selector).
+type Config = config.Config
+
+// Design selects the evaluated system variant (Table II).
+type Design = config.Design
+
+// Designs, in the paper's naming.
+const (
+	DesignC = config.DesignC // host-forwarded communication, no balancing
+	DesignB = config.DesignB // hardware bridges, no balancing
+	DesignW = config.DesignW // bridges + work stealing
+	DesignO = config.DesignO // full NDPBridge
+	DesignH = config.DesignH // host-only execution (non-NDP)
+	DesignR = config.DesignR // RowClone intra-chip transfers
+)
+
+// Trigger selects the communication triggering policy (Section V-C).
+type Trigger = config.Trigger
+
+// Triggering policies.
+const (
+	TriggerDynamic    = config.TriggerDynamic
+	TriggerFixedIMin  = config.TriggerFixedIMin
+	TriggerFixed2IMin = config.TriggerFixed2IMin
+)
+
+// Level2Transport selects the cross-rank transport: the host runtime of the
+// paper, DIMM-Link-style peer-to-peer links, or an ABC-DIMM broadcast bus.
+type Level2Transport = config.Level2Transport
+
+// Level-2 transports.
+const (
+	L2Host     = config.L2Host
+	L2DIMMLink = config.L2DIMMLink
+	L2ABCDIMM  = config.L2ABCDIMM
+)
+
+// System is one simulation instance; single-use.
+type System = core.System
+
+// App is a task-based application; see the package example.
+type App = core.App
+
+// Result holds the measurements of one run.
+type Result = stats.Result
+
+// Task is one data-centric unit of work (Section IV).
+type Task = task.Task
+
+// Ctx is the execution context handed to task handlers.
+type Ctx = task.Ctx
+
+// FuncID names a registered task handler.
+type FuncID = task.FuncID
+
+// DefaultConfig returns the Table I configuration (512 units, DDR4-2400,
+// design O). Adjust fields or use the With* helpers before NewSystem.
+func DefaultConfig() Config { return config.Default() }
+
+// ParseDesign converts "C", "B", "W", "O", "H" or "R" to a Design.
+func ParseDesign(s string) (Design, error) { return config.ParseDesign(s) }
+
+// NewSystem validates cfg and builds a simulation instance.
+func NewSystem(cfg Config) (*System, error) { return core.New(cfg) }
+
+// NewTask builds a task bound to the data element at addr, with a workload
+// estimate in cycles (0 = unspecified) and up to three extra arguments.
+func NewTask(fn FuncID, ts uint32, addr uint64, workload uint32, args ...uint64) Task {
+	return task.New(fn, ts, addr, workload, args...)
+}
+
+// AppNames lists the paper's eight evaluation workloads.
+func AppNames() []string { return append([]string(nil), workloads.Names...) }
+
+// NewApp builds one of the paper's workloads at paper-sized parameters:
+// "ll", "ht", "tree", "spmv", "bfs", "sssp", "pr", or "wcc".
+func NewApp(name string) (App, error) { return workloads.New(name) }
+
+// NewSmallApp builds a test-sized variant of a paper workload.
+func NewSmallApp(name string) (App, error) { return workloads.NewSmall(name) }
+
+// NewMediumApp builds a bench-sized variant of a paper workload: the full
+// 512-unit system with roughly a quarter of the paper-sized task count.
+func NewMediumApp(name string) (App, error) { return workloads.NewMedium(name) }
