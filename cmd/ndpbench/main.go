@@ -4,16 +4,27 @@
 //	ndpbench                  # every experiment at full scale (slow)
 //	ndpbench -exp fig10       # one experiment
 //	ndpbench -exp fig14a -small
+//	ndpbench -j 8             # eight simulations in flight at once
+//	ndpbench -benchjson results/bench.json
 //
 // Experiments: fig2, fig10, fig11, fig12, fig13, fig14a, fig14b, fig15,
 // fig16a, fig16b, fig16cd, splitdb, l2variants, tab1, tab2.
+//
+// Independent (app, design, config) simulations are fanned across a worker
+// pool; -j controls its width (default: one worker per CPU, -j 1 restores
+// the sequential order-of-execution, which produces identical tables).
+// Each experiment prints wall-clock time and aggregate simulation speed in
+// events/sec; -benchjson additionally records the per-experiment numbers as
+// machine-readable JSON for tracking the perf trajectory across commits.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
@@ -60,25 +71,52 @@ func writeCSV(dir, name string, t *stats.Table) error {
 	return f.Close()
 }
 
+// benchRecord is the machine-readable perf capture for one experiment.
+type benchRecord struct {
+	Name         string  `json:"name"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	Runs         uint64  `json:"runs"`
+	Events       uint64  `json:"events"`
+	Cycles       uint64  `json:"cycles"`
+	EventsPerSec float64 `json:"events_per_sec"`
+}
+
+// benchFile is the top-level schema of -benchjson output.
+type benchFile struct {
+	Scale       string        `json:"scale"`
+	Jobs        int           `json:"jobs"`
+	GOMAXPROCS  int           `json:"gomaxprocs"`
+	TotalWallS  float64       `json:"total_wall_seconds"`
+	TotalEvents uint64        `json:"total_events"`
+	Experiments []benchRecord `json:"experiments"`
+}
+
 func main() {
 	var (
-		exp    = flag.String("exp", "", "comma-separated experiments to run (default: all)")
-		small  = flag.Bool("small", false, "run test-sized systems and workloads")
-		scale  = flag.String("scale", "", "workload scale: full (paper-sized), medium, small")
-		csvDir = flag.String("csv", "", "also write each experiment's table as <dir>/<name>.csv")
+		exp       = flag.String("exp", "", "comma-separated experiments to run (default: all)")
+		small     = flag.Bool("small", false, "run test-sized systems and workloads")
+		scale     = flag.String("scale", "", "workload scale: full (paper-sized), medium, small")
+		csvDir    = flag.String("csv", "", "also write each experiment's table as <dir>/<name>.csv")
+		jobsN     = flag.Int("j", 0, "simulations to run concurrently (0 = one per CPU, 1 = sequential)")
+		benchJSON = flag.String("benchjson", "", "write per-experiment perf records (wall-clock, events, events/sec) to this JSON file")
 	)
 	flag.Parse()
+	experiments.SetJobs(*jobsN)
 
 	sc := experiments.Full
+	scName := "full"
 	if *small {
 		sc = experiments.Small
+		scName = "small"
 	}
 	switch *scale {
 	case "", "full":
 	case "medium":
 		sc = experiments.Medium
+		scName = "medium"
 	case "small":
 		sc = experiments.Small
+		scName = "small"
 	default:
 		fmt.Fprintf(os.Stderr, "ndpbench: unknown scale %q\n", *scale)
 		os.Exit(1)
@@ -89,19 +127,38 @@ func main() {
 			want[strings.TrimSpace(e)] = true
 		}
 	}
+	bench := benchFile{Scale: scName, Jobs: experiments.Jobs(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
 	ran := 0
 	for _, e := range all {
 		if len(want) > 0 && !want[e.name] {
 			continue
 		}
+		experiments.ResetCounters()
 		start := time.Now()
 		t, err := e.fn(sc)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ndpbench: %s: %v\n", e.name, err)
 			os.Exit(1)
 		}
+		wall := time.Since(start).Seconds()
+		c := experiments.Counters()
+		rec := benchRecord{
+			Name: e.name, WallSeconds: wall,
+			Runs: c.Runs, Events: c.Events, Cycles: c.Cycles,
+		}
+		if wall > 0 {
+			rec.EventsPerSec = float64(c.Events) / wall
+		}
 		fmt.Println(t.Render())
-		fmt.Printf("(%s in %.1fs)\n\n", e.name, time.Since(start).Seconds())
+		if c.Runs > 0 {
+			fmt.Printf("(%s in %.1fs — %d runs, %d events, %.2fM events/sec)\n\n",
+				e.name, wall, c.Runs, c.Events, rec.EventsPerSec/1e6)
+		} else {
+			fmt.Printf("(%s in %.1fs)\n\n", e.name, wall)
+		}
+		bench.Experiments = append(bench.Experiments, rec)
+		bench.TotalWallS += wall
+		bench.TotalEvents += c.Events
 		if *csvDir != "" {
 			if err := writeCSV(*csvDir, e.name, t); err != nil {
 				fmt.Fprintf(os.Stderr, "ndpbench: csv %s: %v\n", e.name, err)
@@ -114,4 +171,26 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ndpbench: no experiment matched %q\n", *exp)
 		os.Exit(1)
 	}
+	fmt.Printf("total: %.1fs wall, %d events, %.2fM events/sec aggregate (jobs=%d)\n",
+		bench.TotalWallS, bench.TotalEvents, float64(bench.TotalEvents)/bench.TotalWallS/1e6, bench.Jobs)
+	if *benchJSON != "" {
+		if err := writeBenchJSON(*benchJSON, &bench); err != nil {
+			fmt.Fprintf(os.Stderr, "ndpbench: benchjson: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeBenchJSON stores the perf capture, creating parent directories.
+func writeBenchJSON(path string, b *benchFile) error {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

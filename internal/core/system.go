@@ -344,6 +344,7 @@ func (s *System) collect(appName string) *stats.Result {
 		App:      appName,
 		Design:   s.cfg.Design.String(),
 		Makespan: s.eng.Now(),
+		Events:   s.eng.Processed(),
 	}
 	ec := energy.Counters{Makespan: s.eng.Now(), Units: s.cfg.Geometry.Units()}
 

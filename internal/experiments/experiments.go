@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 
 	"ndpbridge/internal/config"
 	"ndpbridge/internal/core"
@@ -69,7 +70,45 @@ func run(cfg config.Config, appName string, sc Scale) (*stats.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return sys.Run(app)
+	return runSystem(sys, app)
+}
+
+// runSystem executes one prepared system and feeds the global run counters
+// that back ndpbench's events/sec summary. Every simulation in this package
+// goes through it.
+func runSystem(sys *core.System, app core.App) (*stats.Result, error) {
+	r, err := sys.Run(app)
+	if err != nil {
+		return nil, err
+	}
+	ctrRuns.Add(1)
+	ctrEvents.Add(r.Events)
+	ctrCycles.Add(r.Makespan)
+	return r, nil
+}
+
+// Run counters: simulations executed, engine events processed, and
+// simulated cycles covered since the last ResetCounters. Atomic because the
+// worker pool updates them concurrently.
+var ctrRuns, ctrEvents, ctrCycles atomic.Uint64
+
+// RunCounters is a snapshot of the package-wide simulation totals.
+type RunCounters struct {
+	Runs   uint64 // simulations completed
+	Events uint64 // discrete events processed across all engines
+	Cycles uint64 // simulated cycles summed over runs
+}
+
+// ResetCounters zeroes the run counters (call before an experiment).
+func ResetCounters() {
+	ctrRuns.Store(0)
+	ctrEvents.Store(0)
+	ctrCycles.Store(0)
+}
+
+// Counters returns the totals accumulated since the last ResetCounters.
+func Counters() RunCounters {
+	return RunCounters{Runs: ctrRuns.Load(), Events: ctrEvents.Load(), Cycles: ctrCycles.Load()}
 }
 
 // runDesign is run with a design selector applied.
@@ -103,19 +142,19 @@ type CellResult struct {
 	R      *stats.Result
 }
 
-// Grid runs apps × designs and returns every result, app-major.
+// Grid runs apps × designs on the worker pool and returns every result,
+// app-major. Each cell is an independent simulation; results come back in
+// the same deterministic order a sequential double loop would produce.
 func Grid(sc Scale, apps []string, designs []config.Design, mutate func(*config.Config)) ([]CellResult, error) {
-	var out []CellResult
-	for _, a := range apps {
-		for _, d := range designs {
-			r, err := runDesign(sc, a, d, mutate)
-			if err != nil {
-				return nil, fmt.Errorf("%s/%v: %w", a, d, err)
-			}
-			out = append(out, CellResult{App: a, Design: d.String(), R: r})
+	nd := len(designs)
+	return parMap(len(apps)*nd, func(i int) (CellResult, error) {
+		a, d := apps[i/nd], designs[i%nd]
+		r, err := runDesign(sc, a, d, mutate)
+		if err != nil {
+			return CellResult{}, fmt.Errorf("%s/%v: %w", a, d, err)
 		}
-	}
-	return out, nil
+		return CellResult{App: a, Design: d.String(), R: r}, nil
+	})
 }
 
 // byApp reshapes grid results into app → design → result.

@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestParMapOrdering(t *testing.T) {
+	defer SetJobs(0)
+	for _, j := range []int{1, 3, 8} {
+		SetJobs(j)
+		out, err := parMap(100, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("jobs=%d: %v", j, err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("jobs=%d: out[%d] = %d, want %d", j, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestParMapFirstError(t *testing.T) {
+	defer SetJobs(0)
+	SetJobs(4)
+	errA := errors.New("a")
+	errB := errors.New("b")
+	_, err := parMap(50, func(i int) (int, error) {
+		switch i {
+		case 7:
+			return 0, errA
+		case 30:
+			return 0, errB
+		}
+		return i, nil
+	})
+	// Deterministic: the lowest failing index wins, as in a sequential loop.
+	if err != errA {
+		t.Fatalf("err = %v, want %v", err, errA)
+	}
+}
+
+func TestParMapCancelsDispatch(t *testing.T) {
+	defer SetJobs(0)
+	SetJobs(2)
+	var started atomic.Int64
+	boom := errors.New("boom")
+	const n = 10_000
+	_, err := parMap(n, func(i int) (int, error) {
+		started.Add(1)
+		if i == 0 {
+			return 0, boom
+		}
+		// Yield so the erroring worker always gets scheduled promptly,
+		// even on a single-CPU box.
+		time.Sleep(200 * time.Microsecond)
+		return i, nil
+	})
+	if err != boom {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if got := started.Load(); got == n {
+		t.Fatalf("all %d items dispatched despite early error", got)
+	}
+}
+
+func TestParMapEmptyAndSingle(t *testing.T) {
+	out, err := parMap(0, func(i int) (int, error) { t.Fatal("called"); return 0, nil })
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty: out=%v err=%v", out, err)
+	}
+	out, err = parMap(1, func(i int) (int, error) { return 42, nil })
+	if err != nil || len(out) != 1 || out[0] != 42 {
+		t.Fatalf("single: out=%v err=%v", out, err)
+	}
+}
+
+// The headline determinism guarantee: running the full Fig. 10 grid
+// sequentially and on a 4-wide worker pool renders byte-identical tables —
+// every System owns a private engine and RNG, and results are
+// index-addressed, so scheduling order cannot leak into the output.
+func TestFig10ParallelDeterminism(t *testing.T) {
+	defer SetJobs(0)
+
+	SetJobs(1)
+	seqTable, seqCells, err := Fig10(Small)
+	if err != nil {
+		t.Fatalf("sequential Fig10: %v", err)
+	}
+
+	SetJobs(4)
+	parTable, parCells, err := Fig10(Small)
+	if err != nil {
+		t.Fatalf("parallel Fig10: %v", err)
+	}
+
+	if got, want := parTable.Render(), seqTable.Render(); got != want {
+		t.Errorf("rendered tables differ between -j 1 and -j 4:\n--- sequential ---\n%s\n--- parallel ---\n%s", want, got)
+	}
+	if len(seqCells) != len(parCells) {
+		t.Fatalf("cell counts differ: %d vs %d", len(seqCells), len(parCells))
+	}
+	for i := range seqCells {
+		s, p := seqCells[i], parCells[i]
+		if s.App != p.App || s.Design != p.Design {
+			t.Fatalf("cell %d order differs: %s/%s vs %s/%s", i, s.App, s.Design, p.App, p.Design)
+		}
+		if s.R.Makespan != p.R.Makespan || s.R.TasksExecuted != p.R.TasksExecuted || s.R.Events != p.R.Events {
+			t.Errorf("cell %d (%s/%s): sequential makespan=%d tasks=%d events=%d, parallel makespan=%d tasks=%d events=%d",
+				i, s.App, s.Design, s.R.Makespan, s.R.TasksExecuted, s.R.Events,
+				p.R.Makespan, p.R.TasksExecuted, p.R.Events)
+		}
+	}
+}
+
+// Design H exercises the host executor, whose RNG used to be shared across
+// Systems; it must now be private so parallel H runs stay deterministic.
+func TestFig11ParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Fig11 covers six designs; skipped in -short")
+	}
+	defer SetJobs(0)
+
+	SetJobs(1)
+	seqTable, _, err := Fig11(Small)
+	if err != nil {
+		t.Fatalf("sequential Fig11: %v", err)
+	}
+	SetJobs(4)
+	parTable, _, err := Fig11(Small)
+	if err != nil {
+		t.Fatalf("parallel Fig11: %v", err)
+	}
+	if got, want := parTable.Render(), seqTable.Render(); got != want {
+		t.Errorf("rendered Fig11 tables differ between -j 1 and -j 4:\n--- sequential ---\n%s\n--- parallel ---\n%s", want, got)
+	}
+}
+
+func TestRunCounters(t *testing.T) {
+	ResetCounters()
+	if _, _, err := Fig10(Small); err != nil {
+		t.Fatal(err)
+	}
+	c := Counters()
+	// Fig10 runs 8 apps × 4 designs = 32 simulations.
+	if c.Runs != 32 {
+		t.Errorf("Runs = %d, want 32", c.Runs)
+	}
+	if c.Events == 0 || c.Cycles == 0 {
+		t.Errorf("Events=%d Cycles=%d, want both > 0", c.Events, c.Cycles)
+	}
+}

@@ -32,6 +32,11 @@ type Executor struct {
 	busyCycles []uint64
 	tasks      []uint64
 	spawned    uint64
+
+	// rng is per-executor so concurrent simulations never share a stream:
+	// each run draws the same deterministic sequence regardless of what
+	// other Systems in the process are doing.
+	rng *sim.RNG
 }
 
 // NewExecutor builds the host execution runtime.
@@ -59,6 +64,7 @@ func NewExecutor(env ExecEnv) *Executor {
 		links:      links,
 		busyCycles: make([]uint64, cfg.Host.Cores),
 		tasks:      make([]uint64, cfg.Host.Cores),
+		rng:        sim.NewRNG(0x415e),
 	}
 }
 
@@ -128,11 +134,7 @@ var _ task.Ctx = (*hostCtx)(nil)
 
 func (c *hostCtx) Unit() int       { return -1 }
 func (c *hostCtx) Now() sim.Cycles { return c.start }
-func (c *hostCtx) Rand() *sim.RNG  { return hostRNG }
-
-// hostRNG is shared: host handlers are rare users and determinism across a
-// run is preserved because the engine serializes events.
-var hostRNG = sim.NewRNG(0x415e)
+func (c *hostCtx) Rand() *sim.RNG  { return c.e.rng }
 
 func (c *hostCtx) Compute(cycles sim.Cycles) {
 	f := c.e.env.Cfg().Host.IPCFactor

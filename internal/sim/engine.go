@@ -10,7 +10,6 @@
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 )
@@ -18,32 +17,12 @@ import (
 // Cycles is a point in (or duration of) simulated time, in NDP-core cycles.
 type Cycles = uint64
 
-// Event is a scheduled callback. Events with equal times fire in insertion
+// event is a scheduled callback. Events with equal times fire in insertion
 // order, which keeps runs deterministic.
 type event struct {
 	time Cycles
 	seq  uint64
 	fn   func()
-}
-
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].time != h[j].time {
-		return h[i].time < h[j].time
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = event{}
-	*h = old[:n-1]
-	return ev
 }
 
 // ErrLimit is returned by Run when the event budget is exhausted before the
@@ -52,10 +31,16 @@ var ErrLimit = errors.New("sim: event limit exceeded")
 
 // Engine is a discrete-event simulator. The zero value is not usable; call
 // NewEngine.
+//
+// The pending-event queue is a hand-rolled binary min-heap over []event,
+// ordered by (time, seq). Unlike container/heap it never boxes events into
+// interface{} values, so the Schedule/Run hot path is allocation-free once
+// the backing array has grown to the model's high-water mark; the array is
+// kept in place across pops and reused.
 type Engine struct {
 	now     Cycles
 	seq     uint64
-	pq      eventHeap
+	pq      []event
 	stopped bool
 
 	// Processed counts events executed so far; useful for budgeting.
@@ -64,9 +49,67 @@ type Engine struct {
 
 // NewEngine returns an empty engine at time zero.
 func NewEngine() *Engine {
-	e := &Engine{}
-	heap.Init(&e.pq)
-	return e
+	return &Engine{pq: make([]event, 0, 64)}
+}
+
+// less orders the heap by time, breaking ties by insertion sequence.
+func (e *Engine) less(i, j int) bool {
+	if e.pq[i].time != e.pq[j].time {
+		return e.pq[i].time < e.pq[j].time
+	}
+	return e.pq[i].seq < e.pq[j].seq
+}
+
+// siftUp restores the heap invariant after appending at index i.
+func (e *Engine) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.less(i, parent) {
+			break
+		}
+		e.pq[i], e.pq[parent] = e.pq[parent], e.pq[i]
+		i = parent
+	}
+}
+
+// siftDown restores the heap invariant after replacing the root.
+func (e *Engine) siftDown(i int) {
+	n := len(e.pq)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		least := left
+		if right := left + 1; right < n && e.less(right, left) {
+			least = right
+		}
+		if !e.less(least, i) {
+			return
+		}
+		e.pq[i], e.pq[least] = e.pq[least], e.pq[i]
+		i = least
+	}
+}
+
+// push inserts ev into the heap.
+func (e *Engine) push(ev event) {
+	e.pq = append(e.pq, ev)
+	e.siftUp(len(e.pq) - 1)
+}
+
+// pop removes and returns the earliest event. The vacated slot is zeroed so
+// the heap does not retain the popped closure.
+func (e *Engine) pop() event {
+	ev := e.pq[0]
+	n := len(e.pq) - 1
+	e.pq[0] = e.pq[n]
+	e.pq[n] = event{}
+	e.pq = e.pq[:n]
+	if n > 0 {
+		e.siftDown(0)
+	}
+	return ev
 }
 
 // Now returns the current simulated time.
@@ -76,7 +119,7 @@ func (e *Engine) Now() Cycles { return e.now }
 func (e *Engine) Processed() uint64 { return e.processed }
 
 // Pending returns the number of events currently scheduled.
-func (e *Engine) Pending() int { return e.pq.Len() }
+func (e *Engine) Pending() int { return len(e.pq) }
 
 // At schedules fn at absolute time t. Scheduling in the past panics: it is
 // always a model bug.
@@ -85,13 +128,13 @@ func (e *Engine) At(t Cycles, fn func()) {
 		panic(fmt.Sprintf("sim: scheduling at %d before now %d", t, e.now))
 	}
 	e.seq++
-	heap.Push(&e.pq, event{time: t, seq: e.seq, fn: fn})
+	e.push(event{time: t, seq: e.seq, fn: fn})
 }
 
 // After schedules fn d cycles from now.
 func (e *Engine) After(d Cycles, fn func()) { e.At(e.now+d, fn) }
 
-// Stop makes Run return after the current event completes.
+// Stop makes Run (or RunUntil) return after the current event completes.
 func (e *Engine) Stop() { e.stopped = true }
 
 // Run executes events until the queue drains, Stop is called, or maxEvents
@@ -99,11 +142,11 @@ func (e *Engine) Stop() { e.stopped = true }
 // exhausted with events still pending.
 func (e *Engine) Run(maxEvents uint64) error {
 	e.stopped = false
-	for e.pq.Len() > 0 && !e.stopped {
+	for len(e.pq) > 0 && !e.stopped {
 		if maxEvents > 0 && e.processed >= maxEvents {
 			return ErrLimit
 		}
-		ev := heap.Pop(&e.pq).(event)
+		ev := e.pop()
 		if ev.time < e.now {
 			panic("sim: event time regression")
 		}
@@ -114,15 +157,22 @@ func (e *Engine) Run(maxEvents uint64) error {
 	return nil
 }
 
-// RunUntil executes events with time <= t, then sets now = t.
+// RunUntil executes events with time <= t, then sets now = t. Like Run it
+// clears any prior Stop on entry and honors a Stop issued by an event; when
+// stopped mid-window, now stays at the last executed event rather than
+// jumping to t, so the remaining events are still in the future.
 func (e *Engine) RunUntil(t Cycles) {
-	for e.pq.Len() > 0 && e.pq[0].time <= t && !e.stopped {
-		ev := heap.Pop(&e.pq).(event)
+	e.stopped = false
+	for len(e.pq) > 0 && e.pq[0].time <= t && !e.stopped {
+		ev := e.pop()
+		if ev.time < e.now {
+			panic("sim: event time regression")
+		}
 		e.now = ev.time
 		e.processed++
 		ev.fn()
 	}
-	if e.now < t {
+	if e.now < t && !e.stopped {
 		e.now = t
 	}
 }

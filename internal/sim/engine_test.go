@@ -93,6 +93,52 @@ func TestEngineStop(t *testing.T) {
 	}
 }
 
+// A prior Stop() must not leave RunUntil silently skipping events: like
+// Run, it resets the flag on entry.
+func TestEngineRunUntilAfterStop(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	e.At(1, func() { n++; e.Stop() })
+	e.At(2, func() { n++ })
+	if err := e.Run(0); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if n != 1 {
+		t.Fatalf("executed %d events before stop, want 1", n)
+	}
+	e.RunUntil(10)
+	if n != 2 {
+		t.Errorf("executed %d events after RunUntil, want 2", n)
+	}
+	if e.Now() != 10 {
+		t.Errorf("Now = %d, want 10", e.Now())
+	}
+}
+
+// Stop issued during a RunUntil window halts the loop and leaves now at the
+// last executed event, not at t.
+func TestEngineRunUntilStopMidWindow(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	e.At(3, func() { n++; e.Stop() })
+	e.At(5, func() { n++ })
+	e.RunUntil(10)
+	if n != 1 {
+		t.Errorf("executed %d events, want 1 (stopped)", n)
+	}
+	if e.Now() != 3 {
+		t.Errorf("Now = %d, want 3 (not advanced past stop)", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Errorf("Pending = %d, want 1", e.Pending())
+	}
+	// A later RunUntil resumes where the stop left off.
+	e.RunUntil(10)
+	if n != 2 || e.Now() != 10 {
+		t.Errorf("after resume: n=%d Now=%d, want 2/10", n, e.Now())
+	}
+}
+
 func TestEngineRunUntil(t *testing.T) {
 	e := NewEngine()
 	var fired []Cycles
@@ -113,6 +159,35 @@ func TestEngineRunUntil(t *testing.T) {
 	}
 	if e.Now() != 100 {
 		t.Errorf("Now = %d, want 100", e.Now())
+	}
+}
+
+// The hand-rolled heap must preserve the (time, seq) tie-break at scale:
+// many events at few distinct times fire in insertion order within a time.
+func TestEngineInsertionOrderAtScale(t *testing.T) {
+	e := NewEngine()
+	const n = 1000
+	var got []int
+	for i := 0; i < n; i++ {
+		i := i
+		e.At(Cycles(i%7), func() { got = append(got, i) })
+	}
+	if err := e.Run(0); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(got) != n {
+		t.Fatalf("fired %d events, want %d", len(got), n)
+	}
+	last := make(map[Cycles]int)
+	for k, i := range got {
+		tm := Cycles(i % 7)
+		if prev, ok := last[tm]; ok && i < prev {
+			t.Fatalf("at position %d: event %d fired after %d at time %d", k, i, prev, tm)
+		}
+		last[tm] = i
+		if k > 0 && Cycles(got[k]%7) < Cycles(got[k-1]%7) {
+			t.Fatalf("time regression at position %d", k)
+		}
 	}
 }
 

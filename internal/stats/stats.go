@@ -62,6 +62,10 @@ type Result struct {
 	TasksSpawned  uint64
 	MsgsDelivered uint64
 
+	// Events is the number of discrete events the engine processed — the
+	// simulator-side work metric behind the events/sec figures.
+	Events uint64
+
 	// Traffic in bytes by locality class.
 	IntraRankBytes uint64
 	CrossRankBytes uint64
