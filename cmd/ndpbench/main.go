@@ -6,9 +6,11 @@
 //	ndpbench -exp fig14a -small
 //	ndpbench -j 8             # eight simulations in flight at once
 //	ndpbench -benchjson results/bench.json
+//	ndpbench -metrics results/  # per-experiment instrument metrics JSON
+//	ndpbench -pprof-cpu cpu.out -exp fig10
 //
 // Experiments: fig2, fig10, fig11, fig12, fig13, fig14a, fig14b, fig15,
-// fig16a, fig16b, fig16cd, splitdb, l2variants, tab1, tab2.
+// fig16a, fig16b, fig16cd, splitdb, l2variants, latency, tab1, tab2.
 //
 // Independent (app, design, config) simulations are fanned across a worker
 // pool; -j controls its width (default: one worker per CPU, -j 1 restores
@@ -25,10 +27,12 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"ndpbridge/internal/experiments"
+	"ndpbridge/internal/metrics"
 	"ndpbridge/internal/stats"
 )
 
@@ -53,6 +57,7 @@ var all = []struct {
 	{"fig16cd", experiments.Fig16cd},
 	{"splitdb", experiments.SplitDB},
 	{"l2variants", experiments.L2Variants},
+	{"latency", experiments.Latency},
 }
 
 // writeCSV stores one experiment table under dir.
@@ -99,9 +104,31 @@ func main() {
 		csvDir    = flag.String("csv", "", "also write each experiment's table as <dir>/<name>.csv")
 		jobsN     = flag.Int("j", 0, "simulations to run concurrently (0 = one per CPU, 1 = sequential)")
 		benchJSON = flag.String("benchjson", "", "write per-experiment perf records (wall-clock, events, events/sec) to this JSON file")
+		metDir    = flag.String("metrics", "", "write each experiment's aggregated instrument metrics as <dir>/<name>.metrics.json")
+		pprofCPU  = flag.String("pprof-cpu", "", "write a CPU profile of the whole run to this file")
+		pprofMem  = flag.String("pprof-mem", "", "write a heap profile at the end of the run to this file")
+		progress  = flag.Bool("progress", false, "print a periodic progress heartbeat to stderr")
 	)
 	flag.Parse()
 	experiments.SetJobs(*jobsN)
+
+	if *pprofCPU != "" {
+		f, err := os.Create(*pprofCPU)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ndpbench: pprof-cpu: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "ndpbench: pprof-cpu: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		defer pprof.StopCPUProfile()
+	}
+	if *progress {
+		stop := startProgress()
+		defer stop()
+	}
 
 	sc := experiments.Full
 	scName := "full"
@@ -134,6 +161,9 @@ func main() {
 			continue
 		}
 		experiments.ResetCounters()
+		if *metDir != "" {
+			experiments.EnableMetrics()
+		}
 		start := time.Now()
 		t, err := e.fn(sc)
 		if err != nil {
@@ -141,6 +171,12 @@ func main() {
 			os.Exit(1)
 		}
 		wall := time.Since(start).Seconds()
+		if *metDir != "" {
+			if err := writeMetrics(*metDir, e.name, experiments.TakeMetrics()); err != nil {
+				fmt.Fprintf(os.Stderr, "ndpbench: metrics %s: %v\n", e.name, err)
+				os.Exit(1)
+			}
+		}
 		c := experiments.Counters()
 		rec := benchRecord{
 			Name: e.name, WallSeconds: wall,
@@ -178,6 +214,68 @@ func main() {
 			fmt.Fprintf(os.Stderr, "ndpbench: benchjson: %v\n", err)
 			os.Exit(1)
 		}
+	}
+	if *pprofMem != "" {
+		if err := writeHeapProfile(*pprofMem); err != nil {
+			fmt.Fprintf(os.Stderr, "ndpbench: pprof-mem: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeMetrics stores one experiment's aggregated instrument metrics.
+func writeMetrics(dir, name string, reg *metrics.Registry) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, name+".metrics.json"))
+	if err != nil {
+		return err
+	}
+	if err := reg.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeHeapProfile captures the end-of-run heap after a final GC.
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// startProgress launches a heartbeat goroutine reporting the package-wide run
+// counters every few seconds. The returned func stops it.
+func startProgress() func() {
+	stop := make(chan struct{})
+	go func() {
+		start := time.Now()
+		tick := time.NewTicker(2 * time.Second)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				c := experiments.Counters()
+				elapsed := time.Since(start).Seconds()
+				fmt.Fprintf(os.Stderr, "\rndpbench: %d runs, %dM events, %.2fM events/sec",
+					c.Runs, c.Events>>20, float64(c.Events)/elapsed/1e6)
+			}
+		}
+	}()
+	return func() {
+		close(stop)
+		fmt.Fprintln(os.Stderr)
 	}
 }
 

@@ -11,9 +11,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"ndpbridge/internal/config"
 	"ndpbridge/internal/core"
+	"ndpbridge/internal/metrics"
 	"ndpbridge/internal/stats"
 	"ndpbridge/internal/trace"
 	"ndpbridge/internal/workloads"
@@ -35,6 +37,8 @@ func main() {
 		verbose  = flag.Bool("v", false, "print per-component detail")
 		traceOut = flag.String("trace", "", "write a Chrome/Perfetto trace JSON to this file")
 		heatmap  = flag.Bool("heatmap", false, "print a per-unit utilization heatmap")
+		metOut   = flag.String("metrics", "", "write instrument metrics (counters, histograms, sampled series) JSON to this file")
+		progress = flag.Bool("progress", false, "print a progress heartbeat to stderr while simulating")
 	)
 	flag.Parse()
 
@@ -94,7 +98,18 @@ func main() {
 		rec = trace.New(0)
 		sys.AttachTrace(rec)
 	}
+	var reg *metrics.Registry
+	if *metOut != "" || *verbose {
+		reg = metrics.NewRegistry()
+		sys.AttachMetrics(reg)
+	}
+	if *progress {
+		startHeartbeat(sys)
+	}
 	r, err := sys.Run(app)
+	if *progress {
+		fmt.Fprintln(os.Stderr)
+	}
 	fatalIf(err)
 
 	fmt.Println(r)
@@ -112,6 +127,39 @@ func main() {
 		fatalIf(f.Close())
 		fmt.Printf("wrote %d trace events to %s\n", rec.Len(), *traceOut)
 	}
+	if *metOut != "" {
+		f, err := os.Create(*metOut)
+		fatalIf(err)
+		fatalIf(reg.WriteJSON(f))
+		fatalIf(f.Close())
+		fmt.Printf("wrote metrics (%d counters, %d histograms, %d series) to %s\n",
+			len(reg.CounterNames()), len(reg.HistogramNames()), len(reg.SeriesNames()), *metOut)
+	}
+}
+
+// startHeartbeat installs an engine progress hook that reports simulation
+// speed, the current simulated cycle, and — since the only a-priori bound on
+// a run is its event budget — how long until that budget would be exhausted
+// at the current speed.
+func startHeartbeat(sys *core.System) {
+	const every = 1 << 20 // events between reports
+	start := time.Now()
+	eng := sys.Engine()
+	budget := sys.MaxEvents()
+	eng.SetProgress(every, func(now uint64, processed uint64) {
+		elapsed := time.Since(start).Seconds()
+		if elapsed <= 0 {
+			return
+		}
+		eps := float64(processed) / elapsed
+		line := fmt.Sprintf("\rndpsim: %dM events, cycle %d, %.2fM events/sec",
+			processed>>20, now, eps/1e6)
+		if budget > processed && eps > 0 {
+			line += fmt.Sprintf(", budget ETA %s",
+				(time.Duration(float64(budget-processed)/eps) * time.Second).Round(time.Second))
+		}
+		fmt.Fprint(os.Stderr, line)
+	})
 }
 
 func printDetail(r *stats.Result) {
@@ -126,6 +174,12 @@ func printDetail(r *stats.Result) {
 	fmt.Printf("  load balancing:  %12d rounds, %d blocks migrated, %d returned\n",
 		r.LBRounds, r.BlocksMigrated, r.BlocksReturned)
 	fmt.Printf("  gather rounds:   %12d\n", r.GatherRounds)
+	if !r.TaskLatency.IsZero() {
+		fmt.Printf("  task latency:    %12s cycles (p50/p90/p99/max)\n", r.TaskLatency)
+	}
+	if !r.MsgLatency.IsZero() {
+		fmt.Printf("  msg latency:     %12s cycles (p50/p90/p99/max)\n", r.MsgLatency)
+	}
 	e := r.Energy
 	fmt.Printf("  energy (mJ):     core+SRAM %.2f, local DRAM %.2f, comm %.2f, static %.2f, total %.2f\n",
 		e.CoreSRAM, e.LocalDRAM, e.CommDRAM, e.Static, e.Total())

@@ -12,6 +12,7 @@ import (
 	"ndpbridge/internal/dram"
 	"ndpbridge/internal/mailbox"
 	"ndpbridge/internal/metadata"
+	"ndpbridge/internal/metrics"
 	"ndpbridge/internal/msg"
 	"ndpbridge/internal/ndpunit"
 	"ndpbridge/internal/sched"
@@ -84,6 +85,38 @@ type Level1 struct {
 	lastGather sim.Cycles
 
 	st Stats
+
+	// Instruments, bound by BindMetrics; nil no-ops when metrics are off.
+	mGather   *metrics.Histogram // bytes moved per non-empty gather round
+	mScatter  *metrics.Histogram // bytes moved per non-empty scatter round
+	mLBBudget *metrics.Histogram // workload budget per SCHEDULE command
+	mWQueue   *metrics.Histogram // per-child W_queue at each LB round
+	cLB       *metrics.Counter
+	cWasted   *metrics.Counter
+}
+
+// BindMetrics attaches the bridge's instruments to reg. All level-1 bridges
+// of one run bind the same named instruments (system-wide distributions).
+func (b *Level1) BindMetrics(reg *metrics.Registry) {
+	b.mGather = reg.Histogram("gather_batch_bytes")
+	b.mScatter = reg.Histogram("scatter_batch_bytes")
+	b.mLBBudget = reg.Histogram("lb_budget_workload")
+	b.mWQueue = reg.Histogram("lb_child_wqueue")
+	b.cLB = reg.Counter("lb_rounds")
+	b.cWasted = reg.Counter("wasted_gathers")
+}
+
+// BackupBytes returns the bytes held in the overflow backup buffer, for the
+// bridge-buffer-occupancy gauge.
+func (b *Level1) BackupBytes() uint64 { return b.backupBytes }
+
+// ScatterBacklog returns the bytes waiting in all per-child scatter buffers.
+func (b *Level1) ScatterBacklog() uint64 {
+	var n uint64
+	for _, s := range b.scatterBytes {
+		n += s
+	}
+	return n
 }
 
 type assignState struct {
@@ -211,8 +244,15 @@ func (b *Level1) loadBalance(states []msg.State) {
 	queueOf := func(g int) uint64 { return b.children[b.localIndex(g)].QueueWorkload() }
 	cmds := sched.Match(b.rng, receivers, givers, cfg.LoadBalance, b.wth, queueOf)
 	now := uint64(b.env.Engine().Now())
+	if len(cmds) > 0 {
+		for _, c := range cs {
+			b.mWQueue.Observe(c.WQueue)
+		}
+	}
 	for _, c := range cmds {
 		b.st.LBRounds++
+		b.cLB.Inc()
+		b.mLBBudget.Observe(c.Budget)
 		round := b.newRound()
 		b.assign[schedKey{c.Giver, round}] = &assignState{receivers: c.Receivers, blockTo: make(map[uint64]int)}
 		b.env.Trace().Record(trace.KindLB, c.Giver, now, now, "schedule")
@@ -418,7 +458,7 @@ func (b *Level1) gatherRound() (sim.Cycles, bool) {
 		return 0, false
 	}
 	fixed := cfg.Trigger != config.TriggerDynamic
-	moved := false
+	var movedBytes uint64
 	for chip := 0; chip < b.chips; chip++ {
 		child := b.pickGatherChild(chip)
 		if child < 0 {
@@ -428,6 +468,7 @@ func (b *Level1) gatherRound() (sim.Cycles, bool) {
 				idx := chip*b.banksPerChip + b.roundIdx%b.banksPerChip
 				b.children[idx].WastedGather()
 				b.st.WastedGathers++
+				b.cWasted.Inc()
 				b.st.BusBytes += cfg.GXfer
 			}
 			continue
@@ -437,20 +478,24 @@ func (b *Level1) gatherRound() (sim.Cycles, bool) {
 		if len(ms) == 0 {
 			if fixed {
 				b.st.WastedGathers++
+				b.cWasted.Inc()
 				b.st.BusBytes += cfg.GXfer
 			}
 			continue
 		}
-		moved = true
-		b.st.BusBytes += msg.TotalSize(ms)
+		movedBytes += msg.TotalSize(ms)
 		for _, m := range ms {
 			b.route(m)
 		}
 	}
 	b.roundIdx++
 	b.lastGather = b.env.Engine().Now()
-	if !moved && !fixed {
+	if movedBytes == 0 && !fixed {
 		return 0, false
+	}
+	if movedBytes > 0 {
+		b.st.BusBytes += movedBytes
+		b.mGather.Observe(movedBytes)
 	}
 	b.st.GatherRounds++
 	return b.roundDuration(), true
@@ -472,7 +517,7 @@ func (b *Level1) pickGatherChild(chip int) int {
 // scatter buffer.
 func (b *Level1) scatterRound() (sim.Cycles, bool) {
 	cfg := b.env.Cfg()
-	moved := false
+	var movedBytes uint64
 	for chip := 0; chip < b.chips; chip++ {
 		idx := b.pickScatterChild(chip)
 		if idx < 0 {
@@ -491,13 +536,14 @@ func (b *Level1) scatterRound() (sim.Cycles, bool) {
 			b.deliverToChild(idx, m)
 		}
 		if sent > 0 {
-			moved = true
+			movedBytes += sent
 			b.st.BusBytes += sent
 		}
 	}
-	if !moved {
+	if movedBytes == 0 {
 		return 0, false
 	}
+	b.mScatter.Observe(movedBytes)
 	b.st.ScatterRounds++
 	return b.roundDuration(), true
 }

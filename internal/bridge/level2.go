@@ -4,9 +4,11 @@ import (
 	"ndpbridge/internal/config"
 	"ndpbridge/internal/dram"
 	"ndpbridge/internal/metadata"
+	"ndpbridge/internal/metrics"
 	"ndpbridge/internal/msg"
 	"ndpbridge/internal/sched"
 	"ndpbridge/internal/sim"
+	"ndpbridge/internal/trace"
 )
 
 // Level2 is the level-2 bridge: a host software runtime connecting the
@@ -36,6 +38,18 @@ type Level2 struct {
 	rng     *sim.RNG
 
 	st Stats2
+
+	// Instruments, bound by BindMetrics; nil no-ops when metrics are off.
+	mBatch    *metrics.Histogram // bytes per channel batch (scatter + gather)
+	mLBBudget *metrics.Histogram // workload budget per cross-rank SCHEDULE
+	cLB       *metrics.Counter
+}
+
+// BindMetrics attaches the level-2 bridge's instruments to reg.
+func (l *Level2) BindMetrics(reg *metrics.Registry) {
+	l.mBatch = reg.Histogram("l2_batch_bytes")
+	l.mLBBudget = reg.Histogram("l2_lb_budget_workload")
+	l.cLB = reg.Counter("l2_lb_rounds")
 }
 
 // Stats2 holds level-2 counters.
@@ -163,10 +177,15 @@ func (l *Level2) crossRankBalance() {
 	rankWth := wthMax * uint64(cfg.Geometry.UnitsPerRank()) / 4
 	queueOf := func(g int) uint64 { return states[g].WQueue }
 	cmds := sched.Match(l.rng, receivers, givers, cfg.LoadBalance, rankWth, queueOf)
+	now := uint64(l.env.Engine().Now())
 	for _, c := range cmds {
 		l.st.LBRounds++
+		l.cLB.Inc()
+		l.mLBBudget.Observe(c.Budget)
 		round := l.newRound()
 		l.assign[schedKey{c.Giver, round}] = &assignState{receivers: c.Receivers, blockTo: make(map[uint64]int)}
+		// Track is the giver rank: cross-rank rounds have no single unit.
+		l.env.Trace().Record(trace.KindLB, c.Giver, now, now, "l2-schedule")
 		l.bridges[c.Giver].CommandScheduleRank(c.Budget, round)
 	}
 }
@@ -272,6 +291,7 @@ func (l *Level2) step(ch int) {
 		l.st.GatherBatches++
 	}
 	l.st.CrossRankBytes += bytes
+	l.mBatch.Observe(bytes)
 	eng.At(end, func() {
 		for _, d := range down {
 			l.bridges[d.rank].AcceptFromUp(d.m)

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"testing"
+
+	"ndpbridge/internal/config"
+	"ndpbridge/internal/metrics"
+)
+
+// TestMetricsEndToEnd runs a message-heavy workload with a registry attached
+// and checks that every layer of the stack produced observations: task and
+// message latency histograms, gather batches, the epoch histogram, the
+// cycle-sampled gauge series, and the percentile summaries in the Result.
+func TestMetricsEndToEnd(t *testing.T) {
+	sys, err := New(testCfg(config.DesignO))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := metrics.NewRegistry()
+	sys.AttachMetrics(reg)
+	if sys.Metrics() != reg {
+		t.Fatal("Metrics() does not return the attached registry")
+	}
+	r, err := sys.Run(&pingPong{hops: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, name := range []string{"task_latency_cycles", "task_exec_cycles", "msg_latency_cycles", "gather_batch_bytes", "epoch_cycles"} {
+		h := reg.FindHistogram(name)
+		if h.Count() == 0 {
+			t.Errorf("histogram %s has no observations", name)
+		}
+		if h.Max() < h.Min() {
+			t.Errorf("histogram %s: max %d < min %d", name, h.Max(), h.Min())
+		}
+	}
+	if got := reg.FindHistogram("task_latency_cycles").Count(); got != 40 {
+		t.Errorf("task_latency_cycles count = %d, want 40 (one per hop)", got)
+	}
+	if r.TaskLatency.Max == 0 {
+		t.Error("Result.TaskLatency not populated")
+	}
+	if r.MsgLatency.Max == 0 {
+		t.Error("Result.MsgLatency not populated")
+	}
+	if r.TaskLatency.P50 > r.TaskLatency.P99 || r.TaskLatency.P99 > r.TaskLatency.Max {
+		t.Errorf("task latency percentiles not monotonic: %+v", r.TaskLatency)
+	}
+
+	// The run spans many I_state periods, so the sampler must have fired.
+	series := reg.SeriesNames()
+	if len(series) == 0 {
+		t.Fatal("no sampled series")
+	}
+	for _, name := range series {
+		s := reg.SeriesByName(name)
+		if s.Len() == 0 {
+			t.Errorf("series %s is empty", name)
+		}
+		for i := 1; i < s.Len(); i++ {
+			if s.Cycles[i] <= s.Cycles[i-1] {
+				t.Errorf("series %s cycles not increasing at %d", name, i)
+			}
+		}
+	}
+	if reg.SeriesByName("mailbox_used_total") == nil {
+		t.Error("mailbox_used_total series missing")
+	}
+}
+
+// TestMetricsOffIsNoop: without AttachMetrics the same run works and the
+// Result's latency summaries stay zero.
+func TestMetricsOffIsNoop(t *testing.T) {
+	sys, err := New(testCfg(config.DesignO))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := sys.Run(&pingPong{hops: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.TaskLatency.IsZero() || !r.MsgLatency.IsZero() {
+		t.Errorf("latency summaries populated without metrics: %+v %+v", r.TaskLatency, r.MsgLatency)
+	}
+}
+
+// TestMetricsDesignH exercises the host-executor instrumentation path.
+func TestMetricsDesignH(t *testing.T) {
+	sys, err := New(testCfg(config.DesignH))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := metrics.NewRegistry()
+	sys.AttachMetrics(reg)
+	if _, err := sys.Run(&pingPong{hops: 20}); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.FindHistogram("task_latency_cycles").Count(); got != 20 {
+		t.Errorf("task_latency_cycles count = %d, want 20", got)
+	}
+	if reg.FindHistogram("task_exec_cycles").Count() != 20 {
+		t.Error("task_exec_cycles not populated on design H")
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"ndpbridge/internal/dram"
 	"ndpbridge/internal/energy"
 	"ndpbridge/internal/host"
+	"ndpbridge/internal/metrics"
 	"ndpbridge/internal/ndpunit"
 	"ndpbridge/internal/rowclone"
 	"ndpbridge/internal/sim"
@@ -61,6 +62,10 @@ type System struct {
 	maxEvents uint64
 	taskTrace func(now uint64)
 	rec       *trace.Recorder
+
+	met        *metrics.Registry
+	mEpoch     *metrics.Histogram
+	epochStart sim.Cycles
 }
 
 // New builds a system for cfg. The configuration is validated.
@@ -162,6 +167,9 @@ func (s *System) checkAdvance() {
 		return
 	}
 	delete(s.outstanding, s.epoch)
+	now := s.eng.Now()
+	s.mEpoch.Observe(now - s.epochStart)
+	s.epochStart = now
 	next := s.epoch + 1
 	// Ask the application for more work unless tasks for the next epoch
 	// were already spawned dynamically.
@@ -227,6 +235,9 @@ func (s *System) Rand() *sim.RNG { return s.rng }
 // SetMaxEvents overrides the default event budget (livelock guard).
 func (s *System) SetMaxEvents(n uint64) { s.maxEvents = n }
 
+// MaxEvents returns the event budget (for progress/ETA reporting).
+func (s *System) MaxEvents() uint64 { return s.maxEvents }
+
 // SetTaskTrace installs a callback invoked at every task completion with the
 // completion cycle — a profiling hook for tests and tools.
 func (s *System) SetTaskTrace(fn func(now uint64)) { s.taskTrace = fn }
@@ -236,6 +247,87 @@ func (s *System) AttachTrace(r *trace.Recorder) { s.rec = r }
 
 // Trace returns the attached recorder (nil when tracing is off).
 func (s *System) Trace() *trace.Recorder { return s.rec }
+
+// AttachMetrics installs a metrics registry: it binds every component's
+// instruments and registers the system-level gauges the cycle sampler
+// snapshots (mailbox occupancy, ready-queue depth, in-flight messages,
+// bridge-buffer backlog). Attach before Run; a nil registry is a no-op.
+func (s *System) AttachMetrics(reg *metrics.Registry) {
+	s.met = reg
+	if reg == nil {
+		return
+	}
+	s.mEpoch = reg.Histogram("epoch_cycles")
+	for _, u := range s.units {
+		u.BindMetrics(reg)
+	}
+	for _, b := range s.bridges {
+		b.BindMetrics(reg)
+	}
+	if s.l2 != nil {
+		s.l2.BindMetrics(reg)
+	}
+	if s.fwd != nil {
+		s.fwd.BindMetrics(reg)
+	}
+	if s.exec != nil {
+		s.exec.BindMetrics(reg)
+	}
+
+	reg.Gauge("inflight_msgs", func() uint64 { return s.inflight })
+	reg.Gauge("mailbox_used_total", func() uint64 {
+		var n uint64
+		for _, u := range s.units {
+			n += u.MailboxUsed() + u.ChipMailUsed()
+		}
+		return n
+	})
+	reg.Gauge("mailbox_used_max", func() uint64 {
+		var m uint64
+		for _, u := range s.units {
+			if used := u.MailboxUsed(); used > m {
+				m = used
+			}
+		}
+		return m
+	})
+	reg.Gauge("ready_tasks_total", func() uint64 {
+		var n uint64
+		for _, u := range s.units {
+			n += uint64(u.QueueLen())
+		}
+		if s.exec != nil {
+			n += uint64(s.exec.QueueLen())
+		}
+		return n
+	})
+	if len(s.bridges) > 0 {
+		reg.Gauge("bridge_backup_bytes", func() uint64 {
+			var n uint64
+			for _, b := range s.bridges {
+				n += b.BackupBytes()
+			}
+			return n
+		})
+		reg.Gauge("bridge_up_bytes", func() uint64 {
+			var n uint64
+			for _, b := range s.bridges {
+				n += b.UpPending()
+			}
+			return n
+		})
+		reg.Gauge("bridge_scatter_bytes", func() uint64 {
+			var n uint64
+			for _, b := range s.bridges {
+				n += b.ScatterBacklog()
+			}
+			return n
+		})
+	}
+}
+
+// Metrics returns the attached registry (nil when metrics are off).
+func (s *System) Metrics() *metrics.Registry { return s.met }
 
 // --- Run ------------------------------------------------------------------
 
@@ -252,6 +344,11 @@ func (s *System) Run(app App) (*stats.Result, error) {
 		return nil, fmt.Errorf("core: %s seeded no work", app.Name())
 	}
 	s.ran = true
+	// The first epoch starts at the clock edge; later boundaries come from
+	// checkAdvance.
+	s.rec.Record(trace.KindEpoch, -1, s.eng.Now(), s.eng.Now(), "epoch 0")
+	s.epochStart = s.eng.Now()
+	s.met.StartSampler(s.eng, s.cfg.IState)
 
 	for _, b := range s.bridges {
 		b.Start()
@@ -346,6 +443,10 @@ func (s *System) collect(appName string) *stats.Result {
 		Makespan: s.eng.Now(),
 		Events:   s.eng.Processed(),
 	}
+	if s.met != nil {
+		r.TaskLatency = latencySummary(s.met.FindHistogram("task_latency_cycles"))
+		r.MsgLatency = latencySummary(s.met.FindHistogram("msg_latency_cycles"))
+	}
 	ec := energy.Counters{Makespan: s.eng.Now(), Units: s.cfg.Geometry.Units()}
 
 	if s.exec != nil {
@@ -411,4 +512,16 @@ func (s *System) collect(appName string) *stats.Result {
 	r.Finalize()
 	r.Energy = energy.Breakdown(ec, s.cfg.Energy)
 	return r
+}
+
+// latencySummary folds a latency histogram into the Result's percentile
+// summary. All Histogram methods are nil-safe, so a missing histogram (or a
+// run without metrics) yields the zero summary.
+func latencySummary(h *metrics.Histogram) stats.Latency {
+	return stats.Latency{
+		P50: h.Quantile(0.50),
+		P90: h.Quantile(0.90),
+		P99: h.Quantile(0.99),
+		Max: h.Max(),
+	}
 }

@@ -19,6 +19,7 @@ import (
 
 	"ndpbridge/internal/config"
 	"ndpbridge/internal/core"
+	"ndpbridge/internal/metrics"
 	"ndpbridge/internal/stats"
 	"ndpbridge/internal/workloads"
 )
@@ -75,11 +76,21 @@ func run(cfg config.Config, appName string, sc Scale) (*stats.Result, error) {
 
 // runSystem executes one prepared system and feeds the global run counters
 // that back ndpbench's events/sec summary. Every simulation in this package
-// goes through it.
+// goes through it; when metrics collection is enabled (EnableMetrics) and the
+// caller did not attach its own registry, the run gets a private one that is
+// merged into the package aggregate after the run.
 func runSystem(sys *core.System, app core.App) (*stats.Result, error) {
+	collect := false
+	if sys.Metrics() == nil && metricsEnabled() {
+		sys.AttachMetrics(metrics.NewRegistry())
+		collect = true
+	}
 	r, err := sys.Run(app)
 	if err != nil {
 		return nil, err
+	}
+	if collect {
+		mergeMetrics(sys.Metrics(), r.App+"/"+r.Design+"/")
 	}
 	ctrRuns.Add(1)
 	ctrEvents.Add(r.Events)

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"ndpbridge/internal/config"
+	"ndpbridge/internal/core"
+	"ndpbridge/internal/metrics"
+	"ndpbridge/internal/stats"
+)
+
+// Metrics collection across the worker pool. Registries are single-goroutine
+// by design, so the harness gives every run its own registry and folds it
+// into the package aggregate after the run finishes, under metMu — the only
+// cross-goroutine metrics operation. Series names are prefixed with
+// "app/design/" so sweeps that run the same pair twice stay distinguishable
+// (Merge adds "#2" suffixes on collisions).
+
+var (
+	metMu  sync.Mutex
+	metAgg *metrics.Registry
+)
+
+// EnableMetrics starts collecting per-run metrics into a fresh aggregate.
+// Call before launching an experiment; pair with TakeMetrics.
+func EnableMetrics() {
+	metMu.Lock()
+	defer metMu.Unlock()
+	metAgg = metrics.NewRegistry()
+}
+
+// TakeMetrics returns the aggregate accumulated since EnableMetrics and
+// turns collection off. Returns nil when collection was never enabled.
+func TakeMetrics() *metrics.Registry {
+	metMu.Lock()
+	defer metMu.Unlock()
+	agg := metAgg
+	metAgg = nil
+	return agg
+}
+
+func metricsEnabled() bool {
+	metMu.Lock()
+	defer metMu.Unlock()
+	return metAgg != nil
+}
+
+func mergeMetrics(src *metrics.Registry, prefix string) {
+	metMu.Lock()
+	defer metMu.Unlock()
+	metAgg.Merge(src, prefix)
+}
+
+// Latency regenerates the end-to-end latency table: task spawn→execute and
+// message send→deliver percentiles per app on the full NDPBridge design,
+// plus the epoch count and mean gather batch. This is the observability
+// experiment introduced with the metrics layer, not a paper figure.
+func Latency(sc Scale) (*stats.Table, error) {
+	apps := Apps()
+	rows, err := parMap(len(apps), func(i int) ([]string, error) {
+		app, err := newApp(apps[i], sc)
+		if err != nil {
+			return nil, err
+		}
+		sys, err := core.New(baseConfig(sc).WithDesign(config.DesignO))
+		if err != nil {
+			return nil, err
+		}
+		reg := metrics.NewRegistry()
+		sys.AttachMetrics(reg)
+		r, err := runSystem(sys, app)
+		if err != nil {
+			return nil, fmt.Errorf("%s/O: %w", apps[i], err)
+		}
+		epochs := reg.FindHistogram("epoch_cycles").Count()
+		gatherMean := reg.FindHistogram("gather_batch_bytes").Mean()
+		return []string{
+			apps[i],
+			r.TaskLatency.String(),
+			r.MsgLatency.String(),
+			fmt.Sprintf("%d", epochs),
+			f2(gatherMean),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &stats.Table{
+		Title:  "End-to-end latency percentiles (design O, cycles, p50/p90/p99/max)",
+		Header: []string{"app", "task latency", "msg latency", "epochs", "gather B/round"},
+		Rows:   rows,
+	}, nil
+}

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"ndpbridge/internal/config"
+)
+
+func TestLatencyTable(t *testing.T) {
+	tb, err := Latency(Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != len(Apps()) {
+		t.Fatalf("rows = %d, want %d", len(tb.Rows), len(Apps()))
+	}
+	for _, row := range tb.Rows {
+		if len(row) != len(tb.Header) {
+			t.Fatalf("row %v has %d cells, header has %d", row, len(row), len(tb.Header))
+		}
+		// Task latency must be populated (p50/p90/p99/max, all > 0 max).
+		if row[1] == "0/0/0/0" {
+			t.Errorf("app %s: empty task latency", row[0])
+		}
+		if !strings.Contains(row[1], "/") {
+			t.Errorf("app %s: malformed latency cell %q", row[0], row[1])
+		}
+	}
+}
+
+// TestParallelMetricsMerge exercises the per-run-registry merge path under the
+// worker pool; run with -race to check the only shared state is metMu-guarded.
+func TestParallelMetricsMerge(t *testing.T) {
+	defer SetJobs(0)
+	SetJobs(4)
+	EnableMetrics()
+	defer TakeMetrics() // leave collection off even on failure
+	apps := []string{"tree", "ll", "pr", "bfs"}
+	if _, err := Grid(Small, apps, []config.Design{config.DesignO, config.DesignC}, nil); err != nil {
+		t.Fatal(err)
+	}
+	agg := TakeMetrics()
+	if agg == nil {
+		t.Fatal("TakeMetrics returned nil after EnableMetrics")
+	}
+	// Histograms fold by name across runs; series keep an "app/design/"
+	// prefix per run so sampled traces stay distinguishable.
+	if h := agg.FindHistogram("task_latency_cycles"); h.Count() == 0 {
+		t.Errorf("merged task latency empty; histograms: %v", agg.HistogramNames())
+	}
+	for _, a := range apps {
+		found := false
+		for _, n := range agg.SeriesNames() {
+			if strings.HasPrefix(n, a+"/O/") {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no merged series for %s/O; series: %v", a, agg.SeriesNames())
+		}
+	}
+	// Collection is now off: runs must not touch the (nil) aggregate.
+	if metricsEnabled() {
+		t.Error("metrics still enabled after TakeMetrics")
+	}
+	if _, err := run(baseConfig(Small).WithDesign(config.DesignO), "tree", Small); err != nil {
+		t.Fatalf("run with collection off: %v", err)
+	}
+}

@@ -1,6 +1,7 @@
 package host
 
 import (
+	"ndpbridge/internal/metrics"
 	"ndpbridge/internal/ndpunit"
 	"ndpbridge/internal/sim"
 	"ndpbridge/internal/task"
@@ -37,7 +38,23 @@ type Executor struct {
 	// each run draws the same deterministic sequence regardless of what
 	// other Systems in the process are doing.
 	rng *sim.RNG
+
+	// Instruments, bound by BindMetrics; nil no-ops when metrics are off.
+	// The names match the NDP units' so design-H runs populate the same
+	// latency histograms the rest of the stack does.
+	mTaskLat  *metrics.Histogram
+	mTaskExec *metrics.Histogram
 }
+
+// BindMetrics attaches the executor's instruments to reg.
+func (e *Executor) BindMetrics(reg *metrics.Registry) {
+	e.mTaskLat = reg.Histogram("task_latency_cycles")
+	e.mTaskExec = reg.Histogram("task_exec_cycles")
+}
+
+// QueueLen returns the number of tasks waiting in the shared pool, for the
+// ready-queue depth gauge.
+func (e *Executor) QueueLen() int { return e.queue.Len() }
 
 // NewExecutor builds the host execution runtime.
 func NewExecutor(env ExecEnv) *Executor {
@@ -81,6 +98,7 @@ func (e *Executor) TasksRun() []uint64 { return e.tasks }
 func (e *Executor) Seed(t task.Task) {
 	e.env.TaskSpawned(t.TS)
 	e.spawned++
+	t.SpawnedAt = e.env.Engine().Now()
 	e.queue.Push(t)
 }
 
@@ -105,12 +123,20 @@ func (e *Executor) tryStart(c int) {
 	e.busy[c] = true
 	eng := e.env.Engine()
 	now := eng.Now()
+	// A freed core can pop a task slightly before its logical spawn cursor
+	// (the queue is shared); clamp those to zero queueing latency.
+	lat := uint64(0)
+	if now > t.SpawnedAt {
+		lat = now - t.SpawnedAt
+	}
+	e.mTaskLat.Observe(lat)
 	ctx := &hostCtx{e: e, start: now, cursor: now + e.env.Cfg().Host.DispatchCost}
 	e.env.Registry().Handler(t.Func)(ctx, t)
 	end := ctx.cursor
 	if end <= now {
 		end = now + 1
 	}
+	e.mTaskExec.Observe(end - now)
 	e.busyCycles[c] += end - now
 	e.tasks[c]++
 	e.env.Trace().Record(trace.KindTask, c, uint64(now), uint64(end), e.env.Registry().Name(t.Func))
@@ -172,6 +198,7 @@ func (c *hostCtx) Enqueue(t task.Task) {
 	// Shared memory: every child task is locally runnable.
 	c.e.env.TaskSpawned(t.TS)
 	c.e.spawned++
+	t.SpawnedAt = c.cursor
 	c.e.queue.Push(t)
 	// Wake an idle core at the task's earliest start.
 	e := c.e

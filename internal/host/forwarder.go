@@ -7,6 +7,7 @@ package host
 import (
 	"ndpbridge/internal/config"
 	"ndpbridge/internal/dram"
+	"ndpbridge/internal/metrics"
 	"ndpbridge/internal/msg"
 	"ndpbridge/internal/ndpunit"
 	"ndpbridge/internal/sim"
@@ -44,6 +45,16 @@ type Forwarder struct {
 	inflight int   // messages the host has read but not yet written back
 
 	st ForwarderStats
+
+	// Instruments, bound by BindMetrics; nil no-ops when metrics are off.
+	mBatchBytes *metrics.Histogram // bytes per forwarding batch
+	mBatchMsgs  *metrics.Histogram // messages per forwarding batch
+}
+
+// BindMetrics attaches the forwarder's instruments to reg.
+func (f *Forwarder) BindMetrics(reg *metrics.Registry) {
+	f.mBatchBytes = reg.Histogram("host_batch_bytes")
+	f.mBatchMsgs = reg.Histogram("host_batch_msgs")
 }
 
 // NewForwarder builds the host forwarding runtime over all units.
@@ -161,6 +172,10 @@ func (f *Forwarder) step(ch int) {
 	f.st.GatherBatches++
 	f.st.Messages += uint64(len(ms))
 	f.st.Bytes += total
+	f.mBatchBytes.Observe(bytes)
+	f.mBatchMsgs.Observe(uint64(len(ms)))
+	// Actor -1: host batches are system-level, not tied to one unit.
+	f.env.Trace().Record(trace.KindGather, -1, now, end, "host-forward")
 	f.inflight += len(ms)
 	eng.At(end, func() {
 		for _, m := range ms {

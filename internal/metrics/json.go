@@ -1,0 +1,95 @@
+package metrics
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// The JSON schema emitted by WriteJSON:
+//
+//	{
+//	  "counters":   {"<name>": <uint64>, ...},
+//	  "histograms": {"<name>": {"count":…, "sum":…, "min":…, "max":…,
+//	                            "mean":…, "p50":…, "p90":…, "p99":…,
+//	                            "buckets": [{"le":…, "count":…}, ...]}, ...},
+//	  "series":     {"<name>": {"interval":…, "cycles":[…], "values":[…]}, ...}
+//	}
+//
+// Buckets are log2: entry {le: L, count: N} means N observations were
+// ≤ L and greater than the previous entry's le. Zero-count buckets are
+// omitted. Map keys make the output stable: encoding/json sorts them.
+
+// HistogramJSON is the exported form of one histogram.
+type HistogramJSON struct {
+	Count   uint64       `json:"count"`
+	Sum     uint64       `json:"sum"`
+	Min     uint64       `json:"min"`
+	Max     uint64       `json:"max"`
+	Mean    float64      `json:"mean"`
+	P50     uint64       `json:"p50"`
+	P90     uint64       `json:"p90"`
+	P99     uint64       `json:"p99"`
+	Buckets []BucketJSON `json:"buckets,omitempty"`
+}
+
+// BucketJSON is one non-empty log2 bucket.
+type BucketJSON struct {
+	Le    uint64 `json:"le"`
+	Count uint64 `json:"count"`
+}
+
+// SeriesJSON is the exported form of one sampled time series.
+type SeriesJSON struct {
+	Interval uint64   `json:"interval"`
+	Cycles   []uint64 `json:"cycles"`
+	Values   []uint64 `json:"values"`
+}
+
+// FileJSON is the top-level export schema.
+type FileJSON struct {
+	Counters   map[string]uint64        `json:"counters"`
+	Histograms map[string]HistogramJSON `json:"histograms"`
+	Series     map[string]SeriesJSON    `json:"series"`
+}
+
+// Export builds the JSON-ready snapshot of the registry.
+func (r *Registry) Export() FileJSON {
+	f := FileJSON{
+		Counters:   map[string]uint64{},
+		Histograms: map[string]HistogramJSON{},
+		Series:     map[string]SeriesJSON{},
+	}
+	if r == nil {
+		return f
+	}
+	for name, c := range r.counters {
+		f.Counters[name] = c.Value()
+	}
+	for name, h := range r.hists {
+		hj := HistogramJSON{
+			Count: h.Count(), Sum: h.Sum(), Min: h.Min(), Max: h.Max(),
+			Mean: h.Mean(), P50: h.Quantile(0.5), P90: h.Quantile(0.9), P99: h.Quantile(0.99),
+		}
+		for i, n := range h.buckets {
+			if n > 0 {
+				hj.Buckets = append(hj.Buckets, BucketJSON{Le: bucketUpper(i), Count: n})
+			}
+		}
+		f.Histograms[name] = hj
+	}
+	for name, s := range r.series {
+		f.Series[name] = SeriesJSON{Interval: s.Interval, Cycles: s.Cycles, Values: s.Values}
+	}
+	return f
+}
+
+// WriteJSON writes the registry snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(r.Export(), "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}

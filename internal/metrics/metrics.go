@@ -1,0 +1,399 @@
+// Package metrics is the simulator's run-introspection layer: monotonic
+// counters, callback gauges, and log2-bucketed histograms with quantile
+// estimation, collected in a per-run Registry and exported as JSON.
+//
+// The design follows trace.Recorder's nil-safety contract: every instrument
+// method is a no-op on a nil receiver, and a nil *Registry hands out nil
+// instruments, so hot paths carry exactly one predictable branch per
+// observation and zero allocations whether metrics are on or off
+// (BenchmarkEngineDispatch enforces the 0 allocs/op bound).
+//
+// A Registry is single-goroutine by construction — one per simulation run,
+// like the run's sim.Engine. Concurrent experiment harnesses (ndpbench -j N)
+// give every run its own Registry and merge them after the run barrier with
+// Merge, which is the only cross-run operation and is driven by one goroutine
+// under the harness's lock.
+package metrics
+
+import (
+	"math/bits"
+	"sort"
+)
+
+// Counter is a monotonic event counter.
+type Counter struct {
+	v uint64
+}
+
+// Add increments the counter by n. Nil receivers are no-ops.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v += n
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on a nil receiver).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Gauge reports an instantaneous value through a callback; the Sampler
+// snapshots registered gauges into time series.
+type Gauge struct {
+	name string
+	read func() uint64
+}
+
+// Value invokes the gauge's callback (0 on a nil receiver).
+func (g *Gauge) Value() uint64 {
+	if g == nil || g.read == nil {
+		return 0
+	}
+	return g.read()
+}
+
+// Name returns the gauge's registered name.
+func (g *Gauge) Name() string {
+	if g == nil {
+		return ""
+	}
+	return g.name
+}
+
+// nBuckets covers bits.Len64 of any uint64: bucket 0 holds the value 0,
+// bucket k (k ≥ 1) holds values in [2^(k-1), 2^k − 1].
+const nBuckets = 65
+
+// Histogram is a log2-bucketed distribution of uint64 observations. Exact
+// count, sum, min and max are kept alongside the buckets; quantiles are
+// resolved to the upper bound of the covering bucket (clamped to the exact
+// max), which bounds the relative quantile error by 2×.
+type Histogram struct {
+	count   uint64
+	sum     uint64
+	min     uint64
+	max     uint64
+	buckets [nBuckets]uint64
+}
+
+// Observe records one value. Nil receivers are no-ops.
+func (h *Histogram) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	// min starts at MaxUint64 (set by Registry.Histogram) so the empty
+	// case needs no extra branch here.
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	h.buckets[bits.Len64(v)]++
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count
+}
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum
+}
+
+// Min returns the smallest observation (0 when empty).
+func (h *Histogram) Min() uint64 {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest observation (0 when empty).
+func (h *Histogram) Max() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.max
+}
+
+// Mean returns the arithmetic mean of the observations.
+func (h *Histogram) Mean() float64 {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// bucketUpper returns the largest value bucket i can hold.
+func bucketUpper(i int) uint64 {
+	if i == 0 {
+		return 0
+	}
+	if i >= 64 {
+		return ^uint64(0)
+	}
+	return 1<<uint(i) - 1
+}
+
+// Quantile estimates the q-quantile (0 < q ≤ 1): the upper bound of the
+// bucket containing the ⌈q·count⌉-th smallest observation, clamped to the
+// exact min/max. Empty and nil histograms return 0.
+func (h *Histogram) Quantile(q float64) uint64 {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	rank := uint64(q * float64(h.count))
+	if float64(rank) < q*float64(h.count) {
+		rank++
+	}
+	if rank == 0 {
+		rank = 1
+	}
+	if rank > h.count {
+		rank = h.count
+	}
+	var cum uint64
+	for i := 0; i < nBuckets; i++ {
+		cum += h.buckets[i]
+		if cum >= rank {
+			u := bucketUpper(i)
+			if u > h.max {
+				u = h.max
+			}
+			if u < h.min {
+				u = h.min
+			}
+			return u
+		}
+	}
+	return h.max
+}
+
+// merge accumulates o into h.
+func (h *Histogram) merge(o *Histogram) {
+	if o == nil || o.count == 0 {
+		return
+	}
+	if o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	h.count += o.count
+	h.sum += o.sum
+	for i := range h.buckets {
+		h.buckets[i] += o.buckets[i]
+	}
+}
+
+// Series is one cycle-sampled time series produced by the Sampler.
+type Series struct {
+	// Interval is the sampling period in cycles.
+	Interval uint64
+	// Cycles[i] is the simulated time of sample i; Values[i] its value.
+	Cycles []uint64
+	Values []uint64
+}
+
+// Len returns the number of samples.
+func (s *Series) Len() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.Cycles)
+}
+
+// Registry holds one run's instruments, keyed by name. The zero value of
+// *Registry (nil) is the "metrics off" state: it hands out nil instruments
+// and ignores registrations.
+type Registry struct {
+	counters map[string]*Counter
+	hists    map[string]*Histogram
+	gauges   []*Gauge
+	gaugeIdx map[string]*Gauge
+	series   map[string]*Series
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		hists:    make(map[string]*Histogram),
+		gaugeIdx: make(map[string]*Gauge),
+		series:   make(map[string]*Series),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. A nil
+// registry returns a nil (no-op) counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Histogram returns the named histogram, creating it on first use. A nil
+// registry returns a nil (no-op) histogram.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	h := r.hists[name]
+	if h == nil {
+		h = &Histogram{min: ^uint64(0)}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Gauge registers a callback gauge under name. Re-registering a name
+// replaces the callback (the latest component wins). A nil registry returns
+// a nil gauge and drops the registration.
+func (r *Registry) Gauge(name string, read func() uint64) *Gauge {
+	if r == nil {
+		return nil
+	}
+	if g, ok := r.gaugeIdx[name]; ok {
+		g.read = read
+		return g
+	}
+	g := &Gauge{name: name, read: read}
+	r.gauges = append(r.gauges, g)
+	r.gaugeIdx[name] = g
+	return g
+}
+
+// FindHistogram returns the named histogram without creating it.
+func (r *Registry) FindHistogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.hists[name]
+}
+
+// FindCounter returns the named counter without creating it.
+func (r *Registry) FindCounter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.counters[name]
+}
+
+// SeriesByName returns the named sampled series, or nil.
+func (r *Registry) SeriesByName(name string) *Series {
+	if r == nil {
+		return nil
+	}
+	return r.series[name]
+}
+
+// CounterNames returns the registered counter names, sorted.
+func (r *Registry) CounterNames() []string {
+	if r == nil {
+		return nil
+	}
+	return sortedKeys(r.counters)
+}
+
+// HistogramNames returns the registered histogram names, sorted.
+func (r *Registry) HistogramNames() []string {
+	if r == nil {
+		return nil
+	}
+	return sortedKeys(r.hists)
+}
+
+// SeriesNames returns the sampled series names, sorted.
+func (r *Registry) SeriesNames() []string {
+	if r == nil {
+		return nil
+	}
+	return sortedKeys(r.series)
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// Merge folds src into r: counters sum, histograms merge bucket-wise, and
+// series are copied under prefix+name (a "#2", "#3", … suffix disambiguates
+// collisions, e.g. repeated (app, design) runs inside one sweep). Gauge
+// callbacks are not merged — they are bound to a live system. Merge is the
+// harness-side collection step for per-run registries and must be serialized
+// by the caller.
+func (r *Registry) Merge(src *Registry, prefix string) {
+	if r == nil || src == nil {
+		return
+	}
+	for name, c := range src.counters {
+		r.Counter(name).Add(c.v)
+	}
+	for name, h := range src.hists {
+		r.Histogram(name).merge(h)
+	}
+	for name, s := range src.series {
+		if s.Len() == 0 {
+			continue
+		}
+		key := prefix + name
+		if _, taken := r.series[key]; taken {
+			for i := 2; ; i++ {
+				k2 := key + "#" + itoa(i)
+				if _, taken := r.series[k2]; !taken {
+					key = k2
+					break
+				}
+			}
+		}
+		cp := &Series{Interval: s.Interval,
+			Cycles: append([]uint64(nil), s.Cycles...),
+			Values: append([]uint64(nil), s.Values...)}
+		r.series[key] = cp
+	}
+}
+
+// itoa avoids strconv in this tiny hot-free path.
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

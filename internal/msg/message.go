@@ -96,6 +96,12 @@ type Message struct {
 	// whose dataBorrowed table knows the receiver (Section VI-B).
 	Escalate bool
 
+	// StagedAt is the cycle the message entered the sender's staging
+	// buffer, stamped by the unit controller. Simulator measurement
+	// metadata (it feeds the send→deliver latency histograms); not part
+	// of the wire format.
+	StagedAt uint64
+
 	// Task is set for TypeTask.
 	Task task.Task
 

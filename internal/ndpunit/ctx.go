@@ -51,6 +51,7 @@ func (c *execCtx) Enqueue(t task.Task) {
 	u := c.u
 	u.env.TaskSpawned(t.TS)
 	u.st.Spawned++
+	t.SpawnedAt = c.cursor
 	if _, local := u.localOffset(t.Addr); local {
 		u.acceptTask(t)
 		return

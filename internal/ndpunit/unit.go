@@ -19,6 +19,7 @@ import (
 	"ndpbridge/internal/dram"
 	"ndpbridge/internal/mailbox"
 	"ndpbridge/internal/metadata"
+	"ndpbridge/internal/metrics"
 	"ndpbridge/internal/msg"
 	"ndpbridge/internal/sim"
 	"ndpbridge/internal/sketch"
@@ -89,8 +90,42 @@ type Unit struct {
 
 	st stats.Unit
 
+	// Instruments, bound by BindMetrics; nil (single-branch no-ops) when
+	// metrics are off.
+	mTaskLat  *metrics.Histogram // spawn → execution-start latency
+	mTaskExec *metrics.Histogram // execution duration
+	mMsgLat   *metrics.Histogram // staging → delivery latency
+	cBounces  *metrics.Counter
+	cBorrowed *metrics.Counter
+	cReturns  *metrics.Counter
+	cStalls   *metrics.Counter
+
 	hits64     uint64 // SRAM access approximation counter
 	lastBounce uint64 // most recent bounced task address, for diagnostics
+}
+
+// BindMetrics attaches the unit's instruments to reg. All units of one run
+// bind the same named instruments, so each histogram describes the
+// system-wide distribution. A nil registry leaves the instruments nil, which
+// keeps every observation a single-branch no-op.
+func (u *Unit) BindMetrics(reg *metrics.Registry) {
+	u.mTaskLat = reg.Histogram("task_latency_cycles")
+	u.mTaskExec = reg.Histogram("task_exec_cycles")
+	u.mMsgLat = reg.Histogram("msg_latency_cycles")
+	u.cBounces = reg.Counter("bounces")
+	u.cBorrowed = reg.Counter("blocks_borrowed")
+	u.cReturns = reg.Counter("blocks_returned")
+	u.cStalls = reg.Counter("mailbox_stalls")
+}
+
+// QueueLen returns the number of tasks waiting in the unit's queues (main
+// plus reserved), for the ready-queue depth gauge.
+func (u *Unit) QueueLen() int {
+	n := u.queue.Len()
+	if u.rq != nil {
+		n += u.rq.Total()
+	}
+	return n
 }
 
 // New builds a unit. rng must be a dedicated stream for this unit.
@@ -190,6 +225,7 @@ func (u *Unit) IsLocal(addr uint64) bool {
 func (u *Unit) SeedTask(t task.Task) {
 	u.env.TaskSpawned(t.TS)
 	u.st.Spawned++
+	t.SpawnedAt = u.env.Engine().Now()
 	if _, local := u.localOffset(t.Addr); !local {
 		// The block was lent out in an earlier epoch: forward the
 		// seed to its current holder through the fabric.
@@ -270,6 +306,7 @@ func (u *Unit) tryStart() {
 			// The block was lent away after this task was queued:
 			// bounce the task back into the fabric (Section VI-B).
 			u.st.Bounces++
+			u.cBounces.Inc()
 			u.lastBounce = t.Addr
 			u.emit(u.taskMessage(t, true))
 			if len(u.staged) > 0 && !u.flushStaged() {
@@ -285,6 +322,9 @@ func (u *Unit) tryStart() {
 func (u *Unit) runTask(t task.Task, eng *sim.Engine, epj float64) {
 	u.running = true
 	now := eng.Now()
+	if t.SpawnedAt <= now {
+		u.mTaskLat.Observe(now - t.SpawnedAt)
+	}
 	// Task queue pop: one DRAM record read.
 	cursor := u.bank.Access(now, u.queueOff, taskRecordBytes, false, dram.AccessLocal, epj)
 	ctx := &execCtx{u: u, start: now, cursor: cursor}
@@ -293,6 +333,7 @@ func (u *Unit) runTask(t task.Task, eng *sim.Engine, epj float64) {
 	if end <= now {
 		end = now + 1
 	}
+	u.mTaskExec.Observe(end - now)
 	u.st.Busy += end - now
 	u.st.Tasks++
 	u.finishedWorkload += t.EffectiveWorkload()
@@ -316,6 +357,7 @@ func (u *Unit) taskMessage(t task.Task, escalate bool) *msg.Message {
 // space allows; the caller decides when a failed flush should stall the core.
 func (u *Unit) emit(m *msg.Message) {
 	u.env.MsgStaged()
+	m.StagedAt = u.env.Engine().Now()
 	u.staged = append(u.staged, m)
 }
 
@@ -333,6 +375,7 @@ func (u *Unit) flushStaged() bool {
 		}
 		if !mb.Enqueue(m) {
 			u.st.Stalls++
+			u.cStalls.Inc()
 			return false
 		}
 		u.st.MsgsOut++
@@ -450,6 +493,9 @@ func (u *Unit) receive(m *msg.Message) {
 	u.env.MsgDelivered()
 	now := uint64(u.env.Engine().Now())
 	u.env.Trace().Record(trace.KindDeliver, u.id, now, now, "")
+	if m.StagedAt <= now {
+		u.mMsgLat.Observe(now - m.StagedAt)
+	}
 	switch m.Type {
 	case msg.TypeTask:
 		t := m.Task
@@ -458,6 +504,7 @@ func (u *Unit) receive(m *msg.Message) {
 			// escalate if we are the home (it lives in another
 			// rank).
 			u.st.Bounces++
+			u.cBounces.Inc()
 			u.lastBounce = t.Addr
 			u.env.MsgStaged() // re-enters flight
 			u.staged = append(u.staged, u.taskMessage(t, u.env.Map().Home(t.Addr) == u.id))
@@ -507,6 +554,7 @@ func (u *Unit) receiveData(m *msg.Message) {
 			u.returnBlock(ev.Key, ev.Value)
 		}
 		u.st.Borrowed++
+		u.cBorrowed.Inc()
 	}
 	if int(m.Index) == int(m.Total)-1 {
 		u.tryStart()
@@ -551,6 +599,7 @@ func (u *Unit) returnBlock(blk, slot uint64) {
 	}
 	u.flushStaged()
 	u.st.Returns++
+	u.cReturns.Inc()
 }
 
 // ForceReturn is the back-invalidation used when a bridge-level dataBorrowed

@@ -215,3 +215,54 @@ func TestEngineMonotonicProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestEngineProgressHook: the progress callback fires every N processed
+// events with the engine's current time and cumulative event count, in both
+// Run and RunUntil, and can be disabled again.
+func TestEngineProgressHook(t *testing.T) {
+	e := NewEngine()
+	type tick struct {
+		now       Cycles
+		processed uint64
+	}
+	var ticks []tick
+	e.SetProgress(10, func(now Cycles, processed uint64) {
+		ticks = append(ticks, tick{now, processed})
+	})
+	for i := 0; i < 25; i++ {
+		e.At(Cycles(i), func() {})
+	}
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(ticks) != 2 {
+		t.Fatalf("ticks = %d, want 2", len(ticks))
+	}
+	if ticks[0].processed != 10 || ticks[1].processed != 20 {
+		t.Errorf("tick counts = %+v", ticks)
+	}
+	if ticks[0].now != 9 || ticks[1].now != 19 {
+		t.Errorf("tick times = %+v", ticks)
+	}
+
+	// RunUntil drives the same hook.
+	for i := 30; i < 40; i++ {
+		e.At(Cycles(i), func() {})
+	}
+	e.RunUntil(100)
+	if len(ticks) != 3 || ticks[2].processed != 30 {
+		t.Errorf("after RunUntil ticks = %+v", ticks)
+	}
+
+	// Disabling stops further callbacks.
+	e.SetProgress(0, nil)
+	for i := 101; i < 140; i++ {
+		e.At(Cycles(i), func() {})
+	}
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(ticks) != 3 {
+		t.Errorf("ticks after disable = %d, want 3", len(ticks))
+	}
+}

@@ -43,6 +43,23 @@ func (e *Energy) Add(o Energy) {
 	e.Static += o.Static
 }
 
+// Latency summarizes one latency histogram in cycles. Filled from the
+// metrics registry when metrics are attached to the run; all-zero otherwise.
+type Latency struct {
+	P50 uint64
+	P90 uint64
+	P99 uint64
+	Max uint64
+}
+
+// IsZero reports whether the summary carries no data.
+func (l Latency) IsZero() bool { return l.Max == 0 && l.P99 == 0 }
+
+// String renders the summary as "p50/p90/p99/max".
+func (l Latency) String() string {
+	return fmt.Sprintf("%d/%d/%d/%d", l.P50, l.P90, l.P99, l.Max)
+}
+
 // Result is the outcome of one simulation run.
 type Result struct {
 	App    string
@@ -79,6 +96,12 @@ type Result struct {
 
 	Energy Energy
 
+	// TaskLatency is the spawn→execution-start distribution; MsgLatency the
+	// staging→delivery distribution. Populated only when the run carries a
+	// metrics registry.
+	TaskLatency Latency
+	MsgLatency  Latency
+
 	Units []Unit
 }
 
@@ -109,9 +132,14 @@ func (r *Result) Speedup(base *Result) float64 {
 }
 
 // Finalize derives MaxBusy/AvgBusy/TasksExecuted from the per-unit records.
+// It is idempotent: every derived field is recomputed from scratch, so
+// calling it again after appending more Units yields the same result as a
+// single call on the final slice.
 func (r *Result) Finalize() {
 	var sum, count, tasks, spawned uint64
 	r.MaxBusy = 0
+	r.AvgBusy = 0
+	r.Bounces = 0
 	for _, u := range r.Units {
 		if u.Busy > r.MaxBusy {
 			r.MaxBusy = u.Busy

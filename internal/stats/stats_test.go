@@ -103,3 +103,39 @@ func TestTableCSV(t *testing.T) {
 		t.Errorf("CSV = %q, want %q", got, want)
 	}
 }
+
+func TestResultFinalizeIdempotent(t *testing.T) {
+	r := Result{
+		Units: []Unit{
+			{Busy: 900, Tasks: 10, Spawned: 12, Bounces: 1},
+			{Busy: 500, Tasks: 5, Spawned: 3, Bounces: 2},
+		},
+	}
+	r.Finalize()
+	first := []uint64{r.MaxBusy, uint64(r.AvgBusy), r.Bounces, r.TasksExecuted, r.TasksSpawned}
+	// A second Finalize on unchanged Units must not change any derived
+	// field — Bounces in particular used to accumulate across calls.
+	r.Finalize()
+	second := []uint64{r.MaxBusy, uint64(r.AvgBusy), r.Bounces, r.TasksExecuted, r.TasksSpawned}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Errorf("second Finalize changed field %d: %d -> %d", i, first[i], second[i])
+		}
+	}
+	if r.Bounces != 3 {
+		t.Errorf("Bounces = %d, want 3", r.Bounces)
+	}
+}
+
+func TestLatencyString(t *testing.T) {
+	l := Latency{P50: 1, P90: 2, P99: 3, Max: 4}
+	if got := l.String(); got != "1/2/3/4" {
+		t.Errorf("String() = %q", got)
+	}
+	if l.IsZero() {
+		t.Error("non-empty summary reported zero")
+	}
+	if !(Latency{}).IsZero() {
+		t.Error("zero summary not reported zero")
+	}
+}

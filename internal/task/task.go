@@ -29,6 +29,11 @@ type Task struct {
 	Workload uint32 // estimated cycles; 0 means unspecified
 	NArgs    uint8
 	Args     [MaxArgs]uint64
+
+	// SpawnedAt is the cycle the task was created, stamped by the runtime
+	// at seed/enqueue time. Simulator measurement metadata (it feeds the
+	// spawn→execute latency histograms); not part of the wire format.
+	SpawnedAt uint64
 }
 
 // New builds a task. It panics if more than MaxArgs arguments are supplied —

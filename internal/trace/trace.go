@@ -107,17 +107,22 @@ func (r *Recorder) Events() []Event {
 
 // ChromeTrace writes the events as a Chrome/Perfetto trace JSON array.
 // Units appear as thread lanes; cycle timestamps are emitted as
-// microseconds so the viewer's time axis reads directly in cycles.
+// microseconds so the viewer's time axis reads directly in cycles. The
+// first record is metadata carrying the retained/dropped counts, so a
+// consumer can tell a complete capture from one truncated at the cap.
+// A nil recorder writes a valid trace holding only that record.
 func (r *Recorder) ChromeTrace(w io.Writer) error {
+	capacity := 0
+	if r != nil {
+		capacity = r.cap
+	}
 	bw := bufio.NewWriter(w)
-	if _, err := bw.WriteString("[\n"); err != nil {
+	if _, err := fmt.Fprintf(bw,
+		`[`+"\n"+`  {"name":"ndpbridge_trace_info","ph":"M","pid":0,"tid":0,"args":{"retained":%d,"dropped":%d,"capacity":%d}}`,
+		r.Len(), r.Dropped(), capacity); err != nil {
 		return err
 	}
-	for i, e := range r.Events() {
-		sep := ","
-		if i == len(r.events)-1 {
-			sep = ""
-		}
+	for _, e := range r.Events() {
 		dur := e.End - e.Start
 		if dur == 0 {
 			dur = 1
@@ -127,12 +132,12 @@ func (r *Recorder) ChromeTrace(w io.Writer) error {
 			name = e.Kind.String()
 		}
 		if _, err := fmt.Fprintf(bw,
-			`  {"name":%q,"cat":%q,"ph":"X","ts":%d,"dur":%d,"pid":0,"tid":%d}%s`+"\n",
-			name, e.Kind, e.Start, dur, e.Actor+1, sep); err != nil {
+			",\n"+`  {"name":%q,"cat":%q,"ph":"X","ts":%d,"dur":%d,"pid":0,"tid":%d}`,
+			name, e.Kind, e.Start, dur, e.Actor+1); err != nil {
 			return err
 		}
 	}
-	if _, err := bw.WriteString("]\n"); err != nil {
+	if _, err := bw.WriteString("\n]\n"); err != nil {
 		return err
 	}
 	return bw.Flush()

@@ -52,15 +52,56 @@ func TestChromeTraceIsValidJSON(t *testing.T) {
 	if err := json.Unmarshal([]byte(b.String()), &parsed); err != nil {
 		t.Fatalf("invalid JSON: %v\n%s", err, b.String())
 	}
-	if len(parsed) != 3 {
-		t.Fatalf("parsed %d events", len(parsed))
+	if len(parsed) != 4 { // metadata record + 3 events
+		t.Fatalf("parsed %d records", len(parsed))
 	}
-	if parsed[0]["name"] != "taskA" || parsed[1]["name"] != "deliver" {
+	if parsed[0]["name"] != "ndpbridge_trace_info" {
+		t.Errorf("first record is not metadata: %v", parsed[0])
+	}
+	args := parsed[0]["args"].(map[string]any)
+	if args["retained"].(float64) != 3 || args["dropped"].(float64) != 0 {
+		t.Errorf("metadata args wrong: %v", args)
+	}
+	if parsed[1]["name"] != "taskA" || parsed[2]["name"] != "deliver" {
 		t.Errorf("names wrong: %v", parsed)
 	}
 	// Zero-duration events get dur=1 so viewers render them.
-	if parsed[2]["dur"].(float64) != 1 {
-		t.Errorf("zero-duration event dur = %v", parsed[2]["dur"])
+	if parsed[3]["dur"].(float64) != 1 {
+		t.Errorf("zero-duration event dur = %v", parsed[3]["dur"])
+	}
+}
+
+func TestChromeTraceReportsDrops(t *testing.T) {
+	r := New(2)
+	for i := 0; i < 5; i++ {
+		r.Record(KindTask, 0, uint64(i), uint64(i+1), "")
+	}
+	var b strings.Builder
+	if err := r.ChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	var parsed []map[string]any
+	if err := json.Unmarshal([]byte(b.String()), &parsed); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	args := parsed[0]["args"].(map[string]any)
+	if args["retained"].(float64) != 2 || args["dropped"].(float64) != 3 || args["capacity"].(float64) != 2 {
+		t.Errorf("metadata args = %v, want retained 2, dropped 3, capacity 2", args)
+	}
+}
+
+func TestChromeTraceNilRecorder(t *testing.T) {
+	var r *Recorder
+	var b strings.Builder
+	if err := r.ChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	var parsed []map[string]any
+	if err := json.Unmarshal([]byte(b.String()), &parsed); err != nil {
+		t.Fatalf("invalid JSON from nil recorder: %v\n%s", err, b.String())
+	}
+	if len(parsed) != 1 || parsed[0]["name"] != "ndpbridge_trace_info" {
+		t.Errorf("nil recorder trace = %v, want only the metadata record", parsed)
 	}
 }
 
@@ -93,6 +134,50 @@ func TestUtilizationSpansBuckets(t *testing.T) {
 	_, util := r.Utilization(100, 2)
 	if util[0][0] != 0.5 || util[0][1] != 0.5 {
 		t.Errorf("split wrong: %v", util[0])
+	}
+}
+
+func TestUtilizationZeroLengthEvent(t *testing.T) {
+	r := New(0)
+	r.Record(KindTask, 0, 50, 50, "") // zero-length: contributes nothing
+	r.Record(KindTask, 0, 0, 25, "")
+	actors, util := r.Utilization(100, 4)
+	if len(actors) != 1 {
+		t.Fatalf("actors = %v", actors)
+	}
+	want := []float64{1, 0, 0, 0}
+	for i, w := range want {
+		if diff := util[0][i] - w; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("bucket %d = %v, want %v", i, util[0][i], w)
+		}
+	}
+}
+
+func TestUtilizationFullMakespan(t *testing.T) {
+	r := New(0)
+	r.Record(KindTask, 7, 0, 1000, "")
+	actors, util := r.Utilization(1000, 7) // width not a divisor of makespan
+	if len(actors) != 1 || actors[0] != 7 {
+		t.Fatalf("actors = %v", actors)
+	}
+	for i, u := range util[0] {
+		if u < 1-1e-9 || u > 1+1e-9 {
+			t.Errorf("bucket %d = %v, want 1", i, u)
+		}
+	}
+}
+
+func TestUtilizationBucketBoundary(t *testing.T) {
+	r := New(0)
+	// Event exactly on a bucket boundary: must land fully in bucket 1,
+	// leaving buckets 0 and 2 untouched.
+	r.Record(KindTask, 0, 25, 50, "")
+	_, util := r.Utilization(100, 4)
+	want := []float64{0, 1, 0, 0}
+	for i, w := range want {
+		if diff := util[0][i] - w; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("bucket %d = %v, want %v", i, util[0][i], w)
+		}
 	}
 }
 
