@@ -22,9 +22,11 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
@@ -112,6 +114,18 @@ func main() {
 	flag.Parse()
 	experiments.SetJobs(*jobsN)
 
+	// Ctrl-C cancels the worker pool: no new simulations dispatch and
+	// in-flight engines halt at their next progress checkpoint. A second
+	// Ctrl-C falls through to the default hard kill.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt)
+	go func() {
+		<-sigc
+		fmt.Fprintln(os.Stderr, "\nndpbench: interrupt — stopping worker pool (Ctrl-C again to force quit)")
+		experiments.Cancel()
+		signal.Stop(sigc)
+	}()
+
 	if *pprofCPU != "" {
 		f, err := os.Create(*pprofCPU)
 		if err != nil {
@@ -167,6 +181,10 @@ func main() {
 		start := time.Now()
 		t, err := e.fn(sc)
 		if err != nil {
+			if errors.Is(err, experiments.ErrCanceled) {
+				fmt.Fprintln(os.Stderr, "ndpbench: canceled")
+				os.Exit(130)
+			}
 			fmt.Fprintf(os.Stderr, "ndpbench: %s: %v\n", e.name, err)
 			os.Exit(1)
 		}

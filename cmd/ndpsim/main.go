@@ -15,6 +15,7 @@ import (
 
 	"ndpbridge/internal/config"
 	"ndpbridge/internal/core"
+	"ndpbridge/internal/fault"
 	"ndpbridge/internal/metrics"
 	"ndpbridge/internal/stats"
 	"ndpbridge/internal/trace"
@@ -39,6 +40,8 @@ func main() {
 		heatmap  = flag.Bool("heatmap", false, "print a per-unit utilization heatmap")
 		metOut   = flag.String("metrics", "", "write instrument metrics (counters, histograms, sampled series) JSON to this file")
 		progress = flag.Bool("progress", false, "print a progress heartbeat to stderr while simulating")
+		faultsIn = flag.String("faults", "", "JSON fault-injection plan to apply (see examples/faults/)")
+		fSeed    = flag.Uint64("fault-seed", 0, "fault-schedule seed (0 = derive from -seed)")
 	)
 	flag.Parse()
 
@@ -93,6 +96,15 @@ func main() {
 
 	sys, err := core.New(cfg)
 	fatalIf(err)
+	if *faultsIn != "" {
+		plan, err := fault.Load(*faultsIn)
+		fatalIf(err)
+		seed := *fSeed
+		if seed == 0 {
+			seed = cfg.Seed
+		}
+		fatalIf(sys.AttachFaults(plan, seed))
+	}
 	var rec *trace.Recorder
 	if *traceOut != "" || *heatmap {
 		rec = trace.New(0)

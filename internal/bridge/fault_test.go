@@ -1,0 +1,203 @@
+package bridge
+
+import (
+	"testing"
+
+	"ndpbridge/internal/config"
+	"ndpbridge/internal/fault"
+	"ndpbridge/internal/msg"
+	"ndpbridge/internal/ndpunit"
+	"ndpbridge/internal/task"
+)
+
+// wireFaults arms one rank's fault machinery the way core.AttachFaults does:
+// injector hop streams plus the retry-protocol endpoints on the bridge and
+// every unit.
+func wireFaults(units []*ndpunit.Unit, b *Level1, inj *fault.Injector, lost func(*msg.Message)) {
+	b.EnableFaults(inj, true, lost)
+	for _, u := range units {
+		u.EnableFaults()
+		u.SetLostHook(lost)
+		u.EnableRetry(b)
+	}
+}
+
+// seedRemote registers a spawner on unit 0 that enqueues n tasks addressed to
+// unit 3's data, returning a pointer to the executed-task counter.
+func seedRemote(env *testEnv, units []*ndpunit.Unit, n int) *int {
+	ran := 0
+	fn := env.reg.Register("f", func(ctx task.Ctx, tk task.Task) { ran++; ctx.Compute(5) })
+	dst := env.amap.Base(3) + 64
+	spawner := env.reg.Register("s", func(ctx task.Ctx, tk task.Task) {
+		for i := 0; i < n; i++ {
+			ctx.Enqueue(task.New(fn, 0, dst, 10))
+		}
+	})
+	units[0].SeedTask(task.New(spawner, 0, env.amap.Base(0)+64, 10))
+	units[0].Kick()
+	return &ran
+}
+
+// TestGatherDropExactRetryCounts injects exactly five gather-hop drops and
+// asserts the retry protocol recovers each one: exact drop and retransmission
+// counts, every message eventually acked, no terminal loss.
+func TestGatherDropExactRetryCounts(t *testing.T) {
+	env := newTestEnv(config.DesignB)
+	units, b := build(t, env, 0)
+	inj := fault.New(&fault.Plan{Faults: []fault.Spec{
+		{Kind: fault.KindDrop, Scope: fault.ScopeL1Gather, Prob: 1, Rank: -1, Unit: -1, Count: 5},
+	}}, 1)
+	var lost []*msg.Message
+	wireFaults(units, b, inj, func(m *msg.Message) { lost = append(lost, m) })
+	b.Start()
+
+	ran := seedRemote(env, units, 8)
+	env.eng.RunUntil(200_000)
+
+	if *ran != 8 {
+		t.Fatalf("executed %d tasks, want 8", *ran)
+	}
+	if c := inj.Counters(); c.Drops != 5 {
+		t.Errorf("drops = %d, want exactly 5", c.Drops)
+	}
+	var rs msg.RetransStats
+	var dups uint64
+	for _, u := range units {
+		r, d := u.RetryStats()
+		rs.Tracked += r.Tracked
+		rs.Acked += r.Acked
+		rs.Nacked += r.Nacked
+		rs.Retries += r.Retries
+		dups += d
+	}
+	if rs.Tracked != 8 || rs.Acked != 8 {
+		t.Errorf("tracked/acked = %d/%d, want 8/8", rs.Tracked, rs.Acked)
+	}
+	if rs.Retries != 5 {
+		t.Errorf("retries = %d, want exactly 5 (one per drop)", rs.Retries)
+	}
+	if rs.Nacked != 0 {
+		t.Errorf("nacks = %d, want 0 (no corruption injected)", rs.Nacked)
+	}
+	if len(lost) != 0 {
+		t.Errorf("%d messages terminally lost, want 0", len(lost))
+	}
+	if env.inflight != 0 {
+		t.Errorf("inflight = %d, want 0 (silent loss)", env.inflight)
+	}
+}
+
+// TestScatterDupFilteredExactlyOnce duplicates scatter deliveries on a
+// zero-delay hop, where the receiver clears Seq/Sum synchronously during the
+// first delivery — the duplicate must still carry the original sequence
+// number and be discarded by the dedup filter, never executed twice.
+func TestScatterDupFilteredExactlyOnce(t *testing.T) {
+	env := newTestEnv(config.DesignB)
+	units, b := build(t, env, 0)
+	inj := fault.New(&fault.Plan{Faults: []fault.Spec{
+		{Kind: fault.KindDup, Scope: fault.ScopeL1Scatter, Prob: 1, Rank: -1, Unit: -1, Count: 4},
+	}}, 1)
+	var lost []*msg.Message
+	wireFaults(units, b, inj, func(m *msg.Message) { lost = append(lost, m) })
+	b.Start()
+
+	ran := seedRemote(env, units, 8)
+	env.eng.RunUntil(200_000)
+
+	if *ran != 8 {
+		t.Fatalf("executed %d tasks, want exactly 8 (duplicates must not run)", *ran)
+	}
+	if c := inj.Counters(); c.Duplicates != 4 {
+		t.Errorf("dups = %d, want exactly 4", c.Duplicates)
+	}
+	var filtered uint64
+	for _, u := range units {
+		_, d := u.RetryStats()
+		filtered += d
+	}
+	if filtered != 4 {
+		t.Errorf("dupsFiltered = %d, want 4 (every duplicate discarded)", filtered)
+	}
+	if len(lost) != 0 || env.inflight != 0 {
+		t.Errorf("lost=%d inflight=%d, want 0/0", len(lost), env.inflight)
+	}
+}
+
+// TestOverflowPausesGatherNoLoss trips the bridge's backup-buffer
+// backpressure with injected phantom backlog: while overflowed the bridge
+// must not gather (messages wait in the mailbox), and after the overflow
+// clears every message must still arrive — delayed, never dropped.
+func TestOverflowPausesGatherNoLoss(t *testing.T) {
+	env := newTestEnv(config.DesignB)
+	units, b := build(t, env, 0)
+	inj := fault.New(&fault.Plan{Faults: []fault.Spec{
+		{Kind: fault.KindOverflow, Rank: 0, Unit: -1, At: 1, Cycles: 100, Bytes: 1},
+	}}, 1)
+	var lost []*msg.Message
+	wireFaults(units, b, inj, func(m *msg.Message) { lost = append(lost, m) })
+	b.Start()
+
+	ran := seedRemote(env, units, 8)
+	env.eng.At(1, func() { b.InjectOverflow(1 << 30) })
+	env.eng.At(30_000, func() { b.ClearOverflow(1 << 30) })
+
+	env.eng.RunUntil(29_000)
+	if *ran != 0 {
+		t.Fatalf("%d tasks delivered during overflow backpressure, want 0", *ran)
+	}
+	if units[0].MailboxUsed() == 0 {
+		t.Fatal("mailbox empty during overflow: messages were gathered or lost")
+	}
+
+	env.eng.RunUntil(300_000)
+	if *ran != 8 {
+		t.Fatalf("executed %d tasks after overflow cleared, want 8", *ran)
+	}
+	if c := inj.Counters(); c.Drops != 0 {
+		t.Errorf("drops = %d, want 0", c.Drops)
+	}
+	if len(lost) != 0 || env.inflight != 0 {
+		t.Errorf("lost=%d inflight=%d, want 0/0", len(lost), env.inflight)
+	}
+}
+
+// TestMailboxFullUnderRetransWatermark shrinks both the mailbox and the
+// gather-hop retransmit watermark so every backpressure stage engages:
+// unacked messages fill the retransmit buffer, the unit refuses drains, the
+// mailbox fills, and the sender core stalls — yet with the drop budget
+// exhausted everything is delivered exactly once.
+func TestMailboxFullUnderRetransWatermark(t *testing.T) {
+	env := newTestEnv(config.DesignB)
+	env.cfg.Buffers.MailboxBytes = 256
+	env.cfg.Retry.BufBytes = 64
+	units, b := build(t, env, 0)
+	inj := fault.New(&fault.Plan{Faults: []fault.Spec{
+		{Kind: fault.KindDrop, Scope: fault.ScopeL1Gather, Prob: 1, Rank: -1, Unit: -1, Count: 3},
+	}}, 1)
+	var lost []*msg.Message
+	wireFaults(units, b, inj, func(m *msg.Message) { lost = append(lost, m) })
+	b.Start()
+
+	ran := seedRemote(env, units, 16)
+	env.eng.RunUntil(400_000)
+
+	if *ran != 16 {
+		t.Fatalf("executed %d tasks, want 16", *ran)
+	}
+	if c := inj.Counters(); c.Drops != 3 {
+		t.Errorf("drops = %d, want exactly 3", c.Drops)
+	}
+	rs, _ := units[0].RetryStats()
+	if rs.Retries != 3 {
+		t.Errorf("retries = %d, want exactly 3", rs.Retries)
+	}
+	if units[0].Stats().Stalls == 0 {
+		t.Error("tiny mailbox never stalled the sender: backpressure not exercised")
+	}
+	if units[0].MailboxUsed() != 0 {
+		t.Errorf("mailbox retains %d bytes after quiescence", units[0].MailboxUsed())
+	}
+	if len(lost) != 0 || env.inflight != 0 {
+		t.Errorf("lost=%d inflight=%d, want 0/0 (no silent loss)", len(lost), env.inflight)
+	}
+}

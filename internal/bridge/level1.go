@@ -86,6 +86,10 @@ type Level1 struct {
 
 	st Stats
 
+	// Fault-injection state; nil (one branch on hot paths) when no fault
+	// plan is attached.
+	fi *faultL1
+
 	// Instruments, bound by BindMetrics; nil no-ops when metrics are off.
 	mGather   *metrics.Histogram // bytes moved per non-empty gather round
 	mScatter  *metrics.Histogram // bytes moved per non-empty scatter round
@@ -138,6 +142,10 @@ type upLevel interface {
 	RankAllIdle(rank int)
 	// KickChannel pokes the parent's loop for this rank's channel.
 	KickChannel(rank int)
+	// AckDown / NackDown acknowledge one down-hop delivery (retry
+	// protocol sideband; no-ops when faults are off).
+	AckDown(rank int, seq uint32)
+	NackDown(rank int, seq uint32)
 }
 
 // NewLevel1 builds the bridge for one rank. children must be the rank's
@@ -216,10 +224,13 @@ func (b *Level1) stateSweep() {
 }
 
 func (b *Level1) childStates(states []msg.State) []sched.ChildState {
-	out := make([]sched.ChildState, len(states))
+	out := make([]sched.ChildState, 0, len(states))
 	for i, s := range states {
+		if b.fi != nil && b.fi.dead[i] {
+			continue
+		}
 		id := b.children[i].ID()
-		out[i] = sched.ChildState{ID: id, WQueue: s.WQueue, ToArrive: b.toArrive[id]}
+		out = append(out, sched.ChildState{ID: id, WQueue: s.WQueue, ToArrive: b.toArrive[id]})
 	}
 	return out
 }
@@ -233,7 +244,7 @@ func (b *Level1) loadBalance(states []msg.State) {
 	// Hierarchical escalation: if every child is starved and none can
 	// give, report to the level-2 bridge for cross-rank balancing.
 	if len(givers) == 0 {
-		if b.up != nil && len(receivers) == len(b.children) && b.allQuiet() {
+		if b.up != nil && len(receivers) == len(cs) && b.allQuiet() {
 			b.up.RankAllIdle(b.rank)
 		}
 		return
@@ -362,7 +373,11 @@ func (b *Level1) gatherEligible() bool {
 }
 
 func (b *Level1) paused() bool {
-	return b.backupBytes > b.env.Cfg().Buffers.BackupBufBytes
+	total := b.backupBytes
+	if b.fi != nil {
+		total += b.fi.extraBackup
+	}
+	return total > b.env.Cfg().Buffers.BackupBufBytes
 }
 
 func (b *Level1) scatterPending() bool {
@@ -485,7 +500,7 @@ func (b *Level1) gatherRound() (sim.Cycles, bool) {
 		}
 		movedBytes += msg.TotalSize(ms)
 		for _, m := range ms {
-			b.route(m)
+			b.gatherIn(child, m)
 		}
 	}
 	b.roundIdx++
@@ -506,6 +521,9 @@ func (b *Level1) pickGatherChild(chip int) int {
 	best, bestUsed := -1, uint64(0)
 	for i := 0; i < b.banksPerChip; i++ {
 		idx := chip*b.banksPerChip + i
+		if b.fi != nil && b.fi.dead[idx] {
+			continue
+		}
 		if used := b.children[idx].MailboxUsed(); used > bestUsed {
 			best, bestUsed = idx, used
 		}
@@ -552,6 +570,13 @@ func (b *Level1) pickScatterChild(chip int) int {
 	best, bestUsed := -1, uint64(0)
 	for i := 0; i < b.banksPerChip; i++ {
 		idx := chip*b.banksPerChip + i
+		if b.fi != nil {
+			// Dead children take no deliveries; a full retransmit
+			// buffer backpressures its child until acks free space.
+			if b.fi.dead[idx] || (b.fi.scatterRet != nil && b.fi.scatterRet[idx].Full()) {
+				continue
+			}
+		}
 		if used := b.scatterBytes[idx]; used > bestUsed {
 			best, bestUsed = idx, used
 		}
@@ -561,9 +586,9 @@ func (b *Level1) pickScatterChild(chip int) int {
 
 func (b *Level1) deliverToChild(idx int, m *msg.Message) {
 	u := b.children[idx]
-	u.Deliver(m)
 	if m.Type == msg.TypeTask {
 		// The scheduled task has arrived: correct the pending counter.
+		// Accounted once at first send — retransmissions bypass this path.
 		w := m.Task.EffectiveWorkload()
 		id := u.ID()
 		if b.toArrive[id] >= w {
@@ -572,6 +597,23 @@ func (b *Level1) deliverToChild(idx int, m *msg.Message) {
 			delete(b.toArrive, id)
 		}
 	}
+	if b.fi == nil {
+		u.Deliver(m)
+		return
+	}
+	if b.fi.dead[idx] {
+		if b.fi.lost != nil {
+			b.fi.lost(m)
+		}
+		return
+	}
+	if b.fi.scatterRet != nil && m.Seq == 0 {
+		b.fi.scatterSeq[idx]++
+		m.Seq = b.fi.scatterSeq[idx]
+		m.Sum = msg.Checksum(m)
+		b.fi.scatterRet[idx].Track(m)
+	}
+	b.wireScatter(idx, m)
 }
 
 // --- Routing (message router, Figure 4(a)) -------------------------------
@@ -663,8 +705,31 @@ func (b *Level1) insertBorrowed(blk uint64, receiver int) {
 	}
 }
 
-// AcceptFromUp receives a message scattered down by the level-2 bridge.
+// AcceptFromUp receives a message scattered down by the level-2 bridge. The
+// message first crosses the (possibly faulty) down hop, then the bridge-side
+// retry receiver verifies, acks, and dedups it before routing.
 func (b *Level1) AcceptFromUp(m *msg.Message) {
+	if b.fi != nil {
+		if h := b.fi.downHop; h != nil {
+			applyOutcome(b.env.Engine(), h.Decide(b.env.Engine().Now()), m, b.acceptDown)
+			return
+		}
+	}
+	b.acceptDown(m)
+}
+
+func (b *Level1) acceptDown(m *msg.Message) {
+	if b.fi != nil && m.Seq != 0 {
+		if !m.Verify() {
+			b.up.NackDown(b.rank, m.Seq)
+			return
+		}
+		b.up.AckDown(b.rank, m.Seq)
+		if !b.fi.downDedup.Accept(m.Seq) {
+			return
+		}
+		m.Seq, m.Sum = 0, 0
+	}
 	if m.Sched && m.Dst < 0 {
 		// Cross-rank lend arriving at the receiver rank: pick an idle
 		// child for the block.
@@ -695,18 +760,40 @@ func (b *Level1) AcceptFromUp(m *msg.Message) {
 // hash-spread over the currently idle children.
 func (b *Level1) pickIdleChild(blk uint64) int {
 	var idle []int
-	for _, u := range b.children {
+	for i, u := range b.children {
+		if b.fi != nil && b.fi.dead[i] {
+			continue
+		}
 		if u.Idle() {
 			idle = append(idle, u.ID())
 		}
 	}
 	if len(idle) == 0 {
+		if b.fi != nil {
+			// Fall back to any surviving child; a dead pick would send
+			// the block into a loss/respawn loop.
+			var alive []int
+			for i, u := range b.children {
+				if !b.fi.dead[i] {
+					alive = append(alive, u.ID())
+				}
+			}
+			if len(alive) > 0 {
+				return alive[int(blk>>8)%len(alive)]
+			}
+		}
 		return b.children[int(blk>>8)%len(b.children)].ID()
 	}
 	return idle[int(blk>>8)%len(idle)]
 }
 
 func (b *Level1) enqueueScatter(idx int, m *msg.Message) {
+	if b.fi != nil && b.fi.dead[idx] {
+		if b.fi.lost != nil {
+			b.fi.lost(m)
+		}
+		return
+	}
 	cfg := b.env.Cfg()
 	s := m.Size()
 	if b.scatterBytes[idx]+s <= cfg.Buffers.ScatterBufBytes && len(b.backup) == 0 {
@@ -739,6 +826,14 @@ func (b *Level1) reinjectBackup() {
 		s := m.Size()
 		if b.isLocalUnit(m.Dst) && !(m.Sched && m.Dst < 0) {
 			idx := b.localIndex(m.Dst)
+			if b.fi != nil && b.fi.dead[idx] {
+				b.backup = b.backup[1:]
+				b.backupBytes -= s
+				if b.fi.lost != nil {
+					b.fi.lost(m)
+				}
+				continue
+			}
 			if b.scatterBytes[idx]+s > cfg.Buffers.ScatterBufBytes {
 				return
 			}
@@ -785,11 +880,26 @@ func (b *Level1) ForceReturnBlock(blk uint64) {
 // UpPending returns the bytes waiting for the level-2 bridge.
 func (b *Level1) UpPending() uint64 { return b.upMail.Used() }
 
-// DrainUp removes up to budget bytes of up-bound messages.
+// DrainUp removes up to budget bytes of up-bound messages. With retry armed,
+// messages are stamped and tracked on their way out; a full retransmit
+// buffer refuses the drain until acks free space.
 func (b *Level1) DrainUp(budget uint64) []*msg.Message {
+	if b.fi != nil && b.fi.upRet != nil && b.fi.upRet.Full() {
+		return nil
+	}
 	ms := b.upMail.DrainUpTo(budget)
 	if len(ms) > 0 {
 		b.reinjectBackup()
+	}
+	if b.fi != nil && b.fi.upRet != nil {
+		for _, m := range ms {
+			if m.Seq == 0 {
+				b.fi.upSeq++
+				m.Seq = b.fi.upSeq
+				m.Sum = msg.Checksum(m)
+			}
+			b.fi.upRet.Track(m)
+		}
 	}
 	return ms
 }

@@ -39,6 +39,9 @@ type Level2 struct {
 
 	st Stats2
 
+	// Fault-injection state; nil when no fault plan is attached.
+	fi *faultL2
+
 	// Instruments, bound by BindMetrics; nil no-ops when metrics are off.
 	mBatch    *metrics.Histogram // bytes per channel batch (scatter + gather)
 	mLBBudget *metrics.Histogram // workload budget per cross-rank SCHEDULE
@@ -241,27 +244,42 @@ func (l *Level2) step(ch int) {
 		m    *msg.Message
 	}
 	var down []delivery
-	var up []*msg.Message
+	var up []delivery
 	var bytes uint64
 	budget := cfg.Timing.HostBatchBytes
 
 	for _, r := range ranks {
 		// Scatter everything pending for this rank (bounded by the
-		// batch budget).
-		for len(l.scatterQ[r]) > 0 && bytes < budget {
-			m := l.scatterQ[r][0]
-			l.scatterQ[r] = l.scatterQ[r][1:]
-			l.scatterBytes[r] -= m.Size()
-			bytes += m.Size()
-			down = append(down, delivery{r, m})
+		// batch budget; a full down-hop retransmit buffer parks the
+		// rank's queue until acks free space).
+		retry := l.fi != nil && l.fi.downRet != nil
+		if !retry || !l.fi.downRet[r].Full() {
+			for len(l.scatterQ[r]) > 0 && bytes < budget {
+				m := l.scatterQ[r][0]
+				l.scatterQ[r] = l.scatterQ[r][1:]
+				l.scatterBytes[r] -= m.Size()
+				bytes += m.Size()
+				if retry {
+					if m.Seq == 0 {
+						l.fi.downSeq[r]++
+						m.Seq = l.fi.downSeq[r]
+						m.Sum = msg.Checksum(m)
+					}
+					l.fi.downRet[r].Track(m)
+					if l.fi.downRet[r].Full() {
+						break
+					}
+				}
+				down = append(down, delivery{r, m})
+			}
 		}
 		// Gather the rank's up-bound messages.
 		if bytes < budget {
 			ms := l.bridges[r].DrainUp(budget - bytes)
 			for _, m := range ms {
 				bytes += m.Size()
+				up = append(up, delivery{r, m})
 			}
-			up = append(up, ms...)
 		}
 	}
 	if len(down) == 0 && len(up) == 0 {
@@ -296,8 +314,8 @@ func (l *Level2) step(ch int) {
 		for _, d := range down {
 			l.bridges[d.rank].AcceptFromUp(d.m)
 		}
-		for _, m := range up {
-			l.routeUp(m)
+		for _, d := range up {
+			l.acceptUp(d.rank, d.m)
 		}
 		l.step(ch)
 	})

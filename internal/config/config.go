@@ -181,6 +181,21 @@ type Buffers struct {
 	BackupBufBytes     uint64 // bridge backup buffer
 }
 
+// Retry configures the fault-tolerant link-layer retry protocol the bridges
+// run when fault injection is active. A run without an attached fault plan
+// never consults these knobs.
+type Retry struct {
+	// BufBytes is the per-hop retransmit buffer watermark: when unacked
+	// bytes exceed it, the sender stops admitting new traffic to the hop
+	// (backpressure).
+	BufBytes uint64
+	// Timeout is the initial retransmission timeout in cycles.
+	Timeout Cycles
+	// BackoffCap bounds the exponential backoff of the retransmission
+	// timeout.
+	BackoffCap Cycles
+}
+
 // Trigger selects the communication triggering policy of Section V-C.
 type Trigger int
 
@@ -272,6 +287,7 @@ type Config struct {
 	Sketch      Sketch
 	Metadata    Metadata
 	Buffers     Buffers
+	Retry       Retry
 	Trigger     Trigger
 	Host        Host
 
@@ -347,6 +363,11 @@ func Default() Config {
 			ScatterBufBytes:    1 << 10,
 			BridgeMailboxBytes: 128 << 10,
 			BackupBufBytes:     64 << 10,
+		},
+		Retry: Retry{
+			BufBytes:   4 << 10,
+			Timeout:    4096,
+			BackoffCap: 1 << 16,
 		},
 		Trigger: TriggerDynamic,
 		Host: Host{
@@ -427,11 +448,20 @@ func (c Config) WithDQWidth(bits int) (Config, error) {
 	return c, nil
 }
 
-// Validate checks internal consistency.
+// pow2 reports whether n is a positive power of two.
+func pow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// Validate checks internal consistency. It is the construction-time gate:
+// every violation it catches would otherwise surface as a panic or silent
+// misbehaviour deep inside core.New or the bridges.
 func (c Config) Validate() error {
 	g := c.Geometry
 	if g.Channels <= 0 || g.RanksPerChannel <= 0 || g.ChipsPerRank <= 0 || g.BanksPerChip <= 0 {
 		return errors.New("config: geometry dimensions must be positive")
+	}
+	if !pow2(g.Channels) || !pow2(g.RanksPerChannel) || !pow2(g.ChipsPerRank) || !pow2(g.BanksPerChip) {
+		return fmt.Errorf("config: geometry dimensions must be powers of two (channels=%d ranks=%d chips=%d banks=%d)",
+			g.Channels, g.RanksPerChannel, g.ChipsPerRank, g.BanksPerChip)
 	}
 	if g.BankBytes == 0 || g.BankBytes&(g.BankBytes-1) != 0 {
 		return errors.New("config: BankBytes must be a power of two")
@@ -462,6 +492,37 @@ func (c Config) Validate() error {
 	}
 	if c.LoadBalance.StealFactor <= 0 {
 		return errors.New("config: StealFactor must be positive")
+	}
+	// W_th = f(GXfer, EffectiveChipDQ); both inputs must be positive or the
+	// load-balance threshold degenerates to zero and bridges never trigger.
+	if c.EffectiveChipDQ() == 0 {
+		return errors.New("config: effective chip DQ bandwidth must be positive (W_th would be zero)")
+	}
+	b := c.Buffers
+	if b.MailboxBytes == 0 || b.ScatterBufBytes == 0 || b.BridgeMailboxBytes == 0 || b.BackupBufBytes == 0 {
+		return errors.New("config: buffer sizes must be positive")
+	}
+	if b.MailboxBytes < c.GXfer {
+		return fmt.Errorf("config: MailboxBytes (%d) must hold at least one gather of GXfer (%d) bytes", b.MailboxBytes, c.GXfer)
+	}
+	if b.ScatterBufBytes < uint64(c.MaxMsgSize) || b.BridgeMailboxBytes < uint64(c.MaxMsgSize) || b.BackupBufBytes < uint64(c.MaxMsgSize) {
+		return fmt.Errorf("config: bridge buffers must hold at least one MaxMsgSize (%d) message", c.MaxMsgSize)
+	}
+	if c.Metadata.BorrowedRegionBytes < c.GXfer {
+		return fmt.Errorf("config: BorrowedRegionBytes (%d) must hold at least one GXfer (%d) chunk", c.Metadata.BorrowedRegionBytes, c.GXfer)
+	}
+	if b.MailboxBytes+c.Metadata.BorrowedRegionBytes > g.BankBytes {
+		return fmt.Errorf("config: mailbox (%d) + borrowed region (%d) exceed BankBytes (%d)",
+			b.MailboxBytes, c.Metadata.BorrowedRegionBytes, g.BankBytes)
+	}
+	if c.Retry.BufBytes < uint64(c.MaxMsgSize) {
+		return fmt.Errorf("config: Retry.BufBytes (%d) must hold at least one MaxMsgSize (%d) message", c.Retry.BufBytes, c.MaxMsgSize)
+	}
+	if c.Retry.Timeout == 0 {
+		return errors.New("config: Retry.Timeout must be positive")
+	}
+	if c.Retry.BackoffCap < c.Retry.Timeout {
+		return fmt.Errorf("config: Retry.BackoffCap (%d) must be at least Retry.Timeout (%d)", c.Retry.BackoffCap, c.Retry.Timeout)
 	}
 	if c.Host.Cores <= 0 && c.Design == DesignH {
 		return errors.New("config: host cores must be positive for design H")

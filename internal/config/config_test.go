@@ -138,6 +138,24 @@ func TestValidateCatchesBadConfigs(t *testing.T) {
 		{"bad ways", func(c *Config) { c.Metadata.UnitBorrowedWays = 3 }, "ways"},
 		{"bad steal", func(c *Config) { c.LoadBalance.StealFactor = 0 }, "StealFactor"},
 		{"bad split", func(c *Config) { c.SplitDIMMBuffer = true; c.SplitDQCAPins = 8 }, "SplitDQCAPins"},
+		{"non-pow2 channels", func(c *Config) { c.Geometry.Channels = 3 }, "powers of two"},
+		{"non-pow2 ranks", func(c *Config) { c.Geometry.RanksPerChannel = 5 }, "powers of two"},
+		{"non-pow2 chips", func(c *Config) { c.Geometry.ChipsPerRank = 6 }, "powers of two"},
+		{"non-pow2 banks", func(c *Config) { c.Geometry.BanksPerChip = 7 }, "powers of two"},
+		{"zero mailbox", func(c *Config) { c.Buffers.MailboxBytes = 0 }, "buffer sizes"},
+		{"zero scatter buf", func(c *Config) { c.Buffers.ScatterBufBytes = 0 }, "buffer sizes"},
+		{"zero bridge mailbox", func(c *Config) { c.Buffers.BridgeMailboxBytes = 0 }, "buffer sizes"},
+		{"zero backup buf", func(c *Config) { c.Buffers.BackupBufBytes = 0 }, "buffer sizes"},
+		{"mailbox below gxfer", func(c *Config) { c.Buffers.MailboxBytes = 128; c.GXfer = 256 }, "MailboxBytes"},
+		{"scatter below msg", func(c *Config) { c.Buffers.ScatterBufBytes = 32 }, "MaxMsgSize"},
+		{"tiny borrowed region", func(c *Config) { c.Metadata.BorrowedRegionBytes = 64 }, "BorrowedRegionBytes"},
+		{"layout overflow", func(c *Config) {
+			c.Buffers.MailboxBytes = 48 << 20
+			c.Metadata.BorrowedRegionBytes = 32 << 20
+		}, "BankBytes"},
+		{"zero retry buf", func(c *Config) { c.Retry.BufBytes = 0 }, "Retry.BufBytes"},
+		{"zero retry timeout", func(c *Config) { c.Retry.Timeout = 0 }, "Retry.Timeout"},
+		{"backoff below timeout", func(c *Config) { c.Retry.BackoffCap = 10; c.Retry.Timeout = 100 }, "BackoffCap"},
 	}
 	for _, m := range mutate {
 		c := Default()

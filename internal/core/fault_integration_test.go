@@ -1,0 +1,248 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"ndpbridge/internal/config"
+	"ndpbridge/internal/fault"
+	"ndpbridge/internal/metrics"
+	"ndpbridge/internal/task"
+)
+
+// fanOut seeds one task on unit 0 that spawns n workers round-robin across
+// all units, each counting its own executions so the test can assert
+// exactly-once semantics per task even across a kill.
+type fanOut struct {
+	n        int
+	workload uint64
+	execs    []int
+	fn       task.FuncID
+	root     task.FuncID
+}
+
+func (a *fanOut) Name() string { return "fanout" }
+
+func (a *fanOut) Prepare(s *System) error {
+	a.execs = make([]int, a.n)
+	a.fn = s.Register("fo.work", func(ctx task.Ctx, t task.Task) {
+		a.execs[int(t.Args[0])]++
+		ctx.Read(t.Addr, 64)
+		ctx.Compute(a.workload)
+	})
+	a.root = s.Register("fo.root", func(ctx task.Ctx, t task.Task) {
+		for i := 0; i < a.n; i++ {
+			u := i % s.Units()
+			ctx.Enqueue(task.New(a.fn, t.TS, s.UnitBase(u)+128, 20, uint64(i)))
+		}
+	})
+	return nil
+}
+
+func (a *fanOut) SeedEpoch(s *System, ts uint32) bool {
+	if ts > 0 {
+		return false
+	}
+	s.Seed(task.New(a.root, 0, s.UnitBase(0)+128, 20))
+	return true
+}
+
+func dropAllHops(prob float64) *fault.Plan {
+	return &fault.Plan{Faults: []fault.Spec{
+		{Kind: fault.KindDrop, Scope: fault.ScopeL1Gather, Prob: prob, Rank: -1, Unit: -1},
+		{Kind: fault.KindDrop, Scope: fault.ScopeL1Scatter, Prob: prob, Rank: -1, Unit: -1},
+		{Kind: fault.KindDrop, Scope: fault.ScopeL1Up, Prob: prob, Rank: -1, Unit: -1},
+		{Kind: fault.KindDrop, Scope: fault.ScopeL2Down, Prob: prob, Rank: -1, Unit: -1},
+	}}
+}
+
+// TestEmptyPlanByteIdentical checks the no-fault guarantee: attaching an
+// empty plan allocates nothing and the run's result renders byte-identical
+// to a system that never heard of fault injection.
+func TestEmptyPlanByteIdentical(t *testing.T) {
+	run := func(attach bool) string {
+		sys, err := New(testCfg(config.DesignO))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if attach {
+			if err := sys.AttachFaults(&fault.Plan{}, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		r, err := sys.Run(&pingPong{hops: 40})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Faults != nil {
+			t.Fatal("empty plan produced a FaultStats record")
+		}
+		return r.String()
+	}
+	plain, faulted := run(false), run(true)
+	if plain != faulted {
+		t.Errorf("empty plan changed the result:\n plain: %s\n empty: %s", plain, faulted)
+	}
+}
+
+// TestFaultScheduleDeterminism runs the same (plan, seed) twice and demands
+// an identical fault schedule, recovery counters, and simulation outcome.
+func TestFaultScheduleDeterminism(t *testing.T) {
+	run := func() (string, uint64, uint64) {
+		sys, err := New(testCfg(config.DesignB))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.AttachFaults(dropAllHops(0.2), 42); err != nil {
+			t.Fatal(err)
+		}
+		r, err := sys.Run(&fanOut{n: 64, workload: 200})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Faults == nil || r.Faults.Drops == 0 {
+			t.Fatal("drop plan fired nothing; determinism check is vacuous")
+		}
+		return r.Faults.String(), uint64(r.Makespan), r.TasksExecuted
+	}
+	fs1, mk1, tk1 := run()
+	fs2, mk2, tk2 := run()
+	if fs1 != fs2 {
+		t.Errorf("fault stats diverged:\n run1: %s\n run2: %s", fs1, fs2)
+	}
+	if mk1 != mk2 || tk1 != tk2 {
+		t.Errorf("outcome diverged: makespan %d vs %d, tasks %d vs %d", mk1, mk2, tk1, tk2)
+	}
+}
+
+// TestKillUnitExactlyOnce kills a unit mid-run and asserts graceful
+// degradation: the run completes, the watchdog stays clean, and every task —
+// including those evacuated from the dead unit — executes exactly once.
+func TestKillUnitExactlyOnce(t *testing.T) {
+	sys, err := New(testCfg(config.DesignB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := &fault.Plan{Faults: []fault.Spec{
+		{Kind: fault.KindKill, Rank: -1, Unit: 3, At: 10_000},
+	}}
+	if err := sys.AttachFaults(plan, 1); err != nil {
+		t.Fatal(err)
+	}
+	app := &fanOut{n: 64, workload: 5_000}
+	r, err := sys.Run(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range app.execs {
+		if n != 1 {
+			t.Errorf("task %d executed %d times, want exactly 1", i, n)
+		}
+	}
+	if r.Faults == nil || r.Faults.Kills != 1 {
+		t.Fatalf("Faults = %+v, want Kills=1", r.Faults)
+	}
+	if r.Faults.TasksRespawned == 0 {
+		t.Error("kill mid-run evacuated no tasks; exactly-once check is vacuous")
+	}
+	if r.Faults.WatchdogTripped {
+		t.Error("watchdog tripped on a recoverable kill plan")
+	}
+	if r.TasksExecuted != r.TasksSpawned {
+		t.Errorf("executed %d of %d spawned tasks", r.TasksExecuted, r.TasksSpawned)
+	}
+}
+
+// TestFaultMetricsCounters cross-checks the metrics registry against the
+// FaultStats record: every recovery counter exported to the registry must
+// equal the value in the result.
+func TestFaultMetricsCounters(t *testing.T) {
+	sys, err := New(testCfg(config.DesignB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AttachFaults(dropAllHops(0.2), 42); err != nil {
+		t.Fatal(err)
+	}
+	reg := metrics.NewRegistry()
+	sys.AttachMetrics(reg)
+	r, err := sys.Run(&fanOut{n: 64, workload: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Faults == nil {
+		t.Fatal("no FaultStats on a faulted run")
+	}
+	if r.Faults.Retries == 0 {
+		t.Fatal("drop plan produced zero retries; counter check is vacuous")
+	}
+	for _, c := range []struct {
+		name string
+		want uint64
+	}{
+		{"fault_retries", r.Faults.Retries},
+		{"fault_nacks", r.Faults.Nacks},
+		{"fault_dups_filtered", r.Faults.DupsFiltered},
+		{"fault_msgs_lost", r.Faults.MsgsLost},
+		{"fault_tasks_respawned", r.Faults.TasksRespawned},
+		{"fault_blocks_recovered", r.Faults.BlocksRecovered},
+	} {
+		if got := reg.Counter(c.name).Value(); got != c.want {
+			t.Errorf("%s = %d, want %d (FaultStats)", c.name, got, c.want)
+		}
+	}
+}
+
+// TestWatchdogTripsOnUnrecoverablePlan drops every gather message forever:
+// no retry can ever succeed, so the watchdog must convert the hang into a
+// diagnostic error instead of letting Run spin.
+func TestWatchdogTripsOnUnrecoverablePlan(t *testing.T) {
+	sys, err := New(testCfg(config.DesignB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := &fault.Plan{Faults: []fault.Spec{
+		{Kind: fault.KindDrop, Scope: fault.ScopeL1Gather, Prob: 1, Rank: -1, Unit: -1},
+	}}
+	if err := sys.AttachFaults(plan, 1); err != nil {
+		t.Fatal(err)
+	}
+	_, err = sys.Run(&fanOut{n: 16, workload: 200})
+	if err == nil {
+		t.Fatal("Run succeeded under a 100% gather drop; watchdog never fired")
+	}
+	if !strings.Contains(err.Error(), "watchdog") {
+		t.Errorf("error %q does not mention the watchdog", err)
+	}
+}
+
+// TestStallPlanRecoverable freezes a unit's pipeline mid-run: the fabric
+// must absorb the pause without losing work or waking the watchdog.
+func TestStallPlanRecoverable(t *testing.T) {
+	sys, err := New(testCfg(config.DesignB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := &fault.Plan{Faults: []fault.Spec{
+		{Kind: fault.KindStall, Rank: -1, Unit: 2, At: 5_000, Cycles: 20_000},
+	}}
+	if err := sys.AttachFaults(plan, 1); err != nil {
+		t.Fatal(err)
+	}
+	app := &fanOut{n: 64, workload: 1_000}
+	r, err := sys.Run(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range app.execs {
+		if n != 1 {
+			t.Errorf("task %d executed %d times, want exactly 1", i, n)
+		}
+	}
+	if r.Faults == nil || r.Faults.Stalls != 1 {
+		t.Fatalf("Faults = %+v, want Stalls=1", r.Faults)
+	}
+	if r.Faults.WatchdogTripped {
+		t.Error("watchdog tripped on a recoverable stall plan")
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"ndpbridge/internal/config"
 	"ndpbridge/internal/dram"
 	"ndpbridge/internal/energy"
+	"ndpbridge/internal/fault"
 	"ndpbridge/internal/host"
 	"ndpbridge/internal/metrics"
 	"ndpbridge/internal/ndpunit"
@@ -66,6 +67,18 @@ type System struct {
 	met        *metrics.Registry
 	mEpoch     *metrics.Histogram
 	epochStart sim.Cycles
+
+	taskID uint64 // run-unique task ID counter
+
+	// Fault injection and recovery (all nil/zero without AttachFaults).
+	inj              *fault.Injector
+	injPlan          *fault.Plan
+	respawned        map[uint64]bool // task IDs already re-homed once
+	wd               *sim.Watchdog
+	progress         uint64 // monotone work counter the watchdog polls
+	fMsgsLost        uint64
+	fTasksRespawned  uint64
+	fBlocksRecovered uint64
 }
 
 // New builds a system for cfg. The configuration is validated.
@@ -132,6 +145,12 @@ func (s *System) CurrentEpoch() uint32 { return s.epoch }
 // TaskSpawned records a newly created task of epoch ts.
 func (s *System) TaskSpawned(ts uint32) { s.outstanding[ts]++ }
 
+// NextTaskID returns a run-unique task identifier (never 0).
+func (s *System) NextTaskID() uint64 {
+	s.taskID++
+	return s.taskID
+}
+
 // TaskDone records a completed task and advances the epoch when the current
 // one drains.
 func (s *System) TaskDone(ts uint32) {
@@ -139,6 +158,7 @@ func (s *System) TaskDone(ts uint32) {
 		panic(fmt.Sprintf("core: TaskDone(%d) without outstanding task", ts))
 	}
 	s.outstanding[ts]--
+	s.progress++
 	if s.taskTrace != nil {
 		s.taskTrace(s.eng.Now())
 	}
@@ -154,6 +174,7 @@ func (s *System) MsgDelivered() {
 		panic("core: MsgDelivered without inflight message")
 	}
 	s.inflight--
+	s.progress++
 	s.checkAdvance()
 }
 
@@ -362,15 +383,20 @@ func (s *System) Run(app App) (*stats.Result, error) {
 	if s.rc != nil {
 		s.rc.Start()
 	}
+	s.scheduleFaults()
 	s.kickAll()
 
 	if err := s.eng.Run(s.maxEvents); err != nil {
-		return nil, fmt.Errorf("core: %s/%s did not converge: %w (epoch %d, outstanding %d, inflight %d)%s",
-			app.Name(), s.cfg.Design, err, s.epoch, s.outstanding[s.epoch], s.inflight, s.diagnose())
+		return nil, fmt.Errorf("core: %s/%s did not converge: %w (epoch %d, outstanding %d, inflight %d)%s%s",
+			app.Name(), s.cfg.Design, err, s.epoch, s.outstanding[s.epoch], s.inflight, s.diagnose(), s.faultDiagnose())
+	}
+	if s.wd != nil && s.wd.Tripped() {
+		return nil, fmt.Errorf("core: %s/%s watchdog tripped at %d cycles: no progress (epoch %d, outstanding %d, inflight %d, backlog %d units)%s%s",
+			app.Name(), s.cfg.Design, s.eng.Now(), s.epoch, s.outstanding[s.epoch], s.inflight, s.backlogUnits(), s.diagnose(), s.faultDiagnose())
 	}
 	if !s.done {
-		return nil, fmt.Errorf("core: %s/%s deadlocked at %d cycles (epoch %d, outstanding %d, inflight %d, backlog %d units)",
-			app.Name(), s.cfg.Design, s.eng.Now(), s.epoch, s.outstanding[s.epoch], s.inflight, s.backlogUnits())
+		return nil, fmt.Errorf("core: %s/%s deadlocked at %d cycles (epoch %d, outstanding %d, inflight %d, backlog %d units)%s",
+			app.Name(), s.cfg.Design, s.eng.Now(), s.epoch, s.outstanding[s.epoch], s.inflight, s.backlogUnits(), s.faultDiagnose())
 	}
 	return s.collect(app.Name()), nil
 }
@@ -509,6 +535,7 @@ func (s *System) collect(appName string) *stats.Result {
 		r.IntraRankBytes += rs.Bytes
 		ec.ChannelBytes += rs.Bytes
 	}
+	r.Faults = s.faultResult()
 	r.Finalize()
 	r.Energy = energy.Breakdown(ec, s.cfg.Energy)
 	return r

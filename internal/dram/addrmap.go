@@ -27,6 +27,11 @@ type AddrMap struct {
 	geo       config.Geometry
 	bankShift uint // log2(BankBytes)
 	units     int
+
+	// rehome, when non-nil, redirects the home of a dead unit's address
+	// range to an adopting buddy (fault recovery). Allocated lazily on the
+	// first Rehome so the common no-fault path pays one nil test.
+	rehome []int32
 }
 
 // NewAddrMap builds the address map for a geometry.
@@ -47,13 +52,52 @@ func (m *AddrMap) Units() int { return m.units }
 // Capacity returns the total addressable bytes.
 func (m *AddrMap) Capacity() uint64 { return uint64(m.units) << m.bankShift }
 
-// Home returns the unit whose local bank stores addr.
+// Home returns the unit whose local bank stores addr. After Rehome(dead,
+// buddy) the dead unit's range reports the adopting buddy instead.
 func (m *AddrMap) Home(a Addr) UnitID {
 	u := UnitID(a >> m.bankShift)
 	if u >= m.units {
 		panic(fmt.Sprintf("dram: address %#x beyond capacity %#x", a, m.Capacity()))
 	}
+	if m.rehome != nil {
+		return int(m.rehome[u])
+	}
 	return u
+}
+
+// HomeRaw returns the geometric home of addr, ignoring any rehoming — the
+// bank that physically stores the address.
+func (m *AddrMap) HomeRaw(a Addr) UnitID {
+	u := UnitID(a >> m.bankShift)
+	if u >= m.units {
+		panic(fmt.Sprintf("dram: address %#x beyond capacity %#x", a, m.Capacity()))
+	}
+	return u
+}
+
+// Rehome redirects every address homed at dead to buddy. Chains are
+// flattened: if a previously dead unit pointed at dead, it now points at
+// buddy too, so lookups stay O(1).
+func (m *AddrMap) Rehome(dead, buddy UnitID) {
+	if dead < 0 || dead >= m.units || buddy < 0 || buddy >= m.units {
+		panic(fmt.Sprintf("dram: Rehome(%d, %d) out of range", dead, buddy))
+	}
+	if m.rehome == nil {
+		m.rehome = make([]int32, m.units)
+		for i := range m.rehome {
+			m.rehome[i] = int32(i)
+		}
+	}
+	for i := range m.rehome {
+		if int(m.rehome[i]) == dead {
+			m.rehome[i] = int32(buddy)
+		}
+	}
+}
+
+// IsAdopted reports whether unit u's address range has been rehomed away.
+func (m *AddrMap) IsAdopted(u UnitID) bool {
+	return m.rehome != nil && int(m.rehome[u]) != u
 }
 
 // Contains reports whether addr is within the address space.

@@ -134,3 +134,29 @@ func TestAddrMapGeometriesProperty(t *testing.T) {
 		}
 	}
 }
+
+func TestRehome(t *testing.T) {
+	m := NewAddrMap(config.Geometry{Channels: 1, RanksPerChannel: 1, ChipsPerRank: 2, BanksPerChip: 2, BankBytes: 1 << 10})
+	a := m.Base(2) + 5
+	if m.Home(a) != 2 || m.HomeRaw(a) != 2 {
+		t.Fatal("baseline home wrong")
+	}
+	m.Rehome(2, 3)
+	if m.Home(a) != 3 {
+		t.Fatalf("Home after rehome = %d, want 3", m.Home(a))
+	}
+	if m.HomeRaw(a) != 2 {
+		t.Fatalf("HomeRaw must ignore rehoming, got %d", m.HomeRaw(a))
+	}
+	if !m.IsAdopted(2) || m.IsAdopted(3) {
+		t.Fatal("IsAdopted wrong")
+	}
+	// Chain: kill 3 too; unit 2's range must follow to 0.
+	m.Rehome(3, 0)
+	if m.Home(a) != 0 {
+		t.Fatalf("chained rehome = %d, want 0", m.Home(a))
+	}
+	if m.RankOfAddr(a) != m.GlobalRank(0) {
+		t.Fatal("RankOfAddr must track rehoming")
+	}
+}

@@ -85,7 +85,19 @@ func runSystem(sys *core.System, app core.App) (*stats.Result, error) {
 		sys.AttachMetrics(metrics.NewRegistry())
 		collect = true
 	}
+	// Cancellation checkpoint: once the pool is canceled, the engine halts
+	// within 64K events instead of finishing a long simulation. The hook runs
+	// on the engine's own goroutine, so Stop needs no synchronization.
+	eng := sys.Engine()
+	eng.SetProgress(1<<16, func(_, _ uint64) {
+		if canceled.Load() {
+			eng.Stop()
+		}
+	})
 	r, err := sys.Run(app)
+	if canceled.Load() {
+		return nil, ErrCanceled
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"errors"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -34,6 +35,25 @@ func Jobs() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// ErrCanceled is returned by the pool once Cancel has been observed. Callers
+// (ndpbench) match it to distinguish an interrupt from a worker failure.
+var ErrCanceled = errors.New("experiments: canceled")
+
+// canceled is the package-wide cancellation latch, set from a signal handler
+// goroutine and polled by the dispatch loop and by in-flight engines.
+var canceled atomic.Bool
+
+// Cancel stops the pool: no further simulations are dispatched, and every
+// in-flight engine halts at its next progress checkpoint. Safe to call from
+// any goroutine (e.g. a Ctrl-C handler); idempotent.
+func Cancel() { canceled.Store(true) }
+
+// Canceled reports whether Cancel has been called.
+func Canceled() bool { return canceled.Load() }
+
+// ResetCancel re-arms the pool after a cancellation (tests only).
+func ResetCancel() { canceled.Store(false) }
+
 // parMap runs fn for every index in [0, n) on a pool of Jobs() workers and
 // returns the results in index order. On error it returns the error with
 // the lowest index (deterministic first-error semantics, matching what a
@@ -50,6 +70,9 @@ func parMap[T any](n int, fn func(i int) (T, error)) ([]T, error) {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if canceled.Load() {
+				return nil, ErrCanceled
+			}
 			v, err := fn(i)
 			if err != nil {
 				return nil, err
@@ -72,7 +95,7 @@ func parMap[T any](n int, fn func(i int) (T, error)) ([]T, error) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1) - 1)
-				if i >= n || int64(i) > firstErr.Load() {
+				if i >= n || int64(i) > firstErr.Load() || canceled.Load() {
 					return
 				}
 				v, err := fn(i)
@@ -92,6 +115,11 @@ func parMap[T any](n int, fn func(i int) (T, error)) ([]T, error) {
 		}()
 	}
 	wg.Wait()
+	if canceled.Load() {
+		// A cancellation masks the (nondeterministic) errors of engines it
+		// halted mid-run; report the interrupt itself.
+		return nil, ErrCanceled
+	}
 	if i := firstErr.Load(); i < int64(n) {
 		return nil, errs[i]
 	}

@@ -1,0 +1,293 @@
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ndpbridge/internal/sim"
+)
+
+// Counters tallies the faults the injector actually fired. These are the
+// injection-side counts; the recovery-side counts (retries, acks, respawns)
+// live with the components that perform the recovery.
+type Counters struct {
+	Drops      uint64
+	Corrupts   uint64
+	Duplicates uint64
+	Delays     uint64
+	Stalls     uint64
+	Kills      uint64
+	Overflows  uint64
+}
+
+// Outcome is the injector's verdict for one message on one hop. Zero value
+// means "deliver normally". Duplicate and Corrupt/Drop compose: a duplicated
+// message sends two copies, and Corrupt applies to the original copy.
+type Outcome struct {
+	Drop      bool
+	Corrupt   bool
+	Duplicate bool
+	Delay     sim.Cycles // extra latency in cycles; 0 = none
+}
+
+// Faulty reports whether the outcome perturbs delivery at all.
+func (o Outcome) Faulty() bool {
+	return o.Drop || o.Corrupt || o.Duplicate || o.Delay != 0
+}
+
+// activeSpec is one message-fault spec bound to a hop, with its firing
+// budget.
+type activeSpec struct {
+	spec  Spec
+	fired uint64
+}
+
+// Hop is the per-(scope, rank) decision point for message faults. A nil Hop
+// decides "deliver normally" with no RNG draw, so hops without matching
+// specs cost one pointer test per message.
+type Hop struct {
+	specs []*activeSpec
+	rng   *sim.RNG
+	st    *Counters
+}
+
+// Decide draws one verdict for a message crossing the hop at cycle now.
+// Each active spec gets exactly one RNG draw per message (whether or not it
+// fires), keeping the stream position — and therefore the entire fault
+// schedule — a pure function of the message sequence on this hop.
+func (h *Hop) Decide(now sim.Cycles) Outcome {
+	var o Outcome
+	if h == nil {
+		return o
+	}
+	for _, a := range h.specs {
+		roll := h.rng.Float64()
+		if now < a.spec.After || (a.spec.Until != 0 && now >= a.spec.Until) {
+			continue
+		}
+		if a.spec.Count != 0 && a.fired >= a.spec.Count {
+			continue
+		}
+		if roll >= a.spec.Prob {
+			continue
+		}
+		a.fired++
+		switch a.spec.Kind {
+		case KindDrop:
+			if !o.Drop {
+				o.Drop = true
+				h.st.Drops++
+			}
+		case KindCorrupt:
+			if !o.Corrupt {
+				o.Corrupt = true
+				h.st.Corrupts++
+			}
+		case KindDup:
+			if !o.Duplicate {
+				o.Duplicate = true
+				h.st.Duplicates++
+			}
+		case KindDelay:
+			if o.Delay == 0 {
+				d := a.spec.Cycles
+				if d == 0 {
+					d = 64
+				}
+				o.Delay = d
+				h.st.Delays++
+			}
+		}
+	}
+	return o
+}
+
+// UnitEvent is one scheduled unit-level fault.
+type UnitEvent struct {
+	At     sim.Cycles
+	Unit   int
+	Kill   bool       // false = transient stall
+	Cycles sim.Cycles // stall duration (0 for kill)
+}
+
+// OverflowEvent is one scheduled bridge-buffer overflow.
+type OverflowEvent struct {
+	At     sim.Cycles
+	Rank   int
+	Bytes  uint64
+	Cycles sim.Cycles // how long the phantom backlog persists
+}
+
+// hopKey addresses one Hop stream.
+type hopKey struct {
+	scope Scope
+	rank  int
+}
+
+// Injector is one run's fault engine. It is bound to a single simulation
+// (single goroutine, like the sim.Engine) and hands out per-hop decision
+// points plus the pre-computed unit/overflow event schedule.
+type Injector struct {
+	seed  uint64
+	plan  *Plan
+	hops  map[hopKey]*Hop
+	st    Counters
+	units []UnitEvent
+	ovfl  []OverflowEvent
+}
+
+// New builds an injector for plan with the given seed. It returns nil for a
+// nil or empty plan: the nil Injector is the "faults off" state, and every
+// consumer gates its fault machinery on a non-nil injector so a faultless
+// run stays byte-identical to one that never imported this package.
+func New(plan *Plan, seed uint64) *Injector {
+	if plan.Empty() {
+		return nil
+	}
+	inj := &Injector{seed: seed, plan: plan, hops: make(map[hopKey]*Hop)}
+	for _, s := range plan.Faults {
+		switch s.Kind {
+		case KindStall:
+			inj.units = append(inj.units, UnitEvent{At: s.At, Unit: s.Unit, Cycles: s.Cycles})
+		case KindKill:
+			inj.units = append(inj.units, UnitEvent{At: s.At, Unit: s.Unit, Kill: true})
+		case KindOverflow:
+			b := s.Bytes
+			if b == 0 {
+				b = 1 << 20
+			}
+			inj.ovfl = append(inj.ovfl, OverflowEvent{At: s.At, Rank: s.Rank, Bytes: b, Cycles: s.Cycles})
+		}
+	}
+	// Stable event order: by time, then unit/rank — independent of the
+	// plan's textual order for equal times.
+	sort.SliceStable(inj.units, func(i, j int) bool {
+		if inj.units[i].At != inj.units[j].At {
+			return inj.units[i].At < inj.units[j].At
+		}
+		return inj.units[i].Unit < inj.units[j].Unit
+	})
+	sort.SliceStable(inj.ovfl, func(i, j int) bool {
+		if inj.ovfl[i].At != inj.ovfl[j].At {
+			return inj.ovfl[i].At < inj.ovfl[j].At
+		}
+		return inj.ovfl[i].Rank < inj.ovfl[j].Rank
+	})
+	return inj
+}
+
+// hopSeed derives the RNG seed for a hop stream by stable hashing (FNV-1a)
+// of the injector seed, the scope name, and the rank. Construction order of
+// the consuming components cannot influence it.
+func hopSeed(seed uint64, scope Scope, rank int) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(b byte) {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	for i := 0; i < 8; i++ {
+		mix(byte(seed >> (8 * i)))
+	}
+	for i := 0; i < len(scope); i++ {
+		mix(scope[i])
+	}
+	r := uint64(uint32(rank))
+	for i := 0; i < 4; i++ {
+		mix(byte(r >> (8 * i)))
+	}
+	return h
+}
+
+// HopFor returns the decision point for (scope, rank), creating it on first
+// use, or nil when no spec in the plan matches — callers keep the nil and
+// pay only a nil test per message. Nil injectors return nil.
+func (inj *Injector) HopFor(scope Scope, rank int) *Hop {
+	if inj == nil {
+		return nil
+	}
+	key := hopKey{scope, rank}
+	if h, ok := inj.hops[key]; ok {
+		return h
+	}
+	var specs []*activeSpec
+	for _, s := range inj.plan.Faults {
+		if !messageKind(s.Kind) || s.Scope != scope {
+			continue
+		}
+		if s.Rank != -1 && s.Rank != rank {
+			continue
+		}
+		specs = append(specs, &activeSpec{spec: s})
+	}
+	var h *Hop
+	if len(specs) > 0 {
+		h = &Hop{specs: specs, rng: sim.NewRNG(hopSeed(inj.seed, scope, rank)), st: &inj.st}
+	}
+	inj.hops[key] = h
+	return h
+}
+
+// UnitEvents returns the scheduled stall/kill events in stable time order.
+// Nil injectors return nil.
+func (inj *Injector) UnitEvents() []UnitEvent {
+	if inj == nil {
+		return nil
+	}
+	return inj.units
+}
+
+// OverflowEvents returns the scheduled bridge-overflow events in stable time
+// order. Nil injectors return nil.
+func (inj *Injector) OverflowEvents() []OverflowEvent {
+	if inj == nil {
+		return nil
+	}
+	return inj.ovfl
+}
+
+// CountStall and CountKill let the runtime attribute executed unit events.
+func (inj *Injector) CountStall() {
+	if inj != nil {
+		inj.st.Stalls++
+	}
+}
+
+// CountKill records an executed kill event.
+func (inj *Injector) CountKill() {
+	if inj != nil {
+		inj.st.Kills++
+	}
+}
+
+// CountOverflow records an executed overflow event.
+func (inj *Injector) CountOverflow() {
+	if inj != nil {
+		inj.st.Overflows++
+	}
+}
+
+// Counters returns the injection-side tallies (zero value for nil).
+func (inj *Injector) Counters() Counters {
+	if inj == nil {
+		return Counters{}
+	}
+	return inj.st
+}
+
+// String renders the counters compactly for diagnostics.
+func (c Counters) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "drops=%d corrupts=%d dups=%d delays=%d stalls=%d kills=%d overflows=%d",
+		c.Drops, c.Corrupts, c.Duplicates, c.Delays, c.Stalls, c.Kills, c.Overflows)
+	return b.String()
+}
+
+// Any reports whether any fault fired.
+func (c Counters) Any() bool {
+	return c.Drops+c.Corrupts+c.Duplicates+c.Delays+c.Stalls+c.Kills+c.Overflows > 0
+}

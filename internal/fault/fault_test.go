@@ -1,0 +1,203 @@
+package fault
+
+import (
+	"testing"
+)
+
+func TestParseAppliesDefaults(t *testing.T) {
+	p, err := Parse([]byte(`{"faults":[{"kind":"drop","scope":"l1-gather","prob":0.1}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Faults) != 1 {
+		t.Fatalf("faults = %d", len(p.Faults))
+	}
+	s := p.Faults[0]
+	if s.Rank != -1 || s.Unit != -1 {
+		t.Fatalf("absent rank/unit should default to -1, got rank=%d unit=%d", s.Rank, s.Unit)
+	}
+	// Explicit zero rank survives.
+	p2, err := Parse([]byte(`{"faults":[{"kind":"drop","scope":"l1-up","prob":0.5,"rank":0}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Faults[0].Rank != 0 {
+		t.Fatalf("explicit rank 0 lost: %d", p2.Faults[0].Rank)
+	}
+}
+
+func TestParseRejectsUnknownFields(t *testing.T) {
+	if _, err := Parse([]byte(`{"faults":[{"kind":"drop","scoep":"l1-up","prob":0.5}]}`)); err == nil {
+		t.Fatal("typo'd field accepted")
+	}
+	if _, err := Parse([]byte(`{"faults":[{"scope":"l1-up","prob":0.5}]}`)); err == nil {
+		t.Fatal("missing kind accepted")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		json string
+		ok   bool
+	}{
+		{"good drop", `{"faults":[{"kind":"drop","scope":"l1-scatter","prob":0.2}]}`, true},
+		{"good kill", `{"faults":[{"kind":"kill","unit":3,"at":100}]}`, true},
+		{"good stall", `{"faults":[{"kind":"stall","unit":0,"at":50,"cycles":500}]}`, true},
+		{"good overflow", `{"faults":[{"kind":"overflow","rank":1,"at":10,"cycles":100}]}`, true},
+		{"bad scope", `{"faults":[{"kind":"drop","scope":"l3-up","prob":0.2}]}`, false},
+		{"prob zero", `{"faults":[{"kind":"drop","scope":"l1-up","prob":0}]}`, false},
+		{"prob over one", `{"faults":[{"kind":"drop","scope":"l1-up","prob":1.5}]}`, false},
+		{"kill unit out of range", `{"faults":[{"kind":"kill","unit":99,"at":100}]}`, false},
+		{"kill unit absent", `{"faults":[{"kind":"kill","at":100}]}`, false},
+		{"stall without cycles", `{"faults":[{"kind":"stall","unit":1,"at":100}]}`, false},
+		{"overflow rank out of range", `{"faults":[{"kind":"overflow","rank":9,"cycles":10}]}`, false},
+		{"unknown kind", `{"faults":[{"kind":"melt","unit":1}]}`, false},
+		{"until before after", `{"faults":[{"kind":"drop","scope":"l1-up","prob":0.5,"after":100,"until":50}]}`, false},
+	}
+	for _, c := range cases {
+		p, err := Parse([]byte(c.json))
+		if err != nil {
+			t.Fatalf("%s: parse: %v", c.name, err)
+		}
+		err = p.Validate(8, 2)
+		if c.ok && err != nil {
+			t.Errorf("%s: unexpected reject: %v", c.name, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("%s: bad plan accepted", c.name)
+		}
+	}
+}
+
+func TestEmptyPlanYieldsNilInjector(t *testing.T) {
+	if New(nil, 1) != nil {
+		t.Fatal("nil plan should yield nil injector")
+	}
+	if New(&Plan{}, 1) != nil {
+		t.Fatal("empty plan should yield nil injector")
+	}
+	// The nil injector is fully usable.
+	var inj *Injector
+	if h := inj.HopFor(ScopeL1Up, 0); h != nil {
+		t.Fatal("nil injector handed out a hop")
+	}
+	if inj.UnitEvents() != nil || inj.OverflowEvents() != nil {
+		t.Fatal("nil injector has events")
+	}
+	var h *Hop
+	if o := h.Decide(100); o.Faulty() {
+		t.Fatal("nil hop produced a fault")
+	}
+}
+
+func TestHopDeterminism(t *testing.T) {
+	plan, err := Parse([]byte(`{"faults":[
+		{"kind":"drop","scope":"l1-gather","prob":0.3},
+		{"kind":"corrupt","scope":"l1-gather","prob":0.1}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(order []int) []Outcome {
+		inj := New(plan, 42)
+		hops := make(map[int]*Hop)
+		// Construction order of hops must not matter.
+		for _, r := range order {
+			hops[r] = inj.HopFor(ScopeL1Gather, r)
+		}
+		var out []Outcome
+		for i := 0; i < 64; i++ {
+			out = append(out, hops[i%2].Decide(uint64(i)))
+		}
+		return out
+	}
+	a := run([]int{0, 1})
+	b := run([]int{1, 0})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("outcome %d differs across construction orders: %v vs %v", i, a[i], b[i])
+		}
+	}
+	var faulty int
+	for _, o := range a {
+		if o.Faulty() {
+			faulty++
+		}
+	}
+	if faulty == 0 {
+		t.Fatal("prob 0.3+0.1 over 64 messages never fired")
+	}
+}
+
+func TestHopRankFilterAndWindow(t *testing.T) {
+	plan, err := Parse([]byte(`{"faults":[
+		{"kind":"drop","scope":"l1-up","prob":1.0,"rank":1,"after":100,"until":200}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := New(plan, 7)
+	if h := inj.HopFor(ScopeL1Up, 0); h != nil {
+		t.Fatal("rank filter ignored: rank 0 got a hop")
+	}
+	if h := inj.HopFor(ScopeL1Scatter, 1); h != nil {
+		t.Fatal("scope filter ignored")
+	}
+	h := inj.HopFor(ScopeL1Up, 1)
+	if h == nil {
+		t.Fatal("matching hop missing")
+	}
+	if h.Decide(50).Drop {
+		t.Fatal("fired before window")
+	}
+	if !h.Decide(150).Drop {
+		t.Fatal("prob-1.0 fault missed inside window")
+	}
+	if h.Decide(250).Drop {
+		t.Fatal("fired after window")
+	}
+	if got := inj.Counters().Drops; got != 1 {
+		t.Fatalf("drops = %d, want 1", got)
+	}
+}
+
+func TestHopCountCap(t *testing.T) {
+	plan, err := Parse([]byte(`{"faults":[
+		{"kind":"dup","scope":"l2-down","prob":1.0,"count":3}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := New(plan, 7)
+	h := inj.HopFor(ScopeL2Down, 0)
+	var fired int
+	for i := 0; i < 10; i++ {
+		if h.Decide(uint64(i)).Duplicate {
+			fired++
+		}
+	}
+	if fired != 3 {
+		t.Fatalf("count cap: fired %d, want 3", fired)
+	}
+}
+
+func TestUnitAndOverflowEventsSorted(t *testing.T) {
+	plan, err := Parse([]byte(`{"faults":[
+		{"kind":"kill","unit":5,"at":300},
+		{"kind":"stall","unit":2,"at":100,"cycles":50},
+		{"kind":"kill","unit":1,"at":300},
+		{"kind":"overflow","rank":0,"at":20,"cycles":10}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := New(plan, 1)
+	evs := inj.UnitEvents()
+	if len(evs) != 3 {
+		t.Fatalf("unit events = %d", len(evs))
+	}
+	if evs[0].Unit != 2 || evs[0].Kill || evs[1].Unit != 1 || !evs[1].Kill || evs[2].Unit != 5 {
+		t.Fatalf("events out of order: %+v", evs)
+	}
+	ov := inj.OverflowEvents()
+	if len(ov) != 1 || ov[0].Bytes != 1<<20 {
+		t.Fatalf("overflow events = %+v (default bytes missing?)", ov)
+	}
+}

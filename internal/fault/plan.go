@@ -1,0 +1,270 @@
+// Package fault implements deterministic fault injection for the NDPBridge
+// simulator. A Plan (typically loaded from JSON) names a set of fault specs —
+// message-level faults on the bridge hops (drop, corrupt, duplicate, delay),
+// bridge-buffer overflow, and unit-level stall/kill events — and an Injector
+// turns the plan plus a seed into a fully deterministic fault schedule:
+// every probabilistic decision is drawn from a per-hop PRNG stream derived by
+// stable hashing, independent of component construction order and of
+// anything else in the process (no wall clock, no global rand). The same
+// (plan, seed) therefore produces the identical fault schedule on every run,
+// at any worker-pool width.
+package fault
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Kind names a fault class.
+type Kind string
+
+const (
+	// KindDrop silently discards a message on a hop.
+	KindDrop Kind = "drop"
+	// KindCorrupt flips the message checksum so the receiver nacks it.
+	KindCorrupt Kind = "corrupt"
+	// KindDup delivers a message twice.
+	KindDup Kind = "dup"
+	// KindDelay holds a message back for a fixed number of cycles.
+	KindDelay Kind = "delay"
+	// KindStall freezes a unit's compute pipeline for a duration; its
+	// mailbox stays reachable and the running task completes.
+	KindStall Kind = "stall"
+	// KindKill permanently removes a unit at a given cycle.
+	KindKill Kind = "kill"
+	// KindOverflow injects phantom backlog into a level-1 bridge's backup
+	// buffer, tripping its backpressure threshold for a duration.
+	KindOverflow Kind = "overflow"
+)
+
+// Scope names the bridge hop a message-level fault applies to.
+type Scope string
+
+const (
+	// ScopeL1Gather is the unit → level-1 bridge gather hop.
+	ScopeL1Gather Scope = "l1-gather"
+	// ScopeL1Scatter is the level-1 bridge → unit scatter hop.
+	ScopeL1Scatter Scope = "l1-scatter"
+	// ScopeL1Up is the level-1 → level-2 up hop.
+	ScopeL1Up Scope = "l1-up"
+	// ScopeL2Down is the level-2 → level-1 down hop.
+	ScopeL2Down Scope = "l2-down"
+)
+
+// messageKind reports whether k is a per-message probabilistic fault.
+func messageKind(k Kind) bool {
+	switch k {
+	case KindDrop, KindCorrupt, KindDup, KindDelay:
+		return true
+	}
+	return false
+}
+
+// validScope reports whether s names a known hop.
+func validScope(s Scope) bool {
+	switch s {
+	case ScopeL1Gather, ScopeL1Scatter, ScopeL1Up, ScopeL2Down:
+		return true
+	}
+	return false
+}
+
+// Spec is one fault specification. Which fields matter depends on Kind:
+//
+//   - drop/corrupt/dup/delay: Scope (hop), Prob, optional Rank filter
+//     (-1 or absent = every rank), optional After/Until activity window,
+//     optional Count cap on firings; delay also uses Cycles (default 64).
+//   - stall: Unit, At, Cycles (stall duration).
+//   - kill: Unit, At.
+//   - overflow: Rank, At, Cycles (duration), Bytes (phantom backlog;
+//     default 1 MiB).
+type Spec struct {
+	Kind   Kind    `json:"kind"`
+	Scope  Scope   `json:"scope,omitempty"`
+	Prob   float64 `json:"prob,omitempty"`
+	Rank   int     `json:"rank"`
+	Unit   int     `json:"unit"`
+	At     uint64  `json:"at,omitempty"`
+	Cycles uint64  `json:"cycles,omitempty"`
+	Bytes  uint64  `json:"bytes,omitempty"`
+	After  uint64  `json:"after,omitempty"`
+	Until  uint64  `json:"until,omitempty"`
+	Count  uint64  `json:"count,omitempty"`
+}
+
+// Plan is a set of fault specs, the unit of configuration (-faults plan.json).
+type Plan struct {
+	Faults []Spec `json:"faults"`
+}
+
+// specDTO mirrors Spec with pointer fields so absent JSON keys are
+// distinguishable from explicit zeros: "rank": 0 targets rank 0, while an
+// absent rank means "all ranks" (-1).
+type specDTO struct {
+	Kind   *Kind    `json:"kind"`
+	Scope  *Scope   `json:"scope"`
+	Prob   *float64 `json:"prob"`
+	Rank   *int     `json:"rank"`
+	Unit   *int     `json:"unit"`
+	At     *uint64  `json:"at"`
+	Cycles *uint64  `json:"cycles"`
+	Bytes  *uint64  `json:"bytes"`
+	After  *uint64  `json:"after"`
+	Until  *uint64  `json:"until"`
+	Count  *uint64  `json:"count"`
+}
+
+type planDTO struct {
+	Faults []specDTO `json:"faults"`
+}
+
+// Parse decodes a JSON fault plan. Unknown fields are rejected so typos in
+// hand-written plans fail loudly.
+func Parse(data []byte) (*Plan, error) {
+	var dto planDTO
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&dto); err != nil {
+		return nil, fmt.Errorf("fault: parse plan: %w", err)
+	}
+	p := &Plan{Faults: make([]Spec, 0, len(dto.Faults))}
+	for i, d := range dto.Faults {
+		s := Spec{Rank: -1, Unit: -1}
+		if d.Kind != nil {
+			s.Kind = *d.Kind
+		}
+		if d.Scope != nil {
+			s.Scope = *d.Scope
+		}
+		if d.Prob != nil {
+			s.Prob = *d.Prob
+		}
+		if d.Rank != nil {
+			s.Rank = *d.Rank
+		}
+		if d.Unit != nil {
+			s.Unit = *d.Unit
+		}
+		if d.At != nil {
+			s.At = *d.At
+		}
+		if d.Cycles != nil {
+			s.Cycles = *d.Cycles
+		}
+		if d.Bytes != nil {
+			s.Bytes = *d.Bytes
+		}
+		if d.After != nil {
+			s.After = *d.After
+		}
+		if d.Until != nil {
+			s.Until = *d.Until
+		}
+		if d.Count != nil {
+			s.Count = *d.Count
+		}
+		if s.Kind == "" {
+			return nil, fmt.Errorf("fault: plan entry %d: missing kind", i)
+		}
+		p.Faults = append(p.Faults, s)
+	}
+	return p, nil
+}
+
+// Load reads and parses a JSON fault plan from path.
+func Load(path string) (*Plan, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("fault: %w", err)
+	}
+	return Parse(data)
+}
+
+// Empty reports whether the plan carries no faults. An empty plan attached
+// to a run must be indistinguishable from no plan at all.
+func (p *Plan) Empty() bool { return p == nil || len(p.Faults) == 0 }
+
+// NeedsBridges reports whether the plan contains faults only the bridge
+// fabric can apply: per-message hop faults and bridge-buffer overflows.
+func (p *Plan) NeedsBridges() bool {
+	if p == nil {
+		return false
+	}
+	for _, s := range p.Faults {
+		if messageKind(s.Kind) || s.Kind == KindOverflow {
+			return true
+		}
+	}
+	return false
+}
+
+// MaxCycles returns the longest duration named by any spec (stall and
+// overflow durations, delay latencies) — an input for sizing watchdog
+// periods so recoverable faults never look like deadlock.
+func (p *Plan) MaxCycles() uint64 {
+	var m uint64
+	if p == nil {
+		return 0
+	}
+	for _, s := range p.Faults {
+		if s.Cycles > m {
+			m = s.Cycles
+		}
+	}
+	return m
+}
+
+// Validate checks every spec against the run's topology: units NDP units and
+// ranks total ranks. It returns the first violation found.
+func (p *Plan) Validate(units, ranks int) error {
+	if p == nil {
+		return nil
+	}
+	for i, s := range p.Faults {
+		if err := validateSpec(s, units, ranks); err != nil {
+			return fmt.Errorf("fault: plan entry %d (%s): %w", i, s.Kind, err)
+		}
+	}
+	return nil
+}
+
+func validateSpec(s Spec, units, ranks int) error {
+	switch {
+	case messageKind(s.Kind):
+		if !validScope(s.Scope) {
+			return fmt.Errorf("message fault needs a hop scope (l1-gather, l1-scatter, l1-up, l2-down), got %q", s.Scope)
+		}
+		if s.Prob <= 0 || s.Prob > 1 {
+			return fmt.Errorf("prob %v outside (0, 1]", s.Prob)
+		}
+		if s.Rank < -1 || s.Rank >= ranks {
+			return fmt.Errorf("rank %d outside [-1, %d)", s.Rank, ranks)
+		}
+		if s.Until != 0 && s.Until <= s.After {
+			return fmt.Errorf("until %d must exceed after %d", s.Until, s.After)
+		}
+	case s.Kind == KindStall:
+		if s.Unit < 0 || s.Unit >= units {
+			return fmt.Errorf("stall needs unit in [0, %d), got %d", units, s.Unit)
+		}
+		if s.Cycles == 0 {
+			return fmt.Errorf("stall needs cycles > 0")
+		}
+	case s.Kind == KindKill:
+		if s.Unit < 0 || s.Unit >= units {
+			return fmt.Errorf("kill needs unit in [0, %d), got %d", units, s.Unit)
+		}
+	case s.Kind == KindOverflow:
+		if s.Rank < 0 || s.Rank >= ranks {
+			return fmt.Errorf("overflow needs rank in [0, %d), got %d", ranks, s.Rank)
+		}
+		if s.Cycles == 0 {
+			return fmt.Errorf("overflow needs cycles > 0")
+		}
+	default:
+		return fmt.Errorf("unknown kind %q", s.Kind)
+	}
+	return nil
+}

@@ -15,6 +15,8 @@ type ExecEnv interface {
 	CurrentEpoch() uint32
 	TaskSpawned(ts uint32)
 	TaskDone(ts uint32)
+	// NextTaskID returns a run-unique task identifier.
+	NextTaskID() uint64
 }
 
 // Executor is the design-H baseline: the host CPU alone runs the task-based
@@ -98,6 +100,9 @@ func (e *Executor) TasksRun() []uint64 { return e.tasks }
 func (e *Executor) Seed(t task.Task) {
 	e.env.TaskSpawned(t.TS)
 	e.spawned++
+	if t.ID == 0 {
+		t.ID = e.env.NextTaskID()
+	}
 	t.SpawnedAt = e.env.Engine().Now()
 	e.queue.Push(t)
 }
@@ -198,6 +203,9 @@ func (c *hostCtx) Enqueue(t task.Task) {
 	// Shared memory: every child task is locally runnable.
 	c.e.env.TaskSpawned(t.TS)
 	c.e.spawned++
+	if t.ID == 0 {
+		t.ID = c.e.env.NextTaskID()
+	}
 	t.SpawnedAt = c.cursor
 	c.e.queue.Push(t)
 	// Wake an idle core at the task's earliest start.

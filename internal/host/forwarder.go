@@ -200,9 +200,10 @@ func (f *Forwarder) anyBacklog(ch int) bool {
 func (f *Forwarder) forward(m *msg.Message) {
 	eng := f.env.Engine()
 	dst := m.Dst
-	if dst < 0 || dst >= len(f.units) {
+	if dst < 0 || dst >= len(f.units) || f.units[dst].Dead() {
 		// No load balancing in designs C/R: scheduled-out messages
-		// cannot exist. Route by home as a safety net.
+		// cannot exist. Route by home as a safety net — which also
+		// re-homes messages bound for a killed unit.
 		if a, ok := m.RouteAddr(); ok {
 			dst = f.env.Map().Home(a)
 			m.Dst = dst

@@ -21,6 +21,7 @@ type testEnv struct {
 	spawned  int
 	done     int
 	inflight int
+	taskID   uint64
 }
 
 func newTestEnv(d config.Design) *testEnv {
@@ -43,6 +44,7 @@ func (e *testEnv) Map() *dram.AddrMap       { return e.amap }
 func (e *testEnv) Registry() *task.Registry { return e.reg }
 func (e *testEnv) CurrentEpoch() uint32     { return e.epoch }
 func (e *testEnv) TaskSpawned(uint32)       { e.spawned++ }
+func (e *testEnv) NextTaskID() uint64       { e.taskID++; return e.taskID }
 func (e *testEnv) TaskDone(uint32)          { e.done++ }
 func (e *testEnv) MsgStaged()               { e.inflight++ }
 func (e *testEnv) MsgDelivered()            { e.inflight-- }

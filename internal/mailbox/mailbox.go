@@ -67,6 +67,31 @@ func (mb *Mailbox) Enqueue(m *msg.Message) bool {
 	return true
 }
 
+// PushFront re-inserts m at the head of the ring — the retry protocol's
+// "refused drain" path, where a message pulled for transmission must go back
+// in arrival order because the hop is backpressured. Returns false when the
+// message no longer fits.
+func (mb *Mailbox) PushFront(m *msg.Message) bool {
+	n := m.Size()
+	if !mb.CanFit(n) {
+		mb.stalls++
+		return false
+	}
+	if mb.head > 0 {
+		mb.head--
+		mb.queue[mb.head] = m
+	} else {
+		mb.queue = append(mb.queue, nil)
+		copy(mb.queue[1:], mb.queue)
+		mb.queue[0] = m
+	}
+	mb.used += n
+	if mb.used > mb.peakUsed {
+		mb.peakUsed = mb.used
+	}
+	return true
+}
+
 // Peek returns the head message without removing it.
 func (mb *Mailbox) Peek() (*msg.Message, bool) {
 	if mb.Len() == 0 {

@@ -171,3 +171,41 @@ func TestMailboxAccountingProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestPushFront(t *testing.T) {
+	mb := New(256)
+	m1 := msg.NewTask(0, 1, task.New(0, 0, 0x10, 1))
+	m2 := msg.NewTask(0, 1, task.New(0, 0, 0x20, 1))
+	mb.Enqueue(m1)
+	mb.Enqueue(m2)
+	got, _ := mb.Dequeue()
+	if got != m1 {
+		t.Fatal("head wrong")
+	}
+	// Put it back: arrival order must be restored.
+	if !mb.PushFront(m1) {
+		t.Fatal("PushFront refused with space available")
+	}
+	if head, _ := mb.Peek(); head != m1 {
+		t.Fatal("PushFront did not restore head")
+	}
+	if mb.Len() != 2 {
+		t.Fatalf("len = %d, want 2", mb.Len())
+	}
+	// Byte accounting must balance: drain everything.
+	mb.Dequeue()
+	mb.Dequeue()
+	if mb.Used() != 0 {
+		t.Fatalf("used = %d after full drain", mb.Used())
+	}
+	// A full mailbox refuses PushFront and counts a stall.
+	small := New(m1.Size())
+	small.Enqueue(m1)
+	if small.PushFront(m2) {
+		t.Fatal("PushFront into full mailbox succeeded")
+	}
+	_, _, stalls, _ := small.Stats()
+	if stalls != 1 {
+		t.Fatalf("stalls = %d, want 1", stalls)
+	}
+}

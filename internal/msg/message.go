@@ -102,6 +102,16 @@ type Message struct {
 	// of the wire format.
 	StagedAt uint64
 
+	// Seq and Sum are link-layer retry metadata, live only while the
+	// message traverses one bridge hop under the fault-injection retry
+	// protocol. The sender stamps a per-hop sequence number and a
+	// checksum over the logical fields; the receiver verifies, acks, and
+	// clears both before processing so the next hop starts fresh. Zero
+	// Seq means "not in flight on a retried hop". In hardware these would
+	// ride in the reserved bytes of the 64-byte format.
+	Seq uint32
+	Sum uint32
+
 	// Task is set for TypeTask.
 	Task task.Task
 
@@ -204,3 +214,77 @@ func StateSize(s *State) uint64 {
 	base := uint64(HeaderSize + 24)
 	return base + uint64(len(s.SchedList))*16
 }
+
+// Checksum computes an FNV-1a hash over the message's logical fields — the
+// ones a corrupted transfer could damage. Seq participates so a duplicate
+// with a reused sequence number but different content is caught; Sum,
+// StagedAt, and pointer identity do not.
+func Checksum(m *Message) uint32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= uint32(v & 0xff)
+			h *= prime32
+			v >>= 8
+		}
+	}
+	mix(uint64(m.Type))
+	mix(uint64(uint32(m.Src)))
+	mix(uint64(uint32(m.Dst)))
+	mix(uint64(m.Index)<<8 | uint64(m.Total))
+	var flags uint64
+	if m.Sched {
+		flags |= 1
+	}
+	if m.Escalate {
+		flags |= 2
+	}
+	mix(flags)
+	mix(uint64(m.Round))
+	mix(uint64(m.Seq))
+	switch m.Type {
+	case TypeTask:
+		mix(uint64(m.Task.Func))
+		mix(uint64(m.Task.TS))
+		mix(m.Task.Addr)
+		mix(uint64(m.Task.Workload))
+		mix(m.Task.ID)
+		for i := 0; i < int(m.Task.NArgs); i++ {
+			mix(m.Task.Args[i])
+		}
+	case TypeData:
+		mix(m.BlockAddr)
+		mix(uint64(m.ChunkLen))
+	case TypeState:
+		if m.State != nil {
+			mix(m.State.LMailbox)
+			mix(m.State.WQueue)
+			mix(m.State.WFinished)
+			for _, so := range m.State.SchedList {
+				mix(so.BlockAddr)
+				mix(so.Workload)
+			}
+		}
+	}
+	return h
+}
+
+// Verify reports whether the stored checksum matches the payload.
+func (m *Message) Verify() bool { return m.Sum == Checksum(m) }
+
+// Clone returns an independent shallow copy for retransmission. The State
+// payload pointer is shared: retry-layer receivers either accept exactly one
+// copy (dedup) or discard, and accepted state messages are consumed
+// read-only, so aliasing is safe.
+func (m *Message) Clone() *Message {
+	c := *m
+	return &c
+}
+
+// Corrupt models an in-flight bit error by flipping the stored checksum, so
+// the receiver's Verify fails deterministically.
+func (m *Message) Corrupt() { m.Sum = ^m.Sum }

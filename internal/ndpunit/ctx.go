@@ -51,6 +51,9 @@ func (c *execCtx) Enqueue(t task.Task) {
 	u := c.u
 	u.env.TaskSpawned(t.TS)
 	u.st.Spawned++
+	if t.ID == 0 {
+		t.ID = u.env.NextTaskID()
+	}
 	t.SpawnedAt = c.cursor
 	if _, local := u.localOffset(t.Addr); local {
 		u.acceptTask(t)

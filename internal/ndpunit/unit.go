@@ -46,6 +46,9 @@ type Env interface {
 	// must reach zero before an epoch can end.
 	MsgStaged()
 	MsgDelivered()
+	// NextTaskID returns a run-unique task identifier. Fault recovery
+	// dedups re-spawned tasks by it so each executes exactly once.
+	NextTaskID() uint64
 	// Trace returns the activity recorder, or nil when tracing is off.
 	Trace() *trace.Recorder
 }
@@ -102,6 +105,10 @@ type Unit struct {
 
 	hits64     uint64 // SRAM access approximation counter
 	lastBounce uint64 // most recent bounced task address, for diagnostics
+
+	// ft is the fault-injection state; nil (the common case) keeps every
+	// fault hook a single-branch no-op.
+	ft *faultState
 }
 
 // BindMetrics attaches the unit's instruments to reg. All units of one run
@@ -203,6 +210,12 @@ func (u *Unit) localOffset(addr uint64) (uint64, bool) {
 		if !u.isLent.Lent(off) {
 			return off, true
 		}
+		if u.ft != nil && m.HomeRaw(addr) != u.id {
+			// Adopted range of a dead unit: the buddy serves it
+			// unconditionally — the isLent bit at this offset
+			// describes the buddy's own block, not the adopted one.
+			return off, true
+		}
 		return 0, false
 	}
 	blk := u.block(addr)
@@ -225,6 +238,9 @@ func (u *Unit) IsLocal(addr uint64) bool {
 func (u *Unit) SeedTask(t task.Task) {
 	u.env.TaskSpawned(t.TS)
 	u.st.Spawned++
+	if t.ID == 0 {
+		t.ID = u.env.NextTaskID()
+	}
 	t.SpawnedAt = u.env.Engine().Now()
 	if _, local := u.localOffset(t.Addr); !local {
 		// The block was lent out in an earlier epoch: forward the
@@ -290,6 +306,24 @@ func (u *Unit) tryStart() {
 	if u.running {
 		return
 	}
+	if u.ft != nil {
+		if u.ft.dead {
+			return
+		}
+		if now := u.env.Engine().Now(); now < u.ft.stalledUntil {
+			// Transient stall: defer the start to the wake cycle.
+			// One armed wake-up per stall window is enough — every
+			// path back to readiness funnels through tryStart.
+			if !u.ft.wakeArmed {
+				u.ft.wakeArmed = true
+				u.env.Engine().At(u.ft.stalledUntil, func() {
+					u.ft.wakeArmed = false
+					u.tryStart()
+				})
+			}
+			return
+		}
+	}
 	if len(u.staged) > 0 && !u.flushStaged() {
 		return // stalled: mailbox full, resume on next drain
 	}
@@ -337,8 +371,24 @@ func (u *Unit) runTask(t task.Task, eng *sim.Engine, epj float64) {
 	u.st.Busy += end - now
 	u.st.Tasks++
 	u.finishedWorkload += t.EffectiveWorkload()
+	if u.ft != nil {
+		// Shadow the running task so a kill mid-execution can force its
+		// completion (the side effects above already happened).
+		tc := t
+		u.ft.cur = &tc
+		u.ft.curBusy = end - now
+	}
 	u.env.Trace().Record(trace.KindTask, u.id, now, end, u.env.Registry().Name(t.Func))
 	eng.At(end, func() {
+		if u.ft != nil {
+			if u.ft.dead {
+				// Killed mid-task: Extinguish already force-completed
+				// the task (TaskDone fired there), so this pending
+				// completion must not double-report it.
+				return
+			}
+			u.ft.cur = nil
+		}
 		u.running = false
 		u.env.TaskDone(t.TS)
 		u.tryStart()
@@ -424,9 +474,31 @@ func (u *Unit) MailboxUsed() uint64 { return u.mb.Used() }
 // it was stalled.
 func (u *Unit) DrainMailbox(budget uint64) ([]*msg.Message, sim.Cycles) {
 	now := u.env.Engine().Now()
+	if u.ft != nil {
+		if u.ft.dead {
+			return nil, now
+		}
+		if u.ft.gatherRet != nil && u.ft.gatherRet.Full() {
+			// Retransmit-buffer watermark: refuse the drain so the
+			// bridge's backpressure reaches the mailbox.
+			return nil, now
+		}
+	}
 	ms := u.mb.DrainUpTo(budget)
 	if len(ms) == 0 {
 		return nil, now
+	}
+	if u.ft != nil && u.ft.gatherRet != nil {
+		// Stamp each message with a gather-hop sequence number and
+		// checksum, and hold a copy for retransmission until acked.
+		for _, m := range ms {
+			if m.Seq == 0 {
+				u.ft.gatherSeq++
+				m.Seq = u.ft.gatherSeq
+				m.Sum = msg.Checksum(m)
+			}
+			u.ft.gatherRet.Track(m)
+		}
 	}
 	epj := u.env.Cfg().Energy.DRAMAccessPJPer64b
 	done := u.bank.Access(now, u.mailboxOff, msg.TotalSize(ms), false, dram.AccessComm, epj)
@@ -489,6 +561,28 @@ func (u *Unit) Deliver(m *msg.Message) sim.Cycles {
 
 // receive applies a delivered message at bank-commit time.
 func (u *Unit) receive(m *msg.Message) {
+	if u.ft != nil {
+		if m.Seq != 0 && u.ft.parent != nil {
+			// Scatter-hop retry protocol: verify, ack, dedup.
+			if !m.Verify() {
+				u.ft.parent.ScatterNack(u.id, m.Seq)
+				return
+			}
+			u.ft.parent.ScatterAck(u.id, m.Seq)
+			if !u.ft.scatterDedup.Accept(m.Seq) {
+				return // duplicate of an already-processed copy
+			}
+			m.Seq, m.Sum = 0, 0
+		}
+		if u.ft.dead {
+			// Delivery committed at a dead bank: the recovery runtime
+			// resolves the message terminally.
+			if u.ft.lost != nil {
+				u.ft.lost(m)
+			}
+			return
+		}
+	}
 	u.st.MsgsIn++
 	u.env.MsgDelivered()
 	now := uint64(u.env.Engine().Now())
@@ -529,8 +623,13 @@ func (u *Unit) receiveData(m *msg.Message) {
 		// Returning home.
 		off := u.env.Map().Offset(m.BlockAddr)
 		if int(m.Index) == int(m.Total)-1 {
-			if u.isLent.SetLent(off, false) {
-				u.st.Returns++
+			// A block returning to an adopted (re-homed) range lands
+			// at the buddy: the isLent bit at that offset belongs to
+			// the buddy's own block, so only the raw home clears it.
+			if u.ft == nil || u.env.Map().HomeRaw(m.BlockAddr) == u.id {
+				if u.isLent.SetLent(off, false) {
+					u.st.Returns++
+				}
 			}
 			u.tryStart() // queued tasks for this block may now run
 		}

@@ -21,6 +21,7 @@ type stubEnv struct {
 	spawned  map[uint32]int
 	done     map[uint32]int
 	inflight int
+	taskID   uint64
 }
 
 func newStubEnv(cfg config.Config) *stubEnv {
@@ -40,6 +41,7 @@ func (e *stubEnv) Map() *dram.AddrMap       { return e.amap }
 func (e *stubEnv) Registry() *task.Registry { return e.reg }
 func (e *stubEnv) CurrentEpoch() uint32     { return e.epoch }
 func (e *stubEnv) TaskSpawned(ts uint32)    { e.spawned[ts]++ }
+func (e *stubEnv) NextTaskID() uint64       { e.taskID++; return e.taskID }
 func (e *stubEnv) TaskDone(ts uint32)       { e.done[ts]++ }
 func (e *stubEnv) MsgStaged()               { e.inflight++ }
 func (e *stubEnv) MsgDelivered()            { e.inflight-- }

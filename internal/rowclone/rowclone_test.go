@@ -17,6 +17,7 @@ type testEnv struct {
 	amap     *dram.AddrMap
 	reg      *task.Registry
 	inflight int
+	taskID   uint64
 }
 
 func newTestEnv() *testEnv {
@@ -39,6 +40,7 @@ func (e *testEnv) Map() *dram.AddrMap       { return e.amap }
 func (e *testEnv) Registry() *task.Registry { return e.reg }
 func (e *testEnv) CurrentEpoch() uint32     { return 0 }
 func (e *testEnv) TaskSpawned(uint32)       {}
+func (e *testEnv) NextTaskID() uint64       { e.taskID++; return e.taskID }
 func (e *testEnv) TaskDone(uint32)          {}
 func (e *testEnv) MsgStaged()               { e.inflight++ }
 func (e *testEnv) MsgDelivered()            { e.inflight-- }

@@ -131,6 +131,29 @@ func Required(lb config.LoadBalance, wth, giverQueue uint64) uint64 {
 	return r
 }
 
+// PickBuddy selects the unit that adopts a dead unit's address range and
+// outstanding work: the next alive unit in the same rank (round-robin from
+// the dead unit, so consecutive kills in one rank spread over survivors),
+// falling back to a global scan when the whole rank is dead. Returns -1 when
+// no unit in the system is alive. perRank is units per rank, total the
+// system unit count, alive the liveness predicate.
+func PickBuddy(dead, perRank, total int, alive func(int) bool) int {
+	rankBase := dead / perRank * perRank
+	for i := 1; i < perRank; i++ {
+		u := rankBase + (dead-rankBase+i)%perRank
+		if alive(u) {
+			return u
+		}
+	}
+	for i := 1; i < total; i++ {
+		u := (dead + i) % total
+		if alive(u) {
+			return u
+		}
+	}
+	return -1
+}
+
 // Match randomly pairs each receiver with a giver (Section VI-A step 1) and
 // accumulates per-giver budgets. queueOf returns the giver's current queue
 // workload for the traditional-stealing amount.

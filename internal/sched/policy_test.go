@@ -157,3 +157,22 @@ func TestMatchDeterministicWithSeed(t *testing.T) {
 		}
 	}
 }
+
+func TestPickBuddy(t *testing.T) {
+	dead := map[int]bool{5: true}
+	alive := func(u int) bool { return !dead[u] }
+	// Same-rank neighbour first (perRank=4: rank of 5 is units 4..7).
+	if got := PickBuddy(5, 4, 16, alive); got != 6 {
+		t.Fatalf("buddy = %d, want 6", got)
+	}
+	// Whole rank dead: fall back to a global scan.
+	dead = map[int]bool{4: true, 5: true, 6: true, 7: true}
+	if got := PickBuddy(5, 4, 16, alive); got != 8 {
+		t.Fatalf("buddy = %d, want 8", got)
+	}
+	// Everyone dead: -1.
+	all := func(int) bool { return false }
+	if got := PickBuddy(5, 4, 16, all); got != -1 {
+		t.Fatalf("buddy = %d, want -1", got)
+	}
+}

@@ -1,0 +1,82 @@
+package sim
+
+import "testing"
+
+func TestWatchdogTripsOnStalledProgress(t *testing.T) {
+	eng := NewEngine()
+	var progress uint64
+	tripped := false
+	wd := NewWatchdog(eng, 100, 3,
+		func() uint64 { return progress },
+		func() bool { return true },
+		func() { tripped = true; eng.Stop() })
+	wd.Start()
+	// Progress for the first two polls, then stall.
+	eng.At(150, func() { progress++ })
+	eng.At(250, func() { progress++ })
+	if err := eng.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if !tripped || !wd.Tripped() {
+		t.Fatal("watchdog did not trip on stalled progress")
+	}
+	// Strikes reset at polls 1–3 (progress moved by 150 and 250); stall
+	// begins after cycle 250, so the trip lands 3 periods later.
+	if eng.Now() != 600 {
+		t.Fatalf("tripped at %d, want 600", eng.Now())
+	}
+}
+
+func TestWatchdogQuietWhenNoPending(t *testing.T) {
+	eng := NewEngine()
+	wd := NewWatchdog(eng, 50, 2,
+		func() uint64 { return 0 },
+		func() bool { return false },
+		func() { t.Fatal("tripped with no pending work") })
+	wd.Start()
+	eng.RunUntil(1000)
+	if wd.Tripped() {
+		t.Fatal("tripped")
+	}
+	// Self-rescheduling keeps the queue alive.
+	if eng.Pending() == 0 {
+		t.Fatal("watchdog stopped polling")
+	}
+}
+
+func TestWatchdogQuietUnderSlowProgress(t *testing.T) {
+	eng := NewEngine()
+	var progress uint64
+	wd := NewWatchdog(eng, 100, 2,
+		func() uint64 { return progress },
+		func() bool { return true },
+		func() { t.Fatal("tripped despite forward progress") })
+	wd.Start()
+	// One unit of progress per period: slow, but alive.
+	var tick func()
+	tick = func() {
+		progress++
+		if eng.Now() < 2000 {
+			eng.After(90, tick)
+		}
+	}
+	eng.After(90, tick)
+	eng.RunUntil(2000)
+	if wd.Tripped() {
+		t.Fatal("tripped")
+	}
+}
+
+func TestWatchdogStop(t *testing.T) {
+	eng := NewEngine()
+	wd := NewWatchdog(eng, 10, 1,
+		func() uint64 { return 0 },
+		func() bool { return true },
+		func() { t.Fatal("stopped watchdog tripped") })
+	wd.Start()
+	wd.Stop()
+	eng.RunUntil(500)
+	if wd.Tripped() {
+		t.Fatal("tripped after Stop")
+	}
+}

@@ -103,6 +103,51 @@ type Result struct {
 	MsgLatency  Latency
 
 	Units []Unit
+
+	// Faults summarizes fault injection and recovery. Nil when the run
+	// carried no fault plan, so faultless output stays byte-identical.
+	Faults *FaultStats
+}
+
+// FaultStats aggregates one run's injected faults and the recovery work they
+// triggered.
+type FaultStats struct {
+	// Injection-side counts (what the fault engine actually fired).
+	Drops      uint64
+	Corrupts   uint64
+	Duplicates uint64
+	Delays     uint64
+	Stalls     uint64
+	Kills      uint64
+	Overflows  uint64
+
+	// Recovery-side counts.
+	Retries         uint64 // link-layer retransmissions (all hops)
+	Nacks           uint64 // checksum failures answered with a nack
+	DupsFiltered    uint64 // duplicate deliveries discarded by receivers
+	MsgsLost        uint64 // messages resolved terminally (dead receiver)
+	TasksRespawned  uint64 // tasks re-homed from killed units
+	BlocksRecovered uint64 // lent blocks healed after their borrower died
+	WatchdogTripped bool
+}
+
+// Any reports whether any fault fired or any recovery action ran.
+func (f *FaultStats) Any() bool {
+	return f != nil && (f.Drops+f.Corrupts+f.Duplicates+f.Delays+f.Stalls+f.Kills+f.Overflows+
+		f.Retries+f.Nacks+f.DupsFiltered+f.MsgsLost+f.TasksRespawned+f.BlocksRecovered > 0 ||
+		f.WatchdogTripped)
+}
+
+// String renders the fault summary compactly.
+func (f *FaultStats) String() string {
+	wd := "clean"
+	if f.WatchdogTripped {
+		wd = "TRIPPED"
+	}
+	return fmt.Sprintf("drops=%d corrupts=%d dups=%d delays=%d stalls=%d kills=%d overflows=%d "+
+		"retries=%d nacks=%d dupsFiltered=%d msgsLost=%d tasksRespawned=%d blocksRecovered=%d watchdog=%s",
+		f.Drops, f.Corrupts, f.Duplicates, f.Delays, f.Stalls, f.Kills, f.Overflows,
+		f.Retries, f.Nacks, f.DupsFiltered, f.MsgsLost, f.TasksRespawned, f.BlocksRecovered, wd)
 }
 
 // WaitFrac returns the fraction of the makespan the critical unit spent
@@ -157,10 +202,14 @@ func (r *Result) Finalize() {
 	r.TasksSpawned = spawned
 }
 
-// String renders a one-line summary.
+// String renders a one-line summary (plus a fault line when faults ran).
 func (r *Result) String() string {
-	return fmt.Sprintf("%s/%s: makespan=%d cycles, wait=%.1f%%, avg/max=%.1f%%, tasks=%d, energy=%.2f mJ",
+	s := fmt.Sprintf("%s/%s: makespan=%d cycles, wait=%.1f%%, avg/max=%.1f%%, tasks=%d, energy=%.2f mJ",
 		r.App, r.Design, r.Makespan, 100*r.WaitFrac(), 100*r.AvgFrac(), r.TasksExecuted, r.Energy.Total())
+	if r.Faults != nil {
+		s += "\nfaults: " + r.Faults.String()
+	}
+	return s
 }
 
 // Table renders rows of (label, values...) with aligned columns, used by the

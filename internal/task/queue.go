@@ -120,6 +120,36 @@ func (q *Queue) Workload(ts uint32) uint64 {
 	return 0
 }
 
+// DrainAll removes and returns every queued task across all epochs, oldest
+// first within each epoch and epochs in ascending order. Used by fault
+// recovery to evacuate a dead unit's queue for re-spawning elsewhere.
+func (q *Queue) DrainAll() []Task {
+	if q.size == 0 {
+		return nil
+	}
+	epochs := make([]uint32, 0, len(q.epochs))
+	for ts := range q.epochs {
+		epochs = append(epochs, ts)
+	}
+	// Insertion sort: epoch counts are tiny (typically ≤ 2 live epochs).
+	for i := 1; i < len(epochs); i++ {
+		for j := i; j > 0 && epochs[j] < epochs[j-1]; j-- {
+			epochs[j], epochs[j-1] = epochs[j-1], epochs[j]
+		}
+	}
+	out := make([]Task, 0, q.size)
+	for _, ts := range epochs {
+		for {
+			t, ok := q.Pop(ts)
+			if !ok {
+				break
+			}
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
 // TotalWorkload sums workload across all epochs.
 func (q *Queue) TotalWorkload() uint64 {
 	var w uint64

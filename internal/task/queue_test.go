@@ -177,3 +177,27 @@ func TestQueueWorkloadInvariantProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestQueueDrainAll(t *testing.T) {
+	q := NewQueue()
+	if got := q.DrainAll(); got != nil {
+		t.Fatalf("empty drain = %v", got)
+	}
+	q.Push(New(0, 1, 0x10, 1))
+	q.Push(New(0, 0, 0x20, 1))
+	q.Push(New(0, 0, 0x30, 1))
+	q.Push(New(0, 1, 0x40, 1))
+	ts := q.DrainAll()
+	if len(ts) != 4 {
+		t.Fatalf("drained %d, want 4", len(ts))
+	}
+	want := []uint64{0x20, 0x30, 0x10, 0x40} // epoch 0 FIFO, then epoch 1 FIFO
+	for i, tk := range ts {
+		if tk.Addr != want[i] {
+			t.Fatalf("order: got %#x at %d, want %#x", tk.Addr, i, want[i])
+		}
+	}
+	if q.Len() != 0 || q.TotalWorkload() != 0 {
+		t.Fatal("queue not empty after DrainAll")
+	}
+}

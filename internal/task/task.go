@@ -34,6 +34,12 @@ type Task struct {
 	// at seed/enqueue time. Simulator measurement metadata (it feeds the
 	// spawn→execute latency histograms); not part of the wire format.
 	SpawnedAt uint64
+
+	// ID is a run-unique task identity stamped by the runtime at
+	// seed/enqueue time. Fault recovery dedups re-spawned tasks on it so a
+	// task lost to a dead unit is re-executed exactly once. Zero means
+	// unstamped (tasks constructed directly in tests).
+	ID uint64
 }
 
 // New builds a task. It panics if more than MaxArgs arguments are supplied —

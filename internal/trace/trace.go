@@ -28,10 +28,12 @@ const (
 	KindLB
 	// KindEpoch is a bulk-synchronization barrier.
 	KindEpoch
+	// KindFault is an injected fault event (kill, stall, overflow).
+	KindFault
 	nKinds
 )
 
-var kindNames = [nKinds]string{"task", "deliver", "gather", "scatter", "lb", "epoch"}
+var kindNames = [nKinds]string{"task", "deliver", "gather", "scatter", "lb", "epoch", "fault"}
 
 func (k Kind) String() string {
 	if int(k) < len(kindNames) {
