@@ -21,6 +21,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -31,8 +32,10 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 	"time"
 
+	"ndpbridge/internal/checkpoint"
 	"ndpbridge/internal/experiments"
 	"ndpbridge/internal/metrics"
 	"ndpbridge/internal/stats"
@@ -62,20 +65,14 @@ var all = []struct {
 	{"latency", experiments.Latency},
 }
 
-// writeCSV stores one experiment table under dir.
+// writeCSV stores one experiment table under dir. The write is atomic: a
+// crash (or a forced second-Ctrl-C exit) never leaves a truncated table.
 func writeCSV(dir, name string, t *stats.Table) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	var buf bytes.Buffer
+	if err := t.CSV(&buf); err != nil {
 		return err
 	}
-	f, err := os.Create(filepath.Join(dir, name+".csv"))
-	if err != nil {
-		return err
-	}
-	if err := t.CSV(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return checkpoint.WriteFileAtomic(filepath.Join(dir, name+".csv"), buf.Bytes())
 }
 
 // benchRecord is the machine-readable perf capture for one experiment.
@@ -110,21 +107,38 @@ func main() {
 		pprofCPU  = flag.String("pprof-cpu", "", "write a CPU profile of the whole run to this file")
 		pprofMem  = flag.String("pprof-mem", "", "write a heap profile at the end of the run to this file")
 		progress  = flag.Bool("progress", false, "print a periodic progress heartbeat to stderr")
+		ckptDir   = flag.String("ckpt-dir", "", "persist every completed simulation to this directory so a rerun resumes instead of recomputing")
+		resumeDir = flag.String("resume-dir", "", "alias for -ckpt-dir, for resuming a killed campaign")
+		auditOn   = flag.Bool("audit", false, "run the invariant auditor inside every simulation; violations fail the experiment")
 	)
 	flag.Parse()
 	experiments.SetJobs(*jobsN)
+	if *resumeDir != "" {
+		*ckptDir = *resumeDir
+	}
+	if *ckptDir != "" {
+		experiments.SetCheckpointDir(*ckptDir)
+	}
+	if *auditOn {
+		experiments.SetAuditEvery(1 << 14)
+	}
 
 	// Ctrl-C cancels the worker pool: no new simulations dispatch and
 	// in-flight engines halt at their next progress checkpoint. A second
-	// Ctrl-C falls through to the default hard kill.
-	sigc := make(chan os.Signal, 1)
-	signal.Notify(sigc, os.Interrupt)
-	go func() {
-		<-sigc
-		fmt.Fprintln(os.Stderr, "\nndpbench: interrupt — stopping worker pool (Ctrl-C again to force quit)")
-		experiments.Cancel()
-		signal.Stop(sigc)
-	}()
+	// Ctrl-C force-exits even if a worker is wedged and the pool never
+	// drains.
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	experiments.HandleSignals(sigc,
+		experiments.Cancel,
+		func() { os.Exit(130) },
+		func(n int) {
+			if n == 1 {
+				fmt.Fprintln(os.Stderr, "\nndpbench: interrupt — stopping worker pool (Ctrl-C again to force quit)")
+			} else {
+				fmt.Fprintln(os.Stderr, "\nndpbench: forced exit")
+			}
+		})
 
 	if *pprofCPU != "" {
 		f, err := os.Create(*pprofCPU)
@@ -204,9 +218,13 @@ func main() {
 			rec.EventsPerSec = float64(c.Events) / wall
 		}
 		fmt.Println(t.Render())
-		if c.Runs > 0 {
-			fmt.Printf("(%s in %.1fs — %d runs, %d events, %.2fM events/sec)\n\n",
-				e.name, wall, c.Runs, c.Events, rec.EventsPerSec/1e6)
+		cached := ""
+		if h := experiments.CacheHits(); h > 0 {
+			cached = fmt.Sprintf(", %d resumed from checkpoint", h)
+		}
+		if c.Runs > 0 || cached != "" {
+			fmt.Printf("(%s in %.1fs — %d runs%s, %d events, %.2fM events/sec)\n\n",
+				e.name, wall, c.Runs, cached, c.Events, rec.EventsPerSec/1e6)
 		} else {
 			fmt.Printf("(%s in %.1fs)\n\n", e.name, wall)
 		}
@@ -241,20 +259,14 @@ func main() {
 	}
 }
 
-// writeMetrics stores one experiment's aggregated instrument metrics.
+// writeMetrics stores one experiment's aggregated instrument metrics,
+// atomically.
 func writeMetrics(dir, name string, reg *metrics.Registry) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	var buf bytes.Buffer
+	if err := reg.WriteJSON(&buf); err != nil {
 		return err
 	}
-	f, err := os.Create(filepath.Join(dir, name+".metrics.json"))
-	if err != nil {
-		return err
-	}
-	if err := reg.WriteJSON(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return checkpoint.WriteFileAtomic(filepath.Join(dir, name+".metrics.json"), buf.Bytes())
 }
 
 // writeHeapProfile captures the end-of-run heap after a final GC.
@@ -297,16 +309,13 @@ func startProgress() func() {
 	}
 }
 
-// writeBenchJSON stores the perf capture, creating parent directories.
+// writeBenchJSON stores the perf capture atomically, creating parent
+// directories: a partially-written capture would poison the perf-trajectory
+// tooling that diffs these files across commits.
 func writeBenchJSON(path string, b *benchFile) error {
-	if dir := filepath.Dir(path); dir != "." {
-		if err := os.MkdirAll(dir, 0o755); err != nil {
-			return err
-		}
-	}
 	data, err := json.MarshalIndent(b, "", "  ")
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	return checkpoint.WriteFileAtomic(path, append(data, '\n'))
 }

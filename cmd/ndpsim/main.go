@@ -8,11 +8,18 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"strings"
+	"syscall"
 	"time"
 
+	"ndpbridge/internal/checkpoint"
 	"ndpbridge/internal/config"
 	"ndpbridge/internal/core"
 	"ndpbridge/internal/fault"
@@ -42,6 +49,10 @@ func main() {
 		progress = flag.Bool("progress", false, "print a progress heartbeat to stderr while simulating")
 		faultsIn = flag.String("faults", "", "JSON fault-injection plan to apply (see examples/faults/)")
 		fSeed    = flag.Uint64("fault-seed", 0, "fault-schedule seed (0 = derive from -seed)")
+		ckptOut  = flag.String("ckpt", "", "write crash-consistent checkpoints to this file; SIGINT/SIGTERM snapshots at the next barrier and exits")
+		ckptEvr  = flag.Uint64("ckpt-every", 0, "cycles between periodic checkpoints (0 = only on interrupt)")
+		resume   = flag.String("resume", "", "resume from a checkpoint file (replay-verified; supersedes workload/config flags)")
+		auditOn  = flag.Bool("audit", false, "run the invariant auditor; conservation violations abort the run")
 	)
 	flag.Parse()
 
@@ -86,6 +97,23 @@ func main() {
 	cfg.SplitDIMMBuffer = *split
 	cfg.Seed = *seed
 
+	// A checkpoint supersedes the workload and config flags: the run must
+	// be rebuilt exactly as recorded or the replay-verify marker check
+	// rejects it.
+	var resumeCk *core.Checkpoint
+	if *resume != "" {
+		resumeCk, err = core.ReadCheckpoint(*resume)
+		fatalIf(err)
+		fatalIf(json.Unmarshal(resumeCk.CfgJSON, &cfg))
+		name, sized, ok := strings.Cut(resumeCk.App, "@")
+		if !ok {
+			fatalIf(fmt.Errorf("checkpoint %s: malformed app label %q", *resume, resumeCk.App))
+		}
+		*appName, *small = name, sized == "small"
+		fmt.Printf("resuming %s (%s workload) from %s: epoch %d, cycle %d\n",
+			name, sized, *resume, resumeCk.Epoch, resumeCk.Cycle)
+	}
+
 	var app core.App
 	if *small {
 		app, err = workloads.NewSmall(*appName)
@@ -96,7 +124,15 @@ func main() {
 
 	sys, err := core.New(cfg)
 	fatalIf(err)
-	if *faultsIn != "" {
+	switch {
+	case resumeCk != nil:
+		plan, err := resumeCk.Plan()
+		fatalIf(err)
+		if plan != nil {
+			fatalIf(sys.AttachFaults(plan, resumeCk.FaultSeed))
+		}
+		sys.VerifyResume(resumeCk)
+	case *faultsIn != "":
 		plan, err := fault.Load(*faultsIn)
 		fatalIf(err)
 		seed := *fSeed
@@ -104,6 +140,29 @@ func main() {
 			seed = cfg.Seed
 		}
 		fatalIf(sys.AttachFaults(plan, seed))
+	}
+	if *auditOn {
+		fatalIf(sys.AttachAudit(0))
+	}
+	if *ckptOut != "" {
+		sized := "full"
+		if *small {
+			sized = "small"
+		}
+		sys.SetCheckpointApp(*appName + "@" + sized)
+		sys.EnableCheckpoints(*ckptOut, *ckptEvr)
+		// First signal: snapshot at the next barrier and stop cleanly.
+		// Second signal: force exit (the run may be far from a barrier).
+		sigc := make(chan os.Signal, 2)
+		signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			<-sigc
+			fmt.Fprintln(os.Stderr, "\nndpsim: interrupt — writing checkpoint at next barrier (^C again to force exit)")
+			sys.RequestCheckpoint()
+			<-sigc
+			fmt.Fprintln(os.Stderr, "\nndpsim: forced exit")
+			os.Exit(130)
+		}()
 	}
 	var rec *trace.Recorder
 	if *traceOut != "" || *heatmap {
@@ -122,7 +181,15 @@ func main() {
 	if *progress {
 		fmt.Fprintln(os.Stderr)
 	}
+	if errors.Is(err, core.ErrInterrupted) {
+		fmt.Printf("interrupted; checkpoint written to %s — resume with: ndpsim -resume %s\n", *ckptOut, *ckptOut)
+		os.Exit(130)
+	}
 	fatalIf(err)
+	if resumeCk != nil && sys.ResumeVerified() {
+		fmt.Printf("resume verified at epoch %d (cycle %d, state digest %#x)\n",
+			resumeCk.Epoch, resumeCk.Cycle, resumeCk.Digest)
+	}
 
 	fmt.Println(r)
 	if *verbose {
@@ -133,17 +200,17 @@ func main() {
 		fmt.Print(rec.Heatmap(r.Makespan, 64))
 	}
 	if *traceOut != "" {
-		f, err := os.Create(*traceOut)
-		fatalIf(err)
-		fatalIf(rec.ChromeTrace(f))
-		fatalIf(f.Close())
+		// Render to memory, then write atomically: a crash or full disk
+		// mid-write never leaves a truncated (unparseable) trace behind.
+		var buf bytes.Buffer
+		fatalIf(rec.ChromeTrace(&buf))
+		fatalIf(checkpoint.WriteFileAtomic(*traceOut, buf.Bytes()))
 		fmt.Printf("wrote %d trace events to %s\n", rec.Len(), *traceOut)
 	}
 	if *metOut != "" {
-		f, err := os.Create(*metOut)
-		fatalIf(err)
-		fatalIf(reg.WriteJSON(f))
-		fatalIf(f.Close())
+		var buf bytes.Buffer
+		fatalIf(reg.WriteJSON(&buf))
+		fatalIf(checkpoint.WriteFileAtomic(*metOut, buf.Bytes()))
 		fmt.Printf("wrote metrics (%d counters, %d histograms, %d series) to %s\n",
 			len(reg.CounterNames()), len(reg.HistogramNames()), len(reg.SeriesNames()), *metOut)
 	}

@@ -1,0 +1,93 @@
+// Package audit defines the invariant auditor's violation vocabulary: a
+// structured record of one broken conservation law, and an error type that
+// aggregates every violation observed before the run was stopped.
+//
+// The checks themselves live next to the state they inspect (the core
+// orchestrator wires them into the engine's audit hook and the bulk-sync
+// barrier); this package only fixes the reporting format, so tools and tests
+// can match on rule names instead of parsing prose.
+package audit
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Violation is one observed invariant breach.
+type Violation struct {
+	// Rule names the invariant, e.g. "task-conservation",
+	// "msg-conservation", "barrier-residue", "lent-borrowed",
+	// "seq-monotonic", "snapshot-determinism".
+	Rule string
+	// Where locates the breach: "system", "unit 3", "bridge 1", "l2".
+	Where string
+	// Cycle is the simulation time of the observation.
+	Cycle uint64
+	// Expected and Actual are the two sides of the broken equation.
+	Expected uint64
+	Actual   uint64
+	// Detail carries any extra context (block address, hop name, …).
+	Detail string
+}
+
+func (v Violation) String() string {
+	s := fmt.Sprintf("[%s] %s at cycle %d: expected %d, got %d", v.Rule, v.Where, v.Cycle, v.Expected, v.Actual)
+	if v.Detail != "" {
+		s += " (" + v.Detail + ")"
+	}
+	return s
+}
+
+// Error aggregates the violations of one run. The auditor fails fast — it
+// stops the engine at the first breach — but checks run in batches, so one
+// stop can surface several related violations at once.
+type Error struct {
+	Violations []Violation
+}
+
+func (e *Error) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "audit: %d invariant violation(s):", len(e.Violations))
+	for _, v := range e.Violations {
+		b.WriteString("\n  ")
+		b.WriteString(v.String())
+	}
+	return b.String()
+}
+
+// Log collects violations during a run. The zero value is ready to use; a
+// nil *Log ignores reports (checks can stay unconditional).
+type Log struct {
+	vs []Violation
+}
+
+// maxKept bounds the stored violations so a systematically broken run cannot
+// grow the log without bound before the engine stops.
+const maxKept = 64
+
+// Add records a violation. Reports past the cap are counted but dropped.
+func (l *Log) Add(v Violation) {
+	if l == nil {
+		return
+	}
+	if len(l.vs) < maxKept {
+		l.vs = append(l.vs, v)
+	}
+}
+
+// Count returns the number of recorded violations.
+func (l *Log) Count() int {
+	if l == nil {
+		return 0
+	}
+	return len(l.vs)
+}
+
+// Err returns nil when the log is clean, or an *Error listing every
+// recorded violation.
+func (l *Log) Err() error {
+	if l == nil || len(l.vs) == 0 {
+		return nil
+	}
+	return &Error{Violations: l.vs}
+}

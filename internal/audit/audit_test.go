@@ -1,0 +1,49 @@
+package audit
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLogCollectsAndFormats(t *testing.T) {
+	var l Log
+	if l.Err() != nil || l.Count() != 0 {
+		t.Fatal("empty log not clean")
+	}
+	l.Add(Violation{Rule: "task-conservation", Where: "system", Cycle: 100, Expected: 5, Actual: 7})
+	l.Add(Violation{Rule: "barrier-residue", Where: "unit 3", Cycle: 200, Expected: 0, Actual: 2, Detail: "mailbox"})
+	if l.Count() != 2 {
+		t.Fatalf("count %d, want 2", l.Count())
+	}
+	err := l.Err()
+	if err == nil {
+		t.Fatal("no error for dirty log")
+	}
+	msg := err.Error()
+	for _, want := range []string{"2 invariant violation", "[task-conservation] system at cycle 100", "expected 5, got 7", "[barrier-residue] unit 3", "(mailbox)"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error message missing %q:\n%s", want, msg)
+		}
+	}
+	if !strings.Contains(msg, "audit:") {
+		t.Error("missing audit: prefix")
+	}
+	if e, ok := err.(*Error); !ok || len(e.Violations) != 2 {
+		t.Errorf("err = %T, want *Error with 2 violations", err)
+	}
+}
+
+func TestLogCapAndNilSafety(t *testing.T) {
+	var l Log
+	for i := 0; i < maxKept+50; i++ {
+		l.Add(Violation{Rule: "r", Where: "w", Cycle: uint64(i)})
+	}
+	if l.Count() != maxKept {
+		t.Fatalf("count %d, want cap %d", l.Count(), maxKept)
+	}
+	var nl *Log
+	nl.Add(Violation{Rule: "r"}) // must not panic
+	if nl.Count() != 0 || nl.Err() != nil {
+		t.Fatal("nil log not inert")
+	}
+}

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"errors"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"ndpbridge/internal/audit"
+	"ndpbridge/internal/config"
+	"ndpbridge/internal/fault"
+	"ndpbridge/internal/task"
+)
+
+func TestAuditCleanRunAcrossDesigns(t *testing.T) {
+	for _, d := range []config.Design{config.DesignC, config.DesignB, config.DesignW, config.DesignO, config.DesignR} {
+		d := d
+		t.Run(d.String(), func(t *testing.T) {
+			sys, err := New(testCfg(d))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sys.AttachAudit(512); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := sys.Run(&epochWave{epochs: 4}); err != nil {
+				t.Fatalf("audited run failed: %v", err)
+			}
+			if sys.AuditChecks() == 0 {
+				t.Error("auditor never ran a weak check")
+			}
+		})
+	}
+}
+
+func TestAuditResultUnchanged(t *testing.T) {
+	cfg := testCfg(config.DesignO)
+	plain, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := plain.Run(&epochWave{epochs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	audited, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := audited.AttachAudit(256); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := audited.Run(&epochWave{epochs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r1, r2) {
+		t.Error("auditor perturbed the simulation result")
+	}
+}
+
+func TestAuditCleanUnderFaults(t *testing.T) {
+	sys, err := New(testCfg(config.DesignO))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := &fault.Plan{Faults: []fault.Spec{
+		{Kind: fault.KindDrop, Scope: fault.ScopeL1Gather, Prob: 0.05, Rank: -1, Unit: -1},
+		{Kind: fault.KindDrop, Scope: fault.ScopeL1Scatter, Prob: 0.05, Rank: -1, Unit: -1},
+	}}
+	if err := sys.AttachFaults(plan, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AttachAudit(512); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Run(&epochWave{epochs: 4}); err != nil {
+		t.Fatalf("audited fault run failed: %v", err)
+	}
+}
+
+// brokenApp corrupts the message accounting mid-run, which the weak
+// conservation check must catch.
+type brokenApp struct {
+	sys *System
+	fn  task.FuncID
+}
+
+func (b *brokenApp) Name() string { return "broken" }
+
+func (b *brokenApp) Prepare(s *System) error {
+	b.fn = s.Register("broken.hop", func(ctx task.Ctx, t task.Task) {
+		ctx.Compute(100)
+		if t.Args[0] == 3 {
+			b.sys.msgsStagedTotal += 5 // the deliberate accounting bug
+		}
+		if t.Args[0] > 0 {
+			next := (ctx.Unit() + 1) % s.Units()
+			ctx.Enqueue(task.New(b.fn, t.TS, s.UnitBase(next)+128, 20, t.Args[0]-1))
+		}
+	})
+	return nil
+}
+
+func (b *brokenApp) SeedEpoch(s *System, ts uint32) bool {
+	if ts > 0 {
+		return false
+	}
+	s.Seed(task.New(b.fn, 0, s.UnitBase(0)+128, 20, 200))
+	return true
+}
+
+func TestAuditDetectsConservationBreach(t *testing.T) {
+	sys, err := New(testCfg(config.DesignO))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AttachAudit(64); err != nil {
+		t.Fatal(err)
+	}
+	_, err = sys.Run(&brokenApp{sys: sys})
+	if err == nil {
+		t.Fatal("accounting breach not detected")
+	}
+	var ae *audit.Error
+	if !errors.As(err, &ae) {
+		t.Fatalf("err = %v, want *audit.Error", err)
+	}
+	found := false
+	for _, v := range ae.Violations {
+		if v.Rule == "msg-conservation" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no msg-conservation violation in %v", ae)
+	}
+}
+
+func TestAuditWithCheckpointing(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "a.ckpt")
+	sys, err := New(testCfg(config.DesignO))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AttachAudit(512); err != nil {
+		t.Fatal(err)
+	}
+	sys.EnableCheckpoints(path, 1)
+	if _, err := sys.Run(&epochWave{epochs: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadCheckpoint(path); err != nil {
+		t.Fatal(err)
+	}
+}

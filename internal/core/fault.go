@@ -44,6 +44,7 @@ func (s *System) AttachFaults(plan *fault.Plan, seed uint64) error {
 	}
 	s.inj = inj
 	s.injPlan = plan
+	s.injSeed = seed
 	s.respawned = make(map[uint64]bool)
 	for _, u := range s.units {
 		u.EnableFaults()

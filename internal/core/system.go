@@ -6,6 +6,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"ndpbridge/internal/bridge"
 	"ndpbridge/internal/config"
@@ -69,6 +70,40 @@ type System struct {
 	epochStart sim.Cycles
 
 	taskID uint64 // run-unique task ID counter
+
+	// Lifetime conservation totals (never decremented), the auditor's
+	// ground truth: spawned − done must equal the outstanding sum, and
+	// staged − delivered must equal the in-flight count, at all times.
+	tasksSpawnedTotal  uint64
+	tasksDoneTotal     uint64
+	msgsStagedTotal    uint64
+	msgsDeliveredTotal uint64
+
+	// epochHook, when set, runs at every bulk-sync barrier — the instant
+	// the finished epoch's accounting is provably empty — with the number
+	// of the epoch that just completed. Checkpointing and the strong
+	// audit checks hang off this hook.
+	epochHook func(completed uint32)
+
+	// Checkpointing (see checkpoint.go).
+	ckptPath    string
+	ckptApp     string // app label override for checkpoint metadata
+	ckptEvery   sim.Cycles
+	ckptNext    sim.Cycles
+	ckptReq     atomic.Bool // set by signal handlers, read at barriers
+	ckptErr     error
+	ckptWritten int
+	interrupted bool
+	injSeed     uint64 // seed passed to AttachFaults, recorded in checkpoints
+	digestBuf   []byte // reused StateDigest encode buffer
+
+	// Resume verification (see checkpoint.go).
+	resumeCk       *Checkpoint
+	resumeErr      error
+	resumeVerified bool
+
+	// Invariant auditor (see audit.go).
+	aud *auditor
 
 	// Fault injection and recovery (all nil/zero without AttachFaults).
 	inj              *fault.Injector
@@ -143,7 +178,10 @@ func (s *System) Registry() *task.Registry { return s.reg }
 func (s *System) CurrentEpoch() uint32 { return s.epoch }
 
 // TaskSpawned records a newly created task of epoch ts.
-func (s *System) TaskSpawned(ts uint32) { s.outstanding[ts]++ }
+func (s *System) TaskSpawned(ts uint32) {
+	s.outstanding[ts]++
+	s.tasksSpawnedTotal++
+}
 
 // NextTaskID returns a run-unique task identifier (never 0).
 func (s *System) NextTaskID() uint64 {
@@ -158,6 +196,7 @@ func (s *System) TaskDone(ts uint32) {
 		panic(fmt.Sprintf("core: TaskDone(%d) without outstanding task", ts))
 	}
 	s.outstanding[ts]--
+	s.tasksDoneTotal++
 	s.progress++
 	if s.taskTrace != nil {
 		s.taskTrace(s.eng.Now())
@@ -166,7 +205,10 @@ func (s *System) TaskDone(ts uint32) {
 }
 
 // MsgStaged records a message entering flight.
-func (s *System) MsgStaged() { s.inflight++ }
+func (s *System) MsgStaged() {
+	s.inflight++
+	s.msgsStagedTotal++
+}
 
 // MsgDelivered records a message leaving flight.
 func (s *System) MsgDelivered() {
@@ -174,6 +216,7 @@ func (s *System) MsgDelivered() {
 		panic("core: MsgDelivered without inflight message")
 	}
 	s.inflight--
+	s.msgsDeliveredTotal++
 	s.progress++
 	s.checkAdvance()
 }
@@ -188,6 +231,9 @@ func (s *System) checkAdvance() {
 		return
 	}
 	delete(s.outstanding, s.epoch)
+	if s.epochHook != nil {
+		s.epochHook(s.epoch)
+	}
 	now := s.eng.Now()
 	s.mEpoch.Observe(now - s.epochStart)
 	s.epochStart = now
@@ -386,9 +432,30 @@ func (s *System) Run(app App) (*stats.Result, error) {
 	s.scheduleFaults()
 	s.kickAll()
 
-	if err := s.eng.Run(s.maxEvents); err != nil {
+	engErr := s.eng.Run(s.maxEvents)
+	// Deliberate early stops and detected divergences outrank the generic
+	// convergence diagnostics: the engine was stopped on purpose.
+	if s.aud != nil {
+		if err := s.aud.log.Err(); err != nil {
+			return nil, fmt.Errorf("core: %s/%s: %w", app.Name(), s.cfg.Design, err)
+		}
+	}
+	if s.resumeErr != nil {
+		return nil, s.resumeErr
+	}
+	if s.ckptErr != nil {
+		return nil, fmt.Errorf("core: %s/%s: write checkpoint: %w", app.Name(), s.cfg.Design, s.ckptErr)
+	}
+	if s.interrupted {
+		return nil, ErrInterrupted
+	}
+	if s.resumeCk != nil && s.done && !s.resumeVerified {
+		return nil, fmt.Errorf("core: resume replay finished at epoch %d without reaching checkpoint marker epoch %d (version skew?)",
+			s.epoch, s.resumeCk.Epoch)
+	}
+	if engErr != nil {
 		return nil, fmt.Errorf("core: %s/%s did not converge: %w (epoch %d, outstanding %d, inflight %d)%s%s",
-			app.Name(), s.cfg.Design, err, s.epoch, s.outstanding[s.epoch], s.inflight, s.diagnose(), s.faultDiagnose())
+			app.Name(), s.cfg.Design, engErr, s.epoch, s.outstanding[s.epoch], s.inflight, s.diagnose(), s.faultDiagnose())
 	}
 	if s.wd != nil && s.wd.Tripped() {
 		return nil, fmt.Errorf("core: %s/%s watchdog tripped at %d cycles: no progress (epoch %d, outstanding %d, inflight %d, backlog %d units)%s%s",

@@ -1,0 +1,46 @@
+package dram
+
+import (
+	"math"
+
+	"ndpbridge/internal/checkpoint"
+)
+
+// SnapshotTo encodes the bank's mutable timing state and counters. The
+// geometry (timing parameters, row size) comes from the config and is not
+// encoded; the restoring bank must be built from the same config.
+func (b *Bank) SnapshotTo(e *checkpoint.Enc) {
+	e.I64(b.openRow)
+	e.U64(uint64(b.busyUntil))
+	e.U64(uint64(b.nextRefresh))
+	e.U64(b.stats.Reads)
+	e.U64(b.stats.Writes)
+	e.U64(b.stats.RowHits)
+	e.U64(b.stats.RowMisses)
+	e.U64(b.stats.Refreshes)
+	e.U64(b.stats.LocalBytes)
+	e.U64(b.stats.CommBytes)
+	e.U64(b.stats.HostBytes)
+	e.U64(math.Float64bits(b.stats.EnergyPJ))
+	e.U64(math.Float64bits(b.stats.CommEnergyPJ))
+	e.U64(uint64(b.stats.BusyCycles))
+}
+
+// RestoreFrom repositions the bank from a snapshot taken by SnapshotTo.
+func (b *Bank) RestoreFrom(d *checkpoint.Dec) error {
+	b.openRow = d.I64()
+	b.busyUntil = d.U64()
+	b.nextRefresh = d.U64()
+	b.stats.Reads = d.U64()
+	b.stats.Writes = d.U64()
+	b.stats.RowHits = d.U64()
+	b.stats.RowMisses = d.U64()
+	b.stats.Refreshes = d.U64()
+	b.stats.LocalBytes = d.U64()
+	b.stats.CommBytes = d.U64()
+	b.stats.HostBytes = d.U64()
+	b.stats.EnergyPJ = math.Float64frombits(d.U64())
+	b.stats.CommEnergyPJ = math.Float64frombits(d.U64())
+	b.stats.BusyCycles = d.U64()
+	return d.Err()
+}

@@ -61,8 +61,23 @@ func newApp(name string, sc Scale) (core.App, error) {
 	return workloads.New(name)
 }
 
-// run executes one (app, config) pair.
+// run executes one (app, config) pair, consulting the campaign checkpoint
+// cache first when one is configured. The cache stores final results only,
+// so it is bypassed while metrics collection is on.
 func run(cfg config.Config, appName string, sc Scale) (*stats.Result, error) {
+	dir := CheckpointDir()
+	var key []byte
+	if dir != "" && !metricsEnabled() {
+		var err error
+		key, err = cacheKeyMaterial(cfg, appName, sc)
+		if err != nil {
+			return nil, err
+		}
+		if r := loadCachedRun(dir, key); r != nil {
+			ctrCacheHits.Add(1)
+			return r, nil
+		}
+	}
 	app, err := newApp(appName, sc)
 	if err != nil {
 		return nil, err
@@ -71,7 +86,21 @@ func run(cfg config.Config, appName string, sc Scale) (*stats.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return runSystem(sys, app)
+	if auditEvery := AuditEvery(); auditEvery != 0 {
+		if err := sys.AttachAudit(auditEvery); err != nil {
+			return nil, err
+		}
+	}
+	r, err := runSystem(sys, app)
+	if err != nil {
+		return nil, err
+	}
+	if key != nil {
+		if err := saveCachedRun(dir, key, r); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
 }
 
 // runSystem executes one prepared system and feeds the global run counters
@@ -127,6 +156,7 @@ func ResetCounters() {
 	ctrRuns.Store(0)
 	ctrEvents.Store(0)
 	ctrCycles.Store(0)
+	ctrCacheHits.Store(0)
 }
 
 // Counters returns the totals accumulated since the last ResetCounters.

@@ -1,0 +1,29 @@
+package experiments
+
+import "os"
+
+// HandleSignals implements two-stage interrupt handling for campaign CLIs:
+// the first signal requests a graceful stop (cancel), the second forces
+// exit. cancel runs on its own goroutine, so a worker pool wedged inside
+// cancel — or a pool that never drains after cancellation — cannot block the
+// second signal from being seen. notify (optional) observes each signal with
+// its ordinal, for user-facing "stopping…" / "forcing exit" messages.
+//
+// The handler goroutine exits after calling force, or when sigc is closed.
+func HandleSignals(sigc <-chan os.Signal, cancel, force func(), notify func(n int)) {
+	go func() {
+		n := 0
+		for range sigc {
+			n++
+			if notify != nil {
+				notify(n)
+			}
+			if n == 1 {
+				go cancel()
+				continue
+			}
+			force()
+			return
+		}
+	}()
+}

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"os"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestHandleSignalsTwoStage(t *testing.T) {
+	sigc := make(chan os.Signal, 2)
+	var canceled, forced atomic.Bool
+	forcedCh := make(chan struct{})
+	HandleSignals(sigc,
+		func() { canceled.Store(true) },
+		func() { forced.Store(true); close(forcedCh) },
+		nil)
+
+	sigc <- os.Interrupt
+	deadline := time.After(2 * time.Second)
+	for !canceled.Load() {
+		select {
+		case <-deadline:
+			t.Fatal("first signal did not cancel")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	if forced.Load() {
+		t.Fatal("force fired on first signal")
+	}
+
+	sigc <- os.Interrupt
+	select {
+	case <-forcedCh:
+	case <-deadline:
+		t.Fatal("second signal did not force exit")
+	}
+}
+
+// TestHandleSignalsStalledWorker pins the regression the two-stage handler
+// exists for: when cancellation blocks forever (a wedged worker is holding
+// the pool), the second Ctrl-C must still force exit instead of hanging
+// behind the first one.
+func TestHandleSignalsStalledWorker(t *testing.T) {
+	sigc := make(chan os.Signal, 2)
+	forcedCh := make(chan struct{})
+	var notes []int
+	noteCh := make(chan int, 4)
+	HandleSignals(sigc,
+		func() { select {} }, // cancel never returns — stalled worker
+		func() { close(forcedCh) },
+		func(n int) { noteCh <- n })
+
+	sigc <- os.Interrupt
+	sigc <- os.Interrupt
+	select {
+	case <-forcedCh:
+	case <-time.After(2 * time.Second):
+		t.Fatal("second signal hung behind the stalled cancel")
+	}
+	for len(notes) < 2 {
+		select {
+		case n := <-noteCh:
+			notes = append(notes, n)
+		case <-time.After(time.Second):
+			t.Fatalf("notify saw %v, want [1 2]", notes)
+		}
+	}
+	if notes[0] != 1 || notes[1] != 2 {
+		t.Errorf("notify order %v, want [1 2]", notes)
+	}
+}

@@ -15,6 +15,11 @@ type Borrowed struct {
 	table []bentry // sets × ways
 	clock uint64
 	used  int
+	// setUsed counts valid entries per set, letting snapshot encoding skip
+	// empty sets entirely: the tables are sized for the paper's full-scale
+	// machine (64k entries per bridge) but mostly empty in small runs, and
+	// the auditor snapshots them repeatedly.
+	setUsed []uint32
 }
 
 type bentry struct {
@@ -41,14 +46,18 @@ func NewBorrowed(entries, ways int) *Borrowed {
 	if sets&(sets-1) != 0 {
 		panic(fmt.Sprintf("metadata: set count %d must be a power of two", sets))
 	}
-	return &Borrowed{sets: sets, ways: ways, table: make([]bentry, entries)}
+	return &Borrowed{sets: sets, ways: ways, table: make([]bentry, entries), setUsed: make([]uint32, sets)}
 }
 
-func (b *Borrowed) set(key uint64) []bentry {
+func (b *Borrowed) setIndex(key uint64) int {
 	// Keys are block addresses; drop the low bits that are constant
 	// within a block by hashing, so consecutive blocks spread over sets.
 	h := key * 0x9e3779b97f4a7c15
-	s := int(h>>32) & (b.sets - 1)
+	return int(h>>32) & (b.sets - 1)
+}
+
+func (b *Borrowed) set(key uint64) []bentry {
+	s := b.setIndex(key)
 	return b.table[s*b.ways : (s+1)*b.ways]
 }
 
@@ -79,7 +88,8 @@ func (b *Borrowed) Contains(key uint64) bool {
 // Insert adds or updates key→value. If the set is full, the LRU entry is
 // evicted and returned.
 func (b *Borrowed) Insert(key, value uint64) (ev Eviction, evicted bool) {
-	set := b.set(key)
+	si := b.setIndex(key)
+	set := b.table[si*b.ways : (si+1)*b.ways]
 	b.clock++
 	var victim *bentry
 	for i := range set {
@@ -102,6 +112,7 @@ func (b *Borrowed) Insert(key, value uint64) (ev Eviction, evicted bool) {
 		evicted = true
 	} else {
 		b.used++
+		b.setUsed[si]++
 	}
 	*victim = bentry{valid: true, key: key, value: value, lru: b.clock}
 	return ev, evicted
@@ -109,11 +120,13 @@ func (b *Borrowed) Insert(key, value uint64) (ev Eviction, evicted bool) {
 
 // Remove deletes key, reporting whether it was present.
 func (b *Borrowed) Remove(key uint64) bool {
-	set := b.set(key)
+	si := b.setIndex(key)
+	set := b.table[si*b.ways : (si+1)*b.ways]
 	for i := range set {
 		if set[i].valid && set[i].key == key {
 			set[i] = bentry{}
 			b.used--
+			b.setUsed[si]--
 			return true
 		}
 	}
@@ -128,9 +141,15 @@ func (b *Borrowed) Capacity() int { return b.sets * b.ways }
 
 // ForEach visits every valid entry; the visit order is unspecified.
 func (b *Borrowed) ForEach(fn func(key, value uint64)) {
-	for i := range b.table {
-		if b.table[i].valid {
-			fn(b.table[i].key, b.table[i].value)
+	for s, n := range b.setUsed {
+		if n == 0 {
+			continue
+		}
+		set := b.table[s*b.ways : (s+1)*b.ways]
+		for i := range set {
+			if set[i].valid {
+				fn(set[i].key, set[i].value)
+			}
 		}
 	}
 }

@@ -1,0 +1,136 @@
+package msg
+
+import (
+	"testing"
+
+	"ndpbridge/internal/checkpoint"
+	"ndpbridge/internal/sim"
+)
+
+// Watermark edge cases and checkpoint-restore behavior of the retransmit
+// buffer. The watermark is a strict threshold: Full() reports bytes > limit,
+// so a buffer filled to exactly the watermark still admits traffic — these
+// tests pin that boundary down.
+
+func stateMsg(seq uint32) *Message {
+	// TypeState with nil payload has a fixed, known wire size.
+	return &Message{Type: TypeState, Src: 0, Dst: 1, Seq: seq, State: &State{}}
+}
+
+func TestRetransExactWatermarkFill(t *testing.T) {
+	eng := sim.NewEngine()
+	r := NewRetrans(eng, 10, 80, 0, func(*Message) {})
+	m := stateMsg(1)
+	sz := m.Size()
+
+	// Fill to exactly one message's bytes with limit == sz: bytes == limit
+	// is NOT full (strictly-greater threshold).
+	r2 := NewRetrans(eng, 10, 80, sz, func(*Message) {})
+	r2.Track(m)
+	if r2.Bytes() != sz {
+		t.Fatalf("bytes = %d, want %d", r2.Bytes(), sz)
+	}
+	if r2.Full() {
+		t.Error("buffer filled to exactly the watermark reported Full")
+	}
+	// One byte over: full.
+	r2.Track(stateMsg(2))
+	if !r2.Full() {
+		t.Error("buffer past the watermark did not report Full")
+	}
+	// Ack back down to the watermark: not full again.
+	r2.Ack(2)
+	if r2.Full() {
+		t.Error("buffer drained back to the watermark still reports Full")
+	}
+
+	// Zero-limit buffer: any tracked message makes it full.
+	r.Track(stateMsg(3))
+	if !r.Full() {
+		t.Error("zero-watermark buffer with one entry did not report Full")
+	}
+}
+
+func TestRetransBackoffCapSaturation(t *testing.T) {
+	const rto0, cap0 = 4, 32
+	eng := sim.NewEngine()
+	var sent []sim.Cycles
+	r := NewRetrans(eng, rto0, cap0, 1<<20, func(*Message) { sent = append(sent, eng.Now()) })
+	r.Track(stateMsg(1))
+
+	// Never acked: timeouts double 4→8→16→32 and then saturate at the cap.
+	// Run long enough for several capped resends.
+	eng.RunUntil(400)
+	if len(sent) < 6 {
+		t.Fatalf("only %d retransmissions in 400 cycles", len(sent))
+	}
+	var gaps []sim.Cycles
+	for i := 1; i < len(sent); i++ {
+		gaps = append(gaps, sent[i]-sent[i-1])
+	}
+	// After enough doublings every gap must equal the cap exactly — the
+	// backoff must stop growing (saturation) and never exceed the cap.
+	for i, g := range gaps {
+		if g > cap0+1 { // +1 for the engine-deferred send cycle
+			t.Errorf("gap %d = %d exceeds backoff cap %d", i, g, cap0)
+		}
+	}
+	last := gaps[len(gaps)-1]
+	prev := gaps[len(gaps)-2]
+	if last != prev {
+		t.Errorf("backoff still changing at saturation: %v", gaps)
+	}
+	if r.Stats().Retries != uint64(len(sent)) {
+		t.Errorf("retries stat %d, want %d", r.Stats().Retries, len(sent))
+	}
+}
+
+func TestRetransRetransmitAfterRestore(t *testing.T) {
+	// A retransmit buffer snapshotted with pending entries must, after
+	// restore into a fresh engine, still time out and resend them.
+	eng1 := sim.NewEngine()
+	r1 := NewRetrans(eng1, 10, 80, 1<<20, func(*Message) {})
+	r1.Track(stateMsg(7))
+	r1.Track(stateMsg(8))
+	r1.Ack(7)
+
+	var e checkpoint.Enc
+	r1.SnapshotTo(&e)
+
+	eng2 := sim.NewEngine()
+	var resent []uint32
+	r2 := NewRetrans(eng2, 10, 80, 1<<20, func(m *Message) { resent = append(resent, m.Seq) })
+	if err := r2.RestoreFrom(checkpoint.NewDec(e.Data())); err != nil {
+		t.Fatal(err)
+	}
+	if r2.Len() != 1 || r2.Bytes() != r1.Bytes() {
+		t.Fatalf("restored len=%d bytes=%d, want 1, %d", r2.Len(), r2.Bytes(), r1.Bytes())
+	}
+	st := r2.Stats()
+	if st.Tracked != 2 || st.Acked != 1 {
+		t.Errorf("restored stats %+v", st)
+	}
+
+	// The restored deadline (absolute cycle 10) fires in the new engine.
+	eng2.RunUntil(50)
+	if len(resent) == 0 {
+		t.Fatal("no retransmission after restore")
+	}
+	if resent[0] != 8 {
+		t.Errorf("resent seq %d, want 8", resent[0])
+	}
+	// The acked message must never come back.
+	for _, s := range resent {
+		if s == 7 {
+			t.Error("acked message retransmitted after restore")
+		}
+	}
+
+	// Late ack drains the restored entry and stops the resend stream.
+	r2.Ack(8)
+	n := len(resent)
+	eng2.RunUntil(1000)
+	if len(resent) != n {
+		t.Errorf("retransmissions continued after ack: %d → %d", n, len(resent))
+	}
+}

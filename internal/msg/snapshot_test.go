@@ -1,0 +1,96 @@
+package msg
+
+import (
+	"bytes"
+	"testing"
+
+	"ndpbridge/internal/checkpoint"
+	"ndpbridge/internal/task"
+)
+
+func TestMessageSnapshotRoundTrip(t *testing.T) {
+	msgs := []*Message{
+		{
+			Type: TypeTask, Src: 3, Dst: 9, Index: 1, Total: 2, Round: 4,
+			StagedAt: 777, Seq: 12, Sum: 0xabcd,
+			Task: task.Task{Func: 2, TS: 1, Addr: 0x4000, Workload: 300, NArgs: 1, Args: [task.MaxArgs]uint64{5}, SpawnedAt: 700, ID: 9},
+		},
+		{Type: TypeData, Src: 0, Dst: -1, Sched: true, Escalate: true, BlockAddr: 0x10000, ChunkLen: 52},
+		{
+			Type: TypeState, Src: 5, Dst: 6,
+			State: &State{LMailbox: 64, WQueue: 1000, WFinished: 5000,
+				SchedList: []SchedOut{{BlockAddr: 0x100, Workload: 10}, {BlockAddr: 0x200, Workload: 20}}},
+		},
+	}
+	for i, in := range msgs {
+		var e checkpoint.Enc
+		EncodeSnapshot(&e, in)
+		d := checkpoint.NewDec(e.Data())
+		out := DecodeSnapshot(d)
+		if d.Err() != nil {
+			t.Fatalf("msg %d: %v", i, d.Err())
+		}
+		if out.Type != in.Type || out.Src != in.Src || out.Dst != in.Dst ||
+			out.Index != in.Index || out.Total != in.Total || out.Sched != in.Sched ||
+			out.Round != in.Round || out.Escalate != in.Escalate ||
+			out.StagedAt != in.StagedAt || out.Seq != in.Seq || out.Sum != in.Sum ||
+			out.Task != in.Task || out.BlockAddr != in.BlockAddr || out.ChunkLen != in.ChunkLen {
+			t.Errorf("msg %d: scalar fields diverged:\n got %+v\nwant %+v", i, out, in)
+		}
+		if (out.State == nil) != (in.State == nil) {
+			t.Fatalf("msg %d: state presence diverged", i)
+		}
+		if in.State != nil {
+			if out.State.LMailbox != in.State.LMailbox || out.State.WQueue != in.State.WQueue ||
+				out.State.WFinished != in.State.WFinished || len(out.State.SchedList) != len(in.State.SchedList) {
+				t.Errorf("msg %d: state diverged: %+v vs %+v", i, out.State, in.State)
+			}
+			for j := range in.State.SchedList {
+				if out.State.SchedList[j] != in.State.SchedList[j] {
+					t.Errorf("msg %d: schedlist[%d] diverged", i, j)
+				}
+			}
+		}
+		// Full fidelity implies the logical checksum is preserved.
+		if in.Seq != 0 && Checksum(out) != Checksum(in) {
+			t.Errorf("msg %d: checksum diverged after round trip", i)
+		}
+	}
+}
+
+func TestDedupSnapshotRoundTrip(t *testing.T) {
+	var f Dedup
+	f.Accept(1)
+	f.Accept(2)
+	f.Accept(5) // out of order: lands in the seen set
+	f.Accept(7)
+	f.Accept(2) // duplicate
+
+	var e checkpoint.Enc
+	f.SnapshotTo(&e)
+	var g Dedup
+	if err := g.RestoreFrom(checkpoint.NewDec(e.Data())); err != nil {
+		t.Fatal(err)
+	}
+	if g.Floor() != f.Floor() || g.Dups() != f.Dups() {
+		t.Errorf("restored floor=%d dups=%d, want %d, %d", g.Floor(), g.Dups(), f.Floor(), f.Dups())
+	}
+	// Behavior equivalence: duplicates stay duplicates, gaps still fill.
+	if g.Accept(5) || g.Accept(7) {
+		t.Error("restored filter accepted messages the original had seen")
+	}
+	if !g.Accept(3) || !g.Accept(4) {
+		t.Error("restored filter rejected fresh sequence numbers")
+	}
+	if g.Floor() != 5 {
+		t.Errorf("floor after filling gap = %d, want 5", g.Floor())
+	}
+
+	// Determinism of the encoding (seen is a map).
+	var a, b checkpoint.Enc
+	f.SnapshotTo(&a)
+	f.SnapshotTo(&b)
+	if !bytes.Equal(a.Data(), b.Data()) {
+		t.Fatal("dedup snapshot is not deterministic")
+	}
+}

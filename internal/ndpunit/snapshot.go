@@ -1,0 +1,166 @@
+package ndpunit
+
+import (
+	"ndpbridge/internal/checkpoint"
+	"ndpbridge/internal/msg"
+	"ndpbridge/internal/task"
+)
+
+// SnapshotTo encodes the unit's complete mutable state: execution position
+// (RNG, running flag, counters), the task queue, both mailboxes, staged
+// messages, migration metadata, sketch and reserved queue, DRAM bank timing,
+// cache contents, and — on fault runs — the retry-protocol endpoint state.
+// Structural configuration (bank geometry, mailbox capacity, DRAM layout
+// offsets) is derived from the config and not encoded.
+func (u *Unit) SnapshotTo(e *checkpoint.Enc) {
+	e.I64(int64(u.id))
+	e.Bool(u.running)
+	e.U64(u.rng.State())
+	e.U64(u.finishedWorkload)
+	e.U64(u.rqWorkload)
+	e.U64(u.hits64)
+	e.U64(u.lastBounce)
+
+	e.U64(u.st.Busy)
+	e.U64(u.st.Tasks)
+	e.U64(u.st.Spawned)
+	e.U64(u.st.MsgsOut)
+	e.U64(u.st.MsgsIn)
+	e.U64(u.st.Stalls)
+	e.U64(u.st.Bounces)
+	e.U64(u.st.Borrowed)
+	e.U64(u.st.Lent)
+	e.U64(u.st.Returns)
+
+	u.queue.SnapshotTo(e)
+	u.mb.SnapshotTo(e)
+	e.Bool(u.chipMail != nil)
+	if u.chipMail != nil {
+		u.chipMail.SnapshotTo(e)
+	}
+	e.U32(uint32(len(u.staged)))
+	for _, m := range u.staged {
+		msg.EncodeSnapshot(e, m)
+	}
+
+	u.isLent.SnapshotTo(e)
+	u.borrowed.SnapshotTo(e)
+	u.snapshotSlots(e)
+
+	e.Bool(u.sk != nil)
+	if u.sk != nil {
+		u.sk.SnapshotTo(e)
+	}
+	e.Bool(u.rq != nil)
+	if u.rq != nil {
+		u.rq.SnapshotTo(e)
+	}
+	e.U32(uint32(len(u.schedOut)))
+	for _, so := range u.schedOut {
+		e.U64(so.BlockAddr)
+		e.U64(so.Workload)
+	}
+
+	u.bank.SnapshotTo(e)
+	u.cache.snapshotTo(e)
+
+	e.Bool(u.ft != nil)
+	if u.ft == nil {
+		return
+	}
+	e.Bool(u.ft.dead)
+	e.U64(u.ft.stalledUntil)
+	e.Bool(u.ft.wakeArmed)
+	e.U32(u.ft.gatherSeq)
+	e.Bool(u.ft.gatherRet != nil)
+	if u.ft.gatherRet != nil {
+		u.ft.gatherRet.SnapshotTo(e)
+	}
+	u.ft.scatterDedup.SnapshotTo(e)
+	e.Bool(u.ft.cur != nil)
+	if u.ft.cur != nil {
+		task.EncodeTask(e, *u.ft.cur)
+		e.U64(u.ft.curBusy)
+	}
+}
+
+// snapshotSlots encodes the free-slot stack. A unit that has never borrowed
+// (or returned every borrow in LIFO order) holds the stack in its
+// construction-time layout — slot j carrying offset borrowedOff +
+// (nSlots-1-j)·G_xfer — so the encoding records the stack length, the length
+// of the prefix still matching that layout, and then only the churned tail
+// explicitly. The common case costs two integers instead of thousands of
+// offsets; any pop/push history is still captured exactly because order
+// (which steers future allocations) is preserved.
+func (u *Unit) snapshotSlots(e *checkpoint.Enc) {
+	cfg := u.env.Cfg()
+	stride := cfg.GXfer
+	total := cfg.Metadata.BorrowedRegionBytes / stride
+	e.U32(uint32(len(u.slots)))
+	p := 0
+	for p < len(u.slots) && u.slots[p] == u.borrowedOff+(total-1-uint64(p))*stride {
+		p++
+	}
+	e.U32(uint32(p))
+	for _, s := range u.slots[p:] {
+		e.U64(s)
+	}
+}
+
+// snapshotTo encodes the cache's line array, LRU clock, and hit counters.
+// Tags and LRU stamps go as varints: the line array is the single largest
+// blob in a unit snapshot (every cache is warm in steady state), and both
+// fields are small-valued — tags are bank offsets shifted down by lineBits,
+// stamps are bounded by the access clock.
+func (c *Cache) snapshotTo(e *checkpoint.Enc) {
+	e.U32(uint32(c.sets))
+	e.U32(uint32(c.ways))
+	e.U32(uint32(c.lineBits))
+	e.U64(c.clock)
+	e.U64(c.hits)
+	e.U64(c.misses)
+	for i := range c.lines {
+		e.Bool(c.lines[i].valid)
+		e.UVarint(c.lines[i].tag)
+		e.UVarint(c.lines[i].lru)
+	}
+}
+
+// PendingMsgs returns the number of messages physically held by the unit —
+// staged for mailbox space plus enqueued in the mailbox(es) — for the
+// auditor's structural in-flight accounting.
+func (u *Unit) PendingMsgs() int {
+	n := len(u.staged) + u.mb.Len()
+	if u.chipMail != nil {
+		n += u.chipMail.Len()
+	}
+	return n
+}
+
+// QueuedTasks returns the number of tasks waiting in the unit's task queue.
+func (u *Unit) QueuedTasks() int { return u.queue.Len() }
+
+// LentCount returns the number of blocks this unit has lent out, per its
+// isLent metadata.
+func (u *Unit) LentCount() int { return u.isLent.Count() }
+
+// BorrowedCount returns the number of blocks this unit currently borrows.
+func (u *Unit) BorrowedCount() int { return u.borrowed.Len() }
+
+// GatherSeq returns the unit's gather-hop sender sequence counter (zero when
+// faults are off), for the auditor's monotonicity check.
+func (u *Unit) GatherSeq() uint32 {
+	if u.ft == nil {
+		return 0
+	}
+	return u.ft.gatherSeq
+}
+
+// RetransPending returns the number of unacked gather-hop messages (zero
+// when faults are off).
+func (u *Unit) RetransPending() int {
+	if u.ft == nil || u.ft.gatherRet == nil {
+		return 0
+	}
+	return u.ft.gatherRet.Len()
+}

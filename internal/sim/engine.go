@@ -51,6 +51,15 @@ type Engine struct {
 	progressFn    func(now Cycles, processed uint64)
 	progressEvery uint64
 	progressLeft  uint64
+
+	// Audit hook: auditFn fires at most once per auditEvery simulated
+	// cycles, before the first event at or past auditNext executes — a
+	// point where no event is mid-flight, so cross-component invariants
+	// hold. Separate from the progress hook: both are commonly installed
+	// at once (heartbeat + auditor).
+	auditFn    func(now Cycles)
+	auditEvery Cycles
+	auditNext  Cycles
 }
 
 // NewEngine returns an empty engine at time zero.
@@ -157,6 +166,44 @@ func (e *Engine) SetProgress(every uint64, fn func(now Cycles, processed uint64)
 	e.progressLeft = every
 }
 
+// SetAudit installs fn to run at most once per `every` simulated cycles,
+// between events (never while one is executing). every == 0 or fn == nil
+// disables the hook. The check costs one branch per event when disabled.
+func (e *Engine) SetAudit(every Cycles, fn func(now Cycles)) {
+	if fn == nil {
+		every = 0
+	}
+	e.auditFn = fn
+	e.auditEvery = every
+	e.auditNext = e.now + every
+}
+
+// tickAudit fires the audit hook when the next event's time has reached the
+// audit deadline. Called before the event executes, with now already
+// advanced to the event's time.
+func (e *Engine) tickAudit() {
+	if e.auditEvery != 0 && e.now >= e.auditNext {
+		e.auditFn(e.now)
+		e.auditNext = e.now + e.auditEvery
+	}
+}
+
+// State captures the engine's scalar clock state. The pending-event queue
+// holds closures and is deliberately NOT part of the snapshot: full-state
+// checkpoints are taken at the bulk-sync epoch barrier, where the model's
+// in-flight structures are provably empty, and resume replays
+// deterministically up to the barrier (see internal/core and DESIGN.md §10).
+type State struct {
+	Now       Cycles
+	Seq       uint64
+	Processed uint64
+}
+
+// SnapState returns the engine's clock state.
+func (e *Engine) SnapState() State {
+	return State{Now: e.now, Seq: e.seq, Processed: e.processed}
+}
+
 // tickProgress advances the progress countdown after one executed event.
 func (e *Engine) tickProgress() {
 	if e.progressLeft != 0 {
@@ -182,6 +229,7 @@ func (e *Engine) Run(maxEvents uint64) error {
 			panic("sim: event time regression")
 		}
 		e.now = ev.time
+		e.tickAudit()
 		e.processed++
 		ev.fn()
 		e.tickProgress()
@@ -201,6 +249,7 @@ func (e *Engine) RunUntil(t Cycles) {
 			panic("sim: event time regression")
 		}
 		e.now = ev.time
+		e.tickAudit()
 		e.processed++
 		ev.fn()
 		e.tickProgress()

@@ -72,3 +72,17 @@ func (r *RNG) Shuffle(n int, swap func(i, j int)) {
 func (r *RNG) Split() *RNG {
 	return NewRNG(r.Uint64() ^ 0xa5a5a5a55a5a5a5a)
 }
+
+// State returns the generator's position in its stream. Together with
+// SetState it is the RNG's serialization boundary: a restored generator
+// continues the exact sequence the snapshotted one would have produced.
+func (r *RNG) State() uint64 { return r.state }
+
+// SetState repositions the generator. A zero state is remapped like a zero
+// seed so the stream can never stick at zero.
+func (r *RNG) SetState(s uint64) {
+	if s == 0 {
+		s = 0x9e3779b97f4a7c15
+	}
+	r.state = s
+}

@@ -1,0 +1,88 @@
+package sim
+
+import "testing"
+
+func TestRNGStateRoundTrip(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 100; i++ {
+		r.Uint64()
+	}
+	st := r.State()
+	want := []uint64{r.Uint64(), r.Uint64(), r.Uint64()}
+
+	r2 := NewRNG(999)
+	r2.SetState(st)
+	for i, w := range want {
+		if got := r2.Uint64(); got != w {
+			t.Fatalf("draw %d after restore: got %#x, want %#x", i, got, w)
+		}
+	}
+}
+
+func TestRNGSetStateZero(t *testing.T) {
+	r := NewRNG(1)
+	r.SetState(0)
+	if r.State() == 0 {
+		t.Fatal("zero state not remapped; the stream would stick at zero")
+	}
+}
+
+func TestEngineSnapState(t *testing.T) {
+	e := NewEngine()
+	e.At(10, func() {})
+	e.At(20, func() {})
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	st := e.SnapState()
+	if st.Now != 20 || st.Processed != 2 || st.Seq != 2 {
+		t.Errorf("state = %+v", st)
+	}
+}
+
+func TestEngineAuditHook(t *testing.T) {
+	e := NewEngine()
+	var fired []Cycles
+	e.SetAudit(100, func(now Cycles) { fired = append(fired, now) })
+
+	// Events at 50, 150, 160, 400: audit should fire at 150 (first event
+	// at/past deadline 100), then at 400 (first at/past 250), never twice
+	// for events inside one window.
+	for _, c := range []Cycles{50, 150, 160, 400} {
+		e.At(c, func() {})
+	}
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 2 || fired[0] != 150 || fired[1] != 400 {
+		t.Errorf("audit fired at %v, want [150 400]", fired)
+	}
+
+	// Disabled hook never fires.
+	e2 := NewEngine()
+	n := 0
+	e2.SetAudit(0, func(Cycles) { n++ })
+	e2.At(1000, func() {})
+	if err := e2.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("disabled audit hook fired %d times", n)
+	}
+}
+
+func TestEngineAuditCoexistsWithProgress(t *testing.T) {
+	e := NewEngine()
+	audits, progresses := 0, 0
+	e.SetAudit(1, func(Cycles) { audits++ })
+	e.SetProgress(1, func(Cycles, uint64) { progresses++ })
+	for i := Cycles(1); i <= 5; i++ {
+		e.At(i, func() {})
+	}
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if audits != 5 || progresses != 5 {
+		t.Errorf("audits=%d progresses=%d, want 5 and 5", audits, progresses)
+	}
+}
