@@ -1,0 +1,34 @@
+# Development entry points. CI runs the same commands (.github/workflows).
+
+GO ?= go
+
+.PHONY: build test race lint vet staticcheck ndplint bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# lint mirrors the CI lint + ndplint jobs. staticcheck is skipped with a
+# notice when not installed (hermetic environments cannot fetch it).
+lint: vet staticcheck ndplint
+
+vet:
+	$(GO) vet ./...
+
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+
+ndplint:
+	$(GO) run ./cmd/ndplint ./...
+
+bench:
+	$(GO) test -bench 'BenchmarkEngine' -benchtime 100x -benchmem -run xxx ./internal/sim/

@@ -46,12 +46,13 @@ const stateMsgBytes = 36
 // Level1 is a rank-level bridge (Figure 4(a)).
 type Level1 struct {
 	rank     int
-	env      Env
-	children []*ndpunit.Unit
-	up       upLevel // the level-2 bridge, nil in single-rank tests
+	env      Env             //ndplint:nosnap simulation wiring, rebound at construction
+	children []*ndpunit.Unit //ndplint:nosnap topology from config; units snapshot themselves
+	//ndplint:nosnap topology wiring from config (the level-2 bridge, nil in single-rank tests)
+	up upLevel
 
-	chips        int
-	banksPerChip int
+	chips        int //ndplint:nosnap geometry constant from config
+	banksPerChip int //ndplint:nosnap geometry constant from config
 
 	// Scatter buffers, one per child, byte-capped.
 	scatter      [][]*msg.Message

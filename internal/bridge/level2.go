@@ -18,9 +18,9 @@ import (
 // them down the destination rank's channel. Each transfer occupies the
 // channel link and pays a fixed host software overhead per batch.
 type Level2 struct {
-	env     Env
-	bridges []*Level1
-	links   []*sim.Link // one per channel
+	env     Env         //ndplint:nosnap simulation wiring, rebound at construction
+	bridges []*Level1   //ndplint:nosnap topology from config; bridges snapshot themselves
+	links   []*sim.Link //ndplint:nosnap channel wiring from config; link busy-state is replayed
 
 	// borrowed maps block address → receiver rank for cross-rank lends.
 	borrowed *metadata.Borrowed

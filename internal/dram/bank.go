@@ -24,8 +24,8 @@ const (
 // bridge; the arbiter (Section V-A) serializes them in arrival order, which
 // the simulator realizes by reserving the bank timeline.
 type Bank struct {
-	timing   config.Timing
-	rowBytes uint64
+	timing   config.Timing //ndplint:nosnap timing constants from config
+	rowBytes uint64        //ndplint:nosnap geometry constant from config
 
 	openRow   int64 // -1 = closed
 	busyUntil sim.Cycles
@@ -36,7 +36,7 @@ type Bank struct {
 	// ioBytesPerCycle is the bank's internal I/O bandwidth to the local
 	// core / unit controller (64-bit interface ⇒ 8 B per DRAM cycle; we
 	// charge a conservative 8 B per core cycle).
-	ioBytesPerCycle uint64
+	ioBytesPerCycle uint64 //ndplint:nosnap bandwidth constant from config
 
 	stats BankStats
 }

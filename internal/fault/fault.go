@@ -129,12 +129,12 @@ type hopKey struct {
 // (single goroutine, like the sim.Engine) and hands out per-hop decision
 // points plus the pre-computed unit/overflow event schedule.
 type Injector struct {
-	seed  uint64
-	plan  *Plan
+	seed  uint64 //ndplint:nosnap recorded in checkpoint meta (FaultSeed); injector is rebuilt from it
+	plan  *Plan  //ndplint:nosnap recorded in checkpoint meta (PlanJSON); injector is rebuilt from it
 	hops  map[hopKey]*Hop
 	st    Counters
-	units []UnitEvent
-	ovfl  []OverflowEvent
+	units []UnitEvent     //ndplint:nosnap pure function of (plan, seed), recomputed by New
+	ovfl  []OverflowEvent //ndplint:nosnap pure function of (plan, seed), recomputed by New
 }
 
 // New builds an injector for plan with the given seed. It returns nil for a

@@ -1,0 +1,355 @@
+// Package determinism implements the ndplint analyzer that guards the
+// simulator's bit-identical-replay property.
+//
+// Within the simulation packages (sim, core, ndpunit, bridge, mailbox, msg,
+// sched, metadata, sketch, task, fault) it reports:
+//
+//   - wall-clock reads (time.Now / time.Since / time.Until): simulated time
+//     is the only clock a model may consult;
+//   - global math/rand state (package-level functions of math/rand and
+//     math/rand/v2): all randomness must flow through seeded per-component
+//     sim.RNG streams;
+//   - goroutine spawns: one run is single-goroutine by construction — the
+//     engine's event order is the only scheduler;
+//   - map iteration feeding ordered state: a `range` over a map whose body
+//     calls into stateful components, assigns loop-dependent values to outer
+//     variables, or appends to a slice that is not subsequently sorted. Map
+//     iteration order is deliberately randomized by the runtime, so any of
+//     these lets unordered iteration leak into event order, snapshot bytes,
+//     or message emission.
+//
+// Commutative folds over map elements (`sum += v`, counters, min/max style
+// compound assignments, writes into other maps, delete) are recognized as
+// order-insensitive and allowed, as is the collect-then-sort idiom (append
+// keys, sort, iterate the slice). Anything else needs an explicit
+// `//ndplint:ordered <justification>` on the range statement.
+package determinism
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"ndpbridge/internal/lint/analysis"
+	"ndpbridge/internal/lint/directive"
+)
+
+// Analyzer is the determinism check.
+var Analyzer = &analysis.Analyzer{
+	Name:    "determinism",
+	Doc:     "forbid wall clocks, global rand, goroutines, and order-leaking map iteration in simulation packages",
+	Version: 2,
+	Run:     run,
+}
+
+// simPackages names the packages (by package name) holding simulation model
+// state, where event order must be a pure function of config and seed.
+var simPackages = map[string]bool{
+	"sim": true, "core": true, "ndpunit": true, "bridge": true,
+	"mailbox": true, "msg": true, "sched": true, "metadata": true,
+	"sketch": true, "task": true, "fault": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !simPackages[pass.Pkg.Name()] {
+		return nil
+	}
+	dirs := directive.Parse(pass.Fset, pass.Files)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				pass.Reportf(n.Pos(), "goroutine spawned in simulation package %s: the event engine is the only scheduler", pass.Pkg.Name())
+			case *ast.SelectorExpr:
+				checkForbiddenCall(pass, n)
+			case *ast.FuncDecl:
+				// Map ranges are analyzed per enclosing function so each
+				// range sees its sibling statements (collect-then-sort);
+				// everything else is handled by this Inspect directly.
+				if n.Body != nil {
+					checkBlock(pass, dirs, n.Body.List)
+				}
+			case *ast.FuncLit:
+				checkBlock(pass, dirs, n.Body.List)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkForbiddenCall flags selector uses of wall-clock and global-rand
+// functions.
+func checkForbiddenCall(pass *analysis.Pass, sel *ast.SelectorExpr) {
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return // methods (e.g. (*rand.Rand).Intn) are instance-scoped and fine
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		switch fn.Name() {
+		case "Now", "Since", "Until":
+			pass.Reportf(sel.Pos(), "wall-clock read time.%s in simulation package: use the engine's simulated time", fn.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		pass.Reportf(sel.Pos(), "global math/rand state (%s.%s) in simulation package: use a seeded sim.RNG stream", fn.Pkg().Name(), fn.Name())
+	}
+}
+
+// checkBlock walks a statement list, recursing into nested blocks, and
+// analyzes each map-range statement with access to the statements that
+// follow it (for the collect-then-sort idiom).
+func checkBlock(pass *analysis.Pass, dirs *directive.Map, stmts []ast.Stmt) {
+	for i, s := range stmts {
+		if rs, ok := s.(*ast.RangeStmt); ok && isMapRange(pass, rs) {
+			checkMapRange(pass, dirs, rs, stmts[i+1:])
+		}
+		for _, b := range subBlocks(s) {
+			checkBlock(pass, dirs, b)
+		}
+	}
+}
+
+// subBlocks returns the statement lists nested directly under s.
+func subBlocks(s ast.Stmt) [][]ast.Stmt {
+	var out [][]ast.Stmt
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		out = append(out, s.List)
+	case *ast.IfStmt:
+		out = append(out, s.Body.List)
+		if s.Else != nil {
+			out = append(out, []ast.Stmt{s.Else})
+		}
+	case *ast.ForStmt:
+		out = append(out, s.Body.List)
+	case *ast.RangeStmt:
+		out = append(out, s.Body.List)
+	case *ast.SwitchStmt:
+		for _, c := range s.Body.List {
+			out = append(out, c.(*ast.CaseClause).Body)
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			out = append(out, c.(*ast.CaseClause).Body)
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			out = append(out, c.(*ast.CommClause).Body)
+		}
+	case *ast.LabeledStmt:
+		out = append(out, []ast.Stmt{s.Stmt})
+	}
+	return out
+}
+
+func isMapRange(pass *analysis.Pass, rs *ast.RangeStmt) bool {
+	t := pass.TypeOf(rs.X)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// commutative compound-assignment operators: folding map elements with these
+// yields the same result in any iteration order.
+var commutativeAssign = map[token.Token]bool{
+	token.ADD_ASSIGN: true, token.SUB_ASSIGN: true, token.MUL_ASSIGN: true,
+	token.OR_ASSIGN: true, token.AND_ASSIGN: true, token.XOR_ASSIGN: true,
+}
+
+// pure builtins that cannot leak iteration order into program state.
+var pureBuiltin = map[string]bool{
+	"len": true, "cap": true, "min": true, "max": true, "delete": true,
+	"copy": true, "clear": true, "append": true, "make": true, "new": true,
+	"panic": true, // a panic aborts the run; which element trips it first is moot
+}
+
+// checkMapRange classifies the body of one map-range statement.
+func checkMapRange(pass *analysis.Pass, dirs *directive.Map, rs *ast.RangeStmt, rest []ast.Stmt) {
+	if d := dirs.At(pass.Fset, rs.Pos(), "ordered"); d != nil {
+		return // justification audited by the directives analyzer
+	}
+
+	local := func(obj types.Object) bool {
+		return obj != nil && rs.Pos() <= obj.Pos() && obj.Pos() < rs.End()
+	}
+	rootObj := func(e ast.Expr) types.Object { return rootObject(pass, e) }
+
+	// tainted collects outer slices appended to under iteration; they are
+	// fine iff sorted before the enclosing block continues using them.
+	tainted := map[types.Object]token.Pos{}
+
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(), "channel send under map iteration: delivery order follows randomized map order")
+		case *ast.AssignStmt:
+			checkAssign(pass, n, local, rootObj, tainted)
+		case *ast.CallExpr:
+			if reason := callViolation(pass, n, local); reason != "" {
+				pass.Reportf(n.Pos(), "%s under map iteration: call order follows randomized map order (sort keys first, or annotate //ndplint:ordered <why>)", reason)
+			}
+		}
+		return true
+	})
+
+	// The collect-then-sort idiom: every tainted slice must be passed to a
+	// sort.* / slices.* call somewhere after the loop in the same block.
+	for obj, pos := range tainted {
+		if !sortedAfter(pass, rest, obj) {
+			pass.Reportf(pos, "append to %q under map iteration without a following sort: element order follows randomized map order", obj.Name())
+		}
+	}
+}
+
+// checkAssign classifies one assignment inside a map-range body.
+func checkAssign(pass *analysis.Pass, as *ast.AssignStmt, local func(types.Object) bool, rootObj func(ast.Expr) types.Object, tainted map[types.Object]token.Pos) {
+	if as.Tok == token.DEFINE {
+		return // declares loop-locals
+	}
+	if commutativeAssign[as.Tok] {
+		return // order-insensitive fold
+	}
+	for li, lhs := range as.Lhs {
+		obj := rootObj(lhs)
+		if local(obj) {
+			continue
+		}
+		// Writes into another map keyed by loop state are order-insensitive
+		// (each key is written once per element).
+		if ix, ok := lhs.(*ast.IndexExpr); ok {
+			if t := pass.TypeOf(ix.X); t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					continue
+				}
+			}
+		}
+		// The self-append idiom `s = append(s, ...)`: record for the
+		// sorted-after check instead of flagging immediately.
+		if as.Tok == token.ASSIGN && li < len(as.Rhs) {
+			if call, ok := as.Rhs[li].(*ast.CallExpr); ok && isBuiltin(pass, call, "append") {
+				if obj != nil {
+					if _, seen := tainted[obj]; !seen {
+						tainted[obj] = as.Pos()
+					}
+					continue
+				}
+			}
+		}
+		name := "expression"
+		if obj != nil {
+			name = obj.Name()
+		}
+		pass.Reportf(as.Pos(), "%s assignment to outer %q under map iteration: last-writer order follows randomized map order", as.Tok, name)
+	}
+}
+
+// callViolation reports why a call inside a map-range body is order-sensitive
+// ("" when it is acceptable).
+func callViolation(pass *analysis.Pass, call *ast.CallExpr, local func(types.Object) bool) string {
+	// Type conversions are values, not effects.
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		return ""
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj := pass.ObjectOf(fun)
+		if _, ok := obj.(*types.Builtin); ok {
+			if pureBuiltin[fun.Name] {
+				return ""
+			}
+			return "builtin " + fun.Name
+		}
+		if local(obj) {
+			return "" // calling a loop-local func value: scoped to the element
+		}
+		return "function call " + fun.Name
+	case *ast.SelectorExpr:
+		if sel, ok := pass.TypesInfo.Selections[fun]; ok && sel.Kind() == types.MethodVal {
+			// Methods on the loop element only touch per-element state.
+			if local(rootObject(pass, fun.X)) {
+				return ""
+			}
+			return "method call " + fun.Sel.Name
+		}
+		// Package-qualified function.
+		return "function call " + fun.Sel.Name
+	case *ast.FuncLit:
+		return "function literal call"
+	}
+	return "call"
+}
+
+// isBuiltin reports whether call invokes the named builtin.
+func isBuiltin(pass *analysis.Pass, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = pass.ObjectOf(id).(*types.Builtin)
+	return ok
+}
+
+// sortedAfter reports whether some statement in rest passes obj to a
+// sort.* or slices.* call.
+func sortedAfter(pass *analysis.Pass, rest []ast.Stmt, obj types.Object) bool {
+	found := false
+	for _, s := range rest {
+		ast.Inspect(s, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || found {
+				return !found
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgID, ok := ast.Unparen(sel.X).(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if pn, ok := pass.ObjectOf(pkgID).(*types.PkgName); !ok ||
+				(pn.Imported().Path() != "sort" && pn.Imported().Path() != "slices") {
+				return true
+			}
+			for _, arg := range call.Args {
+				if rootObject(pass, arg) == obj {
+					found = true
+				}
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// rootObject resolves the base identifier of a selector/index/deref chain.
+func rootObject(pass *analysis.Pass, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return pass.ObjectOf(x)
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,16 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"ndpbridge/internal/lint/analysistest"
+	"ndpbridge/internal/lint/determinism"
+)
+
+func TestSimPackage(t *testing.T) {
+	analysistest.Run(t, "testdata/src/sim", determinism.Analyzer)
+}
+
+func TestNonSimPackageIgnored(t *testing.T) {
+	analysistest.Run(t, "testdata/src/notsim", determinism.Analyzer)
+}

@@ -1,0 +1,14 @@
+// Fixture for the determinism analyzer: the package name is outside the
+// simulation boundary, so nothing here is flagged.
+package notsim
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Wall() int64 { return time.Now().Unix() }
+
+func Roll() int { return rand.Intn(6) }
+
+func Spawn(fn func()) { go fn() }

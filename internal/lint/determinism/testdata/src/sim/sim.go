@@ -1,0 +1,96 @@
+// Fixture for the determinism analyzer: the package is named "sim", so it is
+// inside the simulation boundary and every rule applies.
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+type state struct {
+	order []int
+	last  int
+}
+
+func wallClock() int64 {
+	return time.Now().Unix() // want `wall-clock read time\.Now`
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `wall-clock read time\.Since`
+}
+
+func globalRand() int {
+	return rand.Intn(4) // want `global math/rand state`
+}
+
+func instanceRandOK(r *rand.Rand) int {
+	return r.Intn(4) // methods on an instance are seeded per component: fine
+}
+
+func spawn(fn func()) {
+	go fn() // want `goroutine spawned in simulation package`
+}
+
+func unsortedAppend(m map[int]int, s *state) {
+	for k := range m {
+		s.order = append(s.order, k) // want `append to "s" under map iteration without a following sort`
+	}
+}
+
+func collectThenSortOK(m map[int]int, s *state) {
+	for k := range m {
+		s.order = append(s.order, k)
+	}
+	sort.Ints(s.order)
+}
+
+func commutativeFoldOK(m map[int]uint64) uint64 {
+	var total uint64
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func lastWriter(m map[int]int, s *state) {
+	for _, v := range m {
+		s.last = v // want `= assignment to outer "s" under map iteration`
+	}
+}
+
+func sendAll(m map[int]int, ch chan int) {
+	for k := range m {
+		ch <- k // want `channel send under map iteration`
+	}
+}
+
+type sink struct{ n int }
+
+func (s *sink) push(v int) { s.n += v }
+
+func pushAll(m map[int]int, s *sink) {
+	for k := range m {
+		s.push(k) // want `method call push under map iteration`
+	}
+}
+
+func suppressedOK(m map[int]int, s *sink) {
+	//ndplint:ordered push folds into a commutative sum; order cannot escape
+	for k := range m {
+		s.push(k)
+	}
+}
+
+func perElementOK(m map[int]*sink) {
+	for _, v := range m {
+		v.push(1) // receiver is the loop element: per-element state only
+	}
+}
+
+func reindexOK(src, dst map[int]int) {
+	for k, v := range src {
+		dst[k] = v // one write per key: order-insensitive
+	}
+}

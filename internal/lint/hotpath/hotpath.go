@@ -1,0 +1,394 @@
+// Package hotpath implements the ndplint analyzer that keeps tagged hot
+// functions allocation-free at the source level.
+//
+// A function tagged `//ndplint:hotpath` (event dispatch, metrics
+// Counter/Histogram operations, mailbox push/pop) must not contain
+// constructs that allocate on every execution:
+//
+//   - function literals and method values (closure allocation);
+//   - heap-escaping composite literals (&T{...}), slice/map literals, and
+//     make/new calls;
+//   - append whose destination is not the slice being appended to (growth
+//     of a fresh slice instead of amortized reuse of a retained one);
+//   - implicit conversions of non-pointer-shaped concrete values to
+//     interface types (boxing);
+//   - string concatenation and string<->[]byte/[]rune conversions;
+//   - goroutine spawns.
+//
+// Error/assertion paths are exempt: any `if` block that directly panics is
+// considered cold and skipped, so `if bad { panic(fmt.Sprintf(...)) }`
+// assertions keep their diagnostics without polluting the report. A finding
+// that is accepted by design carries `//ndplint:alloc <justification>` on
+// its line.
+package hotpath
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"ndpbridge/internal/lint/analysis"
+	"ndpbridge/internal/lint/directive"
+)
+
+// Analyzer is the hot-path allocation check.
+var Analyzer = &analysis.Analyzer{
+	Name:    "hotpath",
+	Doc:     "functions tagged //ndplint:hotpath must not allocate",
+	Version: 1,
+	Run:     run,
+}
+
+func run(pass *analysis.Pass) error {
+	dirs := directive.Parse(pass.Fset, pass.Files)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !tagged(dirs, pass, fd) {
+				continue
+			}
+			c := &checker{pass: pass, dirs: dirs, results: fd.Type.Results}
+			c.blessAppends(fd.Body)
+			c.markCalleeSelectors(fd.Body)
+			c.walk(fd.Body)
+		}
+	}
+	return nil
+}
+
+// tagged reports whether fd carries a hotpath directive, either anywhere in
+// its doc comment or on the line directly above the declaration.
+func tagged(dirs *directive.Map, pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	if fd.Doc != nil {
+		for _, c := range fd.Doc.List {
+			if strings.HasPrefix(c.Text, "//ndplint:hotpath") {
+				return true
+			}
+		}
+	}
+	return dirs.At(pass.Fset, fd.Pos(), "hotpath") != nil
+}
+
+type checker struct {
+	pass    *analysis.Pass
+	dirs    *directive.Map
+	results *ast.FieldList
+
+	// blessed holds append calls of the reuse form `s = append(s, ...)`.
+	blessed map[*ast.CallExpr]bool
+	// calleePos holds selector expressions that are the Fun of a call, so
+	// bare method values can be told apart from invocations.
+	calleePos map[*ast.SelectorExpr]bool
+}
+
+func (c *checker) report(pos token.Pos, format string, args ...any) {
+	if d := c.dirs.At(c.pass.Fset, pos, "alloc"); d != nil {
+		return
+	}
+	c.pass.Reportf(pos, format, args...)
+}
+
+// blessAppends records append calls whose result is assigned back to the
+// slice they extend — the amortized-reuse idiom that is allocation-free at
+// the steady-state high-water mark.
+func (c *checker) blessAppends(body ast.Node) {
+	c.blessed = map[*ast.CallExpr]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok || !c.isBuiltin(call, "append") || len(call.Args) == 0 {
+				continue
+			}
+			dst := rootObject(c.pass, as.Lhs[i])
+			src := rootObject(c.pass, call.Args[0])
+			if dst != nil && dst == src && sameSelectorPath(as.Lhs[i], call.Args[0]) {
+				c.blessed[call] = true
+			}
+		}
+		return true
+	})
+}
+
+// markCalleeSelectors records every selector used as a call's function, so
+// the walk can flag method *values* (which allocate) without flagging method
+// *calls*.
+func (c *checker) markCalleeSelectors(body ast.Node) {
+	c.calleePos = map[*ast.SelectorExpr]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				c.calleePos[sel] = true
+			}
+		}
+		return true
+	})
+}
+
+// coldIf reports whether an if statement's body directly panics — the
+// assertion idiom whose cost is irrelevant.
+func coldIf(s *ast.IfStmt) bool {
+	for _, st := range s.Body.List {
+		if es, ok := st.(*ast.ExprStmt); ok {
+			if call, ok := es.X.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+func (c *checker) walk(n ast.Node) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.IfStmt:
+			if coldIf(n) {
+				return false // assertion path: cold by construction
+			}
+		case *ast.GoStmt:
+			c.report(n.Pos(), "goroutine spawn in hot path")
+		case *ast.FuncLit:
+			c.report(n.Pos(), "function literal in hot path allocates a closure")
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					c.report(n.Pos(), "&composite literal in hot path escapes to the heap")
+					return false
+				}
+			}
+		case *ast.CompositeLit:
+			if t := c.pass.TypeOf(n); t != nil {
+				switch t.Underlying().(type) {
+				case *types.Slice:
+					c.report(n.Pos(), "slice literal in hot path allocates")
+				case *types.Map:
+					c.report(n.Pos(), "map literal in hot path allocates")
+				}
+			}
+		case *ast.BinaryExpr:
+			c.checkStringConcat(n)
+		case *ast.SelectorExpr:
+			c.checkMethodValue(n)
+		case *ast.CallExpr:
+			c.checkCall(n)
+		case *ast.AssignStmt:
+			c.checkAssignBoxing(n)
+		case *ast.ReturnStmt:
+			c.checkReturnBoxing(n)
+		}
+		return true
+	})
+}
+
+func (c *checker) checkStringConcat(n *ast.BinaryExpr) {
+	if n.Op != token.ADD {
+		return
+	}
+	t := c.pass.TypeOf(n)
+	if t == nil {
+		return
+	}
+	if b, ok := t.Underlying().(*types.Basic); !ok || b.Info()&types.IsString == 0 {
+		return
+	}
+	if tv, ok := c.pass.TypesInfo.Types[n]; ok && tv.Value != nil {
+		return // constant-folded
+	}
+	c.report(n.Pos(), "string concatenation in hot path allocates")
+}
+
+func (c *checker) checkMethodValue(n *ast.SelectorExpr) {
+	if c.calleePos[n] {
+		return
+	}
+	if sel, ok := c.pass.TypesInfo.Selections[n]; ok && sel.Kind() == types.MethodVal {
+		c.report(n.Pos(), "method value %s in hot path allocates a closure", n.Sel.Name)
+	}
+}
+
+func (c *checker) checkCall(call *ast.CallExpr) {
+	// Type conversions: only string<->[]byte/[]rune allocate.
+	if tv, ok := c.pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		c.checkStringConversion(call, tv.Type)
+		return
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isB := c.pass.ObjectOf(id).(*types.Builtin); isB {
+			switch id.Name {
+			case "make", "new":
+				c.report(call.Pos(), "%s in hot path allocates", id.Name)
+			case "append":
+				if !c.blessed[call] {
+					c.report(call.Pos(), "append to a fresh slice in hot path allocates (use the s = append(s, ...) reuse form on a retained slice)")
+				}
+			}
+			return
+		}
+	}
+	// Boxing at call boundaries: a non-pointer-shaped concrete argument
+	// passed as an interface parameter allocates.
+	sig, ok := c.pass.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis != token.NoPos && i == params.Len()-1 {
+				pt = params.At(params.Len() - 1).Type() // s... passes the slice itself
+			} else {
+				pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt != nil && boxes(c.pass, arg, pt) {
+			c.report(arg.Pos(), "interface conversion in hot path allocates (boxing %s)", types.TypeString(c.pass.TypeOf(arg), types.RelativeTo(c.pass.Pkg)))
+		}
+	}
+}
+
+func (c *checker) checkStringConversion(call *ast.CallExpr, to types.Type) {
+	if len(call.Args) != 1 {
+		return
+	}
+	from := c.pass.TypeOf(call.Args[0])
+	if from == nil {
+		return
+	}
+	if isString(to) && isByteOrRuneSlice(from) || isByteOrRuneSlice(to) && isString(from) {
+		if tv, ok := c.pass.TypesInfo.Types[call.Args[0]]; ok && tv.Value != nil {
+			return // constant input
+		}
+		c.report(call.Pos(), "string conversion in hot path allocates")
+	}
+}
+
+func (c *checker) checkAssignBoxing(as *ast.AssignStmt) {
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i := range as.Lhs {
+		lt := c.pass.TypeOf(as.Lhs[i])
+		if lt != nil && boxes(c.pass, as.Rhs[i], lt) {
+			c.report(as.Rhs[i].Pos(), "interface conversion in hot path allocates (boxing %s)", types.TypeString(c.pass.TypeOf(as.Rhs[i]), types.RelativeTo(c.pass.Pkg)))
+		}
+	}
+}
+
+func (c *checker) checkReturnBoxing(ret *ast.ReturnStmt) {
+	if c.results == nil || len(ret.Results) != c.results.NumFields() {
+		return
+	}
+	i := 0
+	for _, fld := range c.results.List {
+		n := len(fld.Names)
+		if n == 0 {
+			n = 1
+		}
+		ft := c.pass.TypeOf(fld.Type)
+		for j := 0; j < n && i < len(ret.Results); j, i = j+1, i+1 {
+			if ft != nil && boxes(c.pass, ret.Results[i], ft) {
+				c.report(ret.Results[i].Pos(), "interface conversion in hot path allocates (boxing %s)", types.TypeString(c.pass.TypeOf(ret.Results[i]), types.RelativeTo(c.pass.Pkg)))
+			}
+		}
+	}
+}
+
+// boxes reports whether assigning expr to a target of type dst performs an
+// allocating interface conversion: dst is an interface, expr's type is
+// concrete, and the value is not pointer-shaped (pointer-shaped values ride
+// in the interface's data word without a heap copy).
+func boxes(pass *analysis.Pass, expr ast.Expr, dst types.Type) bool {
+	if dst == nil || !types.IsInterface(dst) {
+		return false
+	}
+	st := pass.TypeOf(expr)
+	if st == nil || types.IsInterface(st) {
+		return false
+	}
+	if b, ok := st.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return false
+	}
+	return !pointerShaped(st)
+}
+
+// pointerShaped reports whether values of t occupy exactly one pointer word,
+// so converting them to an interface stores the value directly.
+func pointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Uint8 || b.Kind() == types.Rune || b.Kind() == types.Int32)
+}
+
+func (c *checker) isBuiltin(call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = c.pass.ObjectOf(id).(*types.Builtin)
+	return ok
+}
+
+// rootObject resolves the base identifier of a selector/index/deref chain.
+func rootObject(pass *analysis.Pass, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return pass.ObjectOf(x)
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// sameSelectorPath reports whether a and b are textually the same
+// selector/ident chain (e.g. both `e.pq`), so `e.pq = append(e.pq, v)` is
+// recognized as reuse while `e.other = append(e.pq, v)` is not.
+func sameSelectorPath(a, b ast.Expr) bool {
+	a, b = ast.Unparen(a), ast.Unparen(b)
+	switch av := a.(type) {
+	case *ast.Ident:
+		bv, ok := b.(*ast.Ident)
+		return ok && av.Name == bv.Name
+	case *ast.SelectorExpr:
+		bv, ok := b.(*ast.SelectorExpr)
+		return ok && av.Sel.Name == bv.Sel.Name && sameSelectorPath(av.X, bv.X)
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"ndpbridge/internal/lint/analysistest"
+	"ndpbridge/internal/lint/hotpath"
+)
+
+func TestHotPath(t *testing.T) {
+	analysistest.Run(t, "testdata/src/hot", hotpath.Analyzer)
+}

@@ -1,0 +1,83 @@
+// Fixture for the hotpath analyzer.
+package hot
+
+type ring struct {
+	buf  []int
+	n    int
+	name string
+}
+
+//ndplint:hotpath
+func (r *ring) push(v int) {
+	r.buf = append(r.buf, v) // blessed reuse form: amortized, not flagged
+	r.n++
+}
+
+//ndplint:hotpath
+func (r *ring) fresh(v int) []int {
+	return append([]int{}, v) // want `slice literal in hot path` `append to a fresh slice in hot path`
+}
+
+//ndplint:hotpath
+func (r *ring) grow() {
+	r.buf = make([]int, 0, 16) // want `make in hot path allocates`
+}
+
+//ndplint:hotpath
+func (r *ring) closure() func() int {
+	return func() int { return r.n } // want `function literal in hot path`
+}
+
+//ndplint:hotpath
+func (r *ring) methodValue() func(int) {
+	return r.push // want `method value push in hot path allocates a closure`
+}
+
+//ndplint:hotpath
+func (r *ring) box() any {
+	return r.n // want `interface conversion in hot path allocates \(boxing int\)`
+}
+
+//ndplint:hotpath
+func (r *ring) boxPointerOK() any {
+	return &r.n // pointer-shaped: rides in the interface word, no heap copy
+}
+
+//ndplint:hotpath
+func (r *ring) label(s string) string {
+	return r.name + s // want `string concatenation in hot path`
+}
+
+//ndplint:hotpath
+func (r *ring) bytes(s string) []byte {
+	return []byte(s) // want `string conversion in hot path`
+}
+
+//ndplint:hotpath
+func (r *ring) spawn(fn func()) {
+	go fn() // want `goroutine spawn in hot path`
+}
+
+//ndplint:hotpath
+func (r *ring) escape() *ring {
+	return &ring{} // want `&composite literal in hot path escapes`
+}
+
+//ndplint:hotpath
+func (r *ring) checkOK(v int) {
+	if v < 0 {
+		panic("negative: " + r.name) // assertion path: cold by construction
+	}
+	r.n += v
+}
+
+//ndplint:hotpath
+func (r *ring) suppressedOK() {
+	r.buf = make([]int, 0, 16) //ndplint:alloc one-time warmup, amortized across the run
+}
+
+// coldInit is untagged: allocations outside hot paths are fine.
+func (r *ring) coldInit() {
+	r.buf = make([]int, 0, 64)
+	go func() { r.n = 0 }()
+}

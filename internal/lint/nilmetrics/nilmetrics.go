@@ -1,0 +1,206 @@
+// Package nilmetrics implements the ndplint analyzer enforcing the metrics
+// layer's nil-receiver contract.
+//
+// The instrument layer's design (DESIGN.md §8) is that a nil *Registry is
+// the "metrics off" state: it hands out nil instruments, and every
+// instrument method is a cheap no-op on a nil receiver, so call sites across
+// the simulator stay unconditional. That contract only holds if every
+// exported method in the metrics package actually guards its receiver.
+//
+// For each exported method of package metrics the analyzer verifies that the
+// receiver is a pointer (a value receiver would dereference nil before the
+// body could check anything), and that no statement dereferences the
+// receiver before a guard has run. Until a `if recv == nil { return ... }`
+// guard (or an `if recv != nil { ... }` wrap) is seen, the only permitted
+// uses of the receiver are nil comparisons and calls to its own exported
+// methods — which this analyzer holds to the same contract, so delegation
+// chains like Inc→Add stay safe by induction.
+package nilmetrics
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"ndpbridge/internal/lint/analysis"
+)
+
+// Analyzer is the metrics nil-receiver check.
+var Analyzer = &analysis.Analyzer{
+	Name:    "nilmetrics",
+	Doc:     "exported methods of the metrics package must tolerate nil receivers",
+	Version: 1,
+	Run:     run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Name() != "metrics" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			checkMethod(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkMethod(pass *analysis.Pass, fd *ast.FuncDecl) {
+	recv := fd.Recv.List[0]
+	if _, ok := recv.Type.(*ast.StarExpr); !ok {
+		pass.Reportf(fd.Name.Pos(), "exported metrics method %s has a value receiver: the nil-instrument contract needs a pointer receiver with a nil guard", fd.Name.Name)
+		return
+	}
+	if len(recv.Names) == 0 || recv.Names[0].Name == "_" {
+		return // receiver never referenced: trivially nil-safe
+	}
+	recvObj := pass.TypesInfo.Defs[recv.Names[0]]
+	if recvObj == nil {
+		return
+	}
+
+	for _, stmt := range fd.Body.List {
+		if ifs, ok := stmt.(*ast.IfStmt); ok && ifs.Init == nil {
+			if condChecksNil(pass, ifs.Cond, recvObj, token.EQL) && terminates(ifs.Body) {
+				return // guarded from here on
+			}
+			if condChecksNil(pass, ifs.Cond, recvObj, token.NEQ) && ifs.Else == nil {
+				continue // wrap form: the body only runs on a non-nil receiver
+			}
+		}
+		if pos, use, ok := unguardedUse(pass, stmt, recvObj); ok {
+			pass.Reportf(pos, "exported metrics method %s %s its receiver before any nil guard: callers rely on nil instruments being no-ops", fd.Name.Name, use)
+			return
+		}
+	}
+}
+
+// unguardedUse scans one pre-guard statement for a receiver use that could
+// dereference nil. Permitted uses: nil comparisons, and calls to exported
+// methods on the receiver (held to this same contract).
+func unguardedUse(pass *analysis.Pass, stmt ast.Stmt, recv types.Object) (token.Pos, string, bool) {
+	safe := map[*ast.Ident]bool{}
+	var badPos token.Pos
+	var badUse string
+
+	isRecv := func(e ast.Expr) *ast.Ident {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if ok && pass.TypesInfo.Uses[id] == recv {
+			return id
+		}
+		return nil
+	}
+
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if badUse != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			// recv == nil / recv != nil comparisons are the guard vocabulary.
+			if n.Op == token.EQL || n.Op == token.NEQ {
+				if id := isRecv(n.X); id != nil && isNil(pass, n.Y) {
+					safe[id] = true
+				}
+				if id := isRecv(n.Y); id != nil && isNil(pass, n.X) {
+					safe[id] = true
+				}
+			}
+		case *ast.SelectorExpr:
+			id := isRecv(n.X)
+			if id == nil {
+				return true
+			}
+			sel := pass.TypesInfo.Selections[n]
+			if sel != nil && sel.Kind() == types.MethodVal && n.Sel.IsExported() {
+				safe[id] = true // exported methods carry their own guard
+				return true
+			}
+			what := "dereferences"
+			if sel != nil && sel.Kind() == types.FieldVal {
+				what = "reads field " + n.Sel.Name + " of"
+			} else if sel != nil {
+				what = "calls unexported method " + n.Sel.Name + " on"
+			}
+			badPos, badUse = n.Pos(), what
+		}
+		return true
+	})
+	if badUse != "" {
+		return badPos, badUse, true
+	}
+
+	// Any remaining bare use (argument passing, deref, indexing, escaping
+	// assignment) could reach a dereference the analyzer cannot see.
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if badUse != "" {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == recv && !safe[id] && !selectorBase(stmt, id) {
+			badPos, badUse = id.Pos(), "passes or dereferences"
+		}
+		return true
+	})
+	return badPos, badUse, badUse != ""
+}
+
+// selectorBase reports whether id appears as the X of a selector within
+// stmt (those uses were classified above).
+func selectorBase(stmt ast.Stmt, id *ast.Ident) bool {
+	found := false
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok && ast.Unparen(sel.X) == id {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func isNil(pass *analysis.Pass, e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil" && pass.ObjectOf(id) == types.Universe.Lookup("nil")
+}
+
+// condChecksNil reports whether cond contains `recv <op> nil` at the top of
+// an ||-chain (op EQL) or an &&-chain (op NEQ).
+func condChecksNil(pass *analysis.Pass, cond ast.Expr, recv types.Object, op token.Token) bool {
+	cond = ast.Unparen(cond)
+	be, ok := cond.(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	if be.Op == op {
+		isRecv := func(e ast.Expr) bool {
+			id, ok := ast.Unparen(e).(*ast.Ident)
+			return ok && pass.TypesInfo.Uses[id] == recv
+		}
+		return isRecv(be.X) && isNil(pass, be.Y) || isNil(pass, be.X) && isRecv(be.Y)
+	}
+	if (op == token.EQL && be.Op == token.LOR) || (op == token.NEQ && be.Op == token.LAND) {
+		return condChecksNil(pass, be.X, recv, op) || condChecksNil(pass, be.Y, recv, op)
+	}
+	return false
+}
+
+// terminates reports whether a block unconditionally leaves the function.
+func terminates(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch s := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok {
+				return id.Name == "panic"
+			}
+		}
+	}
+	return false
+}

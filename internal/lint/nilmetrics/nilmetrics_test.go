@@ -1,0 +1,12 @@
+package nilmetrics_test
+
+import (
+	"testing"
+
+	"ndpbridge/internal/lint/analysistest"
+	"ndpbridge/internal/lint/nilmetrics"
+)
+
+func TestNilReceiverContract(t *testing.T) {
+	analysistest.Run(t, "testdata/src/metrics", nilmetrics.Analyzer)
+}

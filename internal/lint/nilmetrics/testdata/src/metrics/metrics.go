@@ -1,0 +1,71 @@
+// Fixture for the nilmetrics analyzer (the package must be named "metrics").
+package metrics
+
+type Counter struct{ v uint64 }
+
+// Add uses the leading-guard form.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v += n
+}
+
+// Bump uses the wrap form.
+func (c *Counter) Bump() {
+	if c != nil {
+		c.v++
+	}
+}
+
+// Inc delegates to an exported method, which carries its own guard.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Snapshot guards after receiver-free statements — still safe.
+func (c *Counter) Snapshot() uint64 {
+	total := uint64(0)
+	if c == nil {
+		return total
+	}
+	return total + c.v
+}
+
+// Kind never touches its receiver.
+func (c *Counter) Kind() string { return "counter" }
+
+type Gauge struct{ v uint64 }
+
+func (g Gauge) Value() uint64 { // want `value receiver`
+	return g.v
+}
+
+type Histogram struct{ count uint64 }
+
+func (h *Histogram) Observe(v uint64) {
+	h.count++ // want `reads field count of its receiver before any nil guard`
+	_ = v
+}
+
+// merge is unexported, so the analyzer does not hold it to the contract —
+// which is exactly why calling it before a guard is unsafe.
+func (h *Histogram) merge(o *Histogram) {
+	h.count += o.count
+}
+
+func (h *Histogram) Merge(o *Histogram) {
+	h.merge(o) // want `calls unexported method merge on its receiver before any nil guard`
+}
+
+func reset(h *Histogram) { h.count = 0 }
+
+func (h *Histogram) Reset() {
+	reset(h) // want `passes or dereferences its receiver before any nil guard`
+}
+
+// MergeAll extends the guard with || clauses.
+func (h *Histogram) MergeAll(o *Histogram) {
+	if h == nil || o == nil {
+		return
+	}
+	h.count += o.count
+}

@@ -1,0 +1,184 @@
+// Package snapcover implements the ndplint analyzer that makes snapshot
+// schema drift a lint failure instead of a corrupt resume.
+//
+// For every struct type that has a SnapshotTo (or snapshotTo) encoder
+// method, the analyzer verifies that every field of the struct is referenced
+// somewhere in the encoder's same-package call graph (the encoder itself
+// plus any package-local helpers it calls, e.g. (*Unit).snapshotSlots).
+//
+// No RestoreFrom counterpart is required: resume in this simulator is
+// replay-with-verification (see internal/core/checkpoint.go), so most
+// components are encode-only — their SnapshotTo feeds the state digest that
+// replay is verified against, and is never decoded. Field coverage is what
+// keeps that digest honest: a field the encoder skips is state the digest
+// cannot see drifting.
+//
+// Fields of metrics instrument types (any named type from a package called
+// "metrics") are exempt: instruments are registry-owned observability,
+// excluded from snapshots and digests by design. Any other field that is
+// deliberately not part of the snapshot — structural configuration rebuilt
+// from the config at construction time — must carry an explicit
+// `//ndplint:nosnap <justification>` on its declaration. Adding a new
+// mutable field to a snapshotted struct therefore fails the build until the
+// author either encodes it or documents why the resume path can reconstruct
+// it.
+package snapcover
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"ndpbridge/internal/lint/analysis"
+	"ndpbridge/internal/lint/directive"
+)
+
+// Analyzer is the snapshot-coverage check.
+var Analyzer = &analysis.Analyzer{
+	Name:    "snapcover",
+	Doc:     "every field of a snapshotted struct must be encoded by SnapshotTo or marked //ndplint:nosnap",
+	Version: 1,
+	Run:     run,
+}
+
+func isSnapshotName(s string) bool { return strings.EqualFold(s, "snapshotto") }
+
+func run(pass *analysis.Pass) error {
+	dirs := directive.Parse(pass.Fset, pass.Files)
+
+	// Index every package-level function/method declaration by its object,
+	// so the encoder's package-local call graph can be walked.
+	decls := map[*types.Func]*ast.FuncDecl{}
+	// Encoder methods per receiver base type.
+	encoders := map[*types.Named]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			obj, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if obj == nil {
+				continue
+			}
+			decls[obj] = fd
+			if fd.Recv == nil {
+				continue
+			}
+			named := receiverNamed(obj)
+			if named == nil {
+				continue
+			}
+			if isSnapshotName(fd.Name.Name) {
+				encoders[named] = fd
+			}
+		}
+	}
+
+	for named, enc := range encoders {
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		covered := coveredFields(pass, enc, decls, named)
+		for i := 0; i < st.NumFields(); i++ {
+			fld := st.Field(i)
+			if fld.Name() == "_" || covered[fld] || isMetricsInstrument(fld.Type()) {
+				continue
+			}
+			if d := dirs.At(pass.Fset, fld.Pos(), "nosnap"); d != nil {
+				continue
+			}
+			pass.Reportf(fld.Pos(), "field %s.%s is not referenced by (%s).%s: encode it or mark it //ndplint:nosnap <why>",
+				named.Obj().Name(), fld.Name(), named.Obj().Name(), enc.Name.Name)
+		}
+	}
+	return nil
+}
+
+// isMetricsInstrument reports whether t is (a pointer to) a named type from
+// a package named "metrics". Instruments are registry-owned observability —
+// by design excluded from snapshots and state digests (metrics can be off
+// entirely) — so they are exempt without per-field suppressions.
+func isMetricsInstrument(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	return ok && n.Obj().Pkg() != nil && n.Obj().Pkg().Name() == "metrics"
+}
+
+// receiverNamed unwraps a method's receiver to its named base type.
+func receiverNamed(fn *types.Func) *types.Named {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// coveredFields walks the encoder's same-package call graph and returns the
+// set of fields of `named` referenced anywhere in it (including accesses
+// promoted through embedded fields, which count for the embedding field).
+func coveredFields(pass *analysis.Pass, enc *ast.FuncDecl, decls map[*types.Func]*ast.FuncDecl, named *types.Named) map[*types.Var]bool {
+	covered := map[*types.Var]bool{}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return covered
+	}
+
+	seen := map[*ast.FuncDecl]bool{}
+	work := []*ast.FuncDecl{enc}
+	for len(work) > 0 {
+		fd := work[len(work)-1]
+		work = work[:len(work)-1]
+		if seen[fd] || fd.Body == nil {
+			continue
+		}
+		seen[fd] = true
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				sel := pass.TypesInfo.Selections[n]
+				if sel == nil || sel.Kind() != types.FieldVal {
+					return true
+				}
+				recv := sel.Recv()
+				if p, ok := recv.(*types.Pointer); ok {
+					recv = p.Elem()
+				}
+				if rn, ok := recv.(*types.Named); ok && rn.Obj() == named.Obj() {
+					if idx := sel.Index(); len(idx) > 0 && idx[0] < st.NumFields() {
+						covered[st.Field(idx[0])] = true
+					}
+				}
+			case *ast.CallExpr:
+				if callee := calleeFunc(pass, n); callee != nil {
+					if next, ok := decls[callee]; ok {
+						work = append(work, next)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return covered
+}
+
+// calleeFunc resolves a call to its package-level function or method object.
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := pass.ObjectOf(fun).(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}

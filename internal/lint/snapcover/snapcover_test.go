@@ -1,0 +1,16 @@
+package snapcover_test
+
+import (
+	"testing"
+
+	"ndpbridge/internal/lint/analysistest"
+	"ndpbridge/internal/lint/snapcover"
+)
+
+func TestCoverage(t *testing.T) {
+	analysistest.Run(t, "testdata/src/snap", snapcover.Analyzer)
+}
+
+func TestMetricsInstrumentExemption(t *testing.T) {
+	analysistest.Run(t, "testdata/src/metrics", snapcover.Analyzer)
+}

@@ -1,0 +1,21 @@
+// Fixture for the snapcover analyzer's metrics-instrument exemption: the
+// package is named "metrics", so instrument-typed fields of snapshotted
+// structs are exempt without per-field suppressions.
+package metrics
+
+type Enc struct{ buf []byte }
+
+func (e *Enc) U64(v uint64) { _ = v }
+
+// Counter is an instrument type (named type in a "metrics" package).
+type Counter struct{ v uint64 }
+
+// Snapshotted encodes its state but not its instrument — no finding.
+type Snapshotted struct {
+	state uint64
+	c     *Counter
+}
+
+func (s *Snapshotted) SnapshotTo(e *Enc) {
+	e.U64(s.state)
+}

@@ -1,0 +1,59 @@
+// Fixture for the snapcover analyzer.
+package snap
+
+// Enc is a stand-in for the checkpoint encoder.
+type Enc struct{ buf []byte }
+
+func (e *Enc) U64(v uint64) { _ = v }
+
+// Counter: every field encoded — clean.
+type Counter struct {
+	hits   uint64
+	misses uint64
+}
+
+func (c *Counter) SnapshotTo(e *Enc) {
+	e.U64(c.hits)
+	e.U64(c.misses)
+}
+
+// Leaky: field b is silently skipped by the encoder.
+type Leaky struct {
+	a uint64
+	b uint64 // want `field Leaky\.b is not referenced by \(Leaky\)\.SnapshotTo`
+}
+
+func (l *Leaky) SnapshotTo(e *Enc) {
+	e.U64(l.a)
+}
+
+// Marked: the skipped field carries an audited suppression.
+type Marked struct {
+	data uint64
+	cfg  uint64 //ndplint:nosnap rebuilt from config at construction
+}
+
+func (m *Marked) SnapshotTo(e *Enc) {
+	e.U64(m.data)
+}
+
+// Nested: coverage through a package-local helper in the encoder's call
+// graph.
+type Nested struct {
+	x uint64
+	y uint64
+}
+
+func (n *Nested) SnapshotTo(e *Enc) {
+	e.U64(n.x)
+	n.rest(e)
+}
+
+func (n *Nested) rest(e *Enc) {
+	e.U64(n.y)
+}
+
+// Plain has no encoder: nothing is required of it.
+type Plain struct {
+	anything uint64
+}

@@ -52,6 +52,8 @@ func (mb *Mailbox) CanFit(n uint64) bool { return mb.used+n <= mb.capacity }
 
 // Enqueue appends m. It returns false (a stall) when the region is full, in
 // which case the unit controller must retry later (Section V-A).
+//
+//ndplint:hotpath
 func (mb *Mailbox) Enqueue(m *msg.Message) bool {
 	n := m.Size()
 	if !mb.CanFit(n) {
@@ -71,6 +73,8 @@ func (mb *Mailbox) Enqueue(m *msg.Message) bool {
 // "refused drain" path, where a message pulled for transmission must go back
 // in arrival order because the hop is backpressured. Returns false when the
 // message no longer fits.
+//
+//ndplint:hotpath
 func (mb *Mailbox) PushFront(m *msg.Message) bool {
 	n := m.Size()
 	if !mb.CanFit(n) {
@@ -93,6 +97,8 @@ func (mb *Mailbox) PushFront(m *msg.Message) bool {
 }
 
 // Peek returns the head message without removing it.
+//
+//ndplint:hotpath
 func (mb *Mailbox) Peek() (*msg.Message, bool) {
 	if mb.Len() == 0 {
 		return nil, false
@@ -101,6 +107,8 @@ func (mb *Mailbox) Peek() (*msg.Message, bool) {
 }
 
 // Dequeue removes and returns the head message.
+//
+//ndplint:hotpath
 func (mb *Mailbox) Dequeue() (*msg.Message, bool) {
 	if mb.Len() == 0 {
 		return nil, false

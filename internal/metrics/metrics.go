@@ -26,6 +26,8 @@ type Counter struct {
 }
 
 // Add increments the counter by n. Nil receivers are no-ops.
+//
+//ndplint:hotpath
 func (c *Counter) Add(n uint64) {
 	if c != nil {
 		c.v += n
@@ -33,9 +35,13 @@ func (c *Counter) Add(n uint64) {
 }
 
 // Inc increments the counter by one.
+//
+//ndplint:hotpath
 func (c *Counter) Inc() { c.Add(1) }
 
 // Value returns the current count (0 on a nil receiver).
+//
+//ndplint:hotpath
 func (c *Counter) Value() uint64 {
 	if c == nil {
 		return 0
@@ -83,6 +89,8 @@ type Histogram struct {
 }
 
 // Observe records one value. Nil receivers are no-ops.
+//
+//ndplint:hotpath
 func (h *Histogram) Observe(v uint64) {
 	if h == nil {
 		return

@@ -33,15 +33,18 @@ type rentry struct {
 // limit the sender must stop draining new messages onto the hop, which
 // propagates into the existing mailbox/scatter backpressure paths.
 type Retrans struct {
-	eng    *sim.Engine
-	rto0   sim.Cycles // initial retransmission timeout
-	rtoCap sim.Cycles // backoff cap
-	limit  uint64     // watermark in buffered bytes
-	send   func(m *Message)
+	eng *sim.Engine //ndplint:nosnap simulation wiring from construction
+	//ndplint:nosnap config constant (initial retransmission timeout)
+	rto0 sim.Cycles
+	//ndplint:nosnap config constant (backoff cap)
+	rtoCap sim.Cycles
+	//ndplint:nosnap config constant (watermark in buffered bytes)
+	limit uint64
+	send  func(m *Message) //ndplint:nosnap callback wiring from construction
 
 	entries []rentry
 	bytes   uint64
-	armed   bool
+	armed   bool //ndplint:nosnap deliberately not encoded; RestoreFrom re-arms the sweep
 	st      RetransStats
 }
 

@@ -84,9 +84,9 @@ type Unit struct {
 	staged  []*msg.Message // outgoing messages waiting for mailbox space
 
 	// DRAM layout offsets within the bank.
-	mailboxOff  uint64
+	mailboxOff  uint64 //ndplint:nosnap layout constant from config
 	borrowedOff uint64
-	queueOff    uint64
+	queueOff    uint64 //ndplint:nosnap layout constant from config
 
 	finishedWorkload uint64
 	schedOut         []msg.SchedOut

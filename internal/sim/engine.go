@@ -76,6 +76,8 @@ func (e *Engine) less(i, j int) bool {
 }
 
 // siftUp restores the heap invariant after appending at index i.
+//
+//ndplint:hotpath
 func (e *Engine) siftUp(i int) {
 	for i > 0 {
 		parent := (i - 1) / 2
@@ -88,6 +90,8 @@ func (e *Engine) siftUp(i int) {
 }
 
 // siftDown restores the heap invariant after replacing the root.
+//
+//ndplint:hotpath
 func (e *Engine) siftDown(i int) {
 	n := len(e.pq)
 	for {
@@ -108,6 +112,8 @@ func (e *Engine) siftDown(i int) {
 }
 
 // push inserts ev into the heap.
+//
+//ndplint:hotpath
 func (e *Engine) push(ev event) {
 	e.pq = append(e.pq, ev)
 	e.siftUp(len(e.pq) - 1)
@@ -115,6 +121,8 @@ func (e *Engine) push(ev event) {
 
 // pop removes and returns the earliest event. The vacated slot is zeroed so
 // the heap does not retain the popped closure.
+//
+//ndplint:hotpath
 func (e *Engine) pop() event {
 	ev := e.pq[0]
 	n := len(e.pq) - 1
@@ -138,6 +146,8 @@ func (e *Engine) Pending() int { return len(e.pq) }
 
 // At schedules fn at absolute time t. Scheduling in the past panics: it is
 // always a model bug.
+//
+//ndplint:hotpath
 func (e *Engine) At(t Cycles, fn func()) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling at %d before now %d", t, e.now))
@@ -147,6 +157,8 @@ func (e *Engine) At(t Cycles, fn func()) {
 }
 
 // After schedules fn d cycles from now.
+//
+//ndplint:hotpath
 func (e *Engine) After(d Cycles, fn func()) { e.At(e.now+d, fn) }
 
 // Stop makes Run (or RunUntil) return after the current event completes.
@@ -181,6 +193,8 @@ func (e *Engine) SetAudit(every Cycles, fn func(now Cycles)) {
 // tickAudit fires the audit hook when the next event's time has reached the
 // audit deadline. Called before the event executes, with now already
 // advanced to the event's time.
+//
+//ndplint:hotpath
 func (e *Engine) tickAudit() {
 	if e.auditEvery != 0 && e.now >= e.auditNext {
 		e.auditFn(e.now)
@@ -205,6 +219,8 @@ func (e *Engine) SnapState() State {
 }
 
 // tickProgress advances the progress countdown after one executed event.
+//
+//ndplint:hotpath
 func (e *Engine) tickProgress() {
 	if e.progressLeft != 0 {
 		e.progressLeft--
@@ -218,6 +234,8 @@ func (e *Engine) tickProgress() {
 // Run executes events until the queue drains, Stop is called, or maxEvents
 // events have run (0 means no limit). It returns ErrLimit if the budget was
 // exhausted with events still pending.
+//
+//ndplint:hotpath
 func (e *Engine) Run(maxEvents uint64) error {
 	e.stopped = false
 	for len(e.pq) > 0 && !e.stopped {
@@ -241,6 +259,8 @@ func (e *Engine) Run(maxEvents uint64) error {
 // clears any prior Stop on entry and honors a Stop issued by an event; when
 // stopped mid-window, now stays at the last executed event rather than
 // jumping to t, so the remaining events are still in the future.
+//
+//ndplint:hotpath
 func (e *Engine) RunUntil(t Cycles) {
 	e.stopped = false
 	for len(e.pq) > 0 && e.pq[0].time <= t && !e.stopped {

@@ -25,7 +25,7 @@ type Entry struct {
 type Sketch struct {
 	buckets   int
 	entries   int
-	decayBase float64
+	decayBase float64 //ndplint:nosnap config constant
 	table     [][]Entry
 	rng       *sim.RNG
 

@@ -1,5 +1,7 @@
 package task
 
+import "slices"
+
 // Queue is a FIFO task queue that tracks the summed workload estimate of its
 // contents — the W_queue state reported to bridges (Section V-B). Tasks of
 // different bulk-sync epochs are kept in per-epoch FIFOs so a unit never
@@ -9,7 +11,7 @@ package task
 // stealing uses to select victim tasks (Section VI-C).
 type Queue struct {
 	epochs map[uint32]*fifo
-	size   int
+	size   int //ndplint:nosnap derived; recomputed by RestoreFrom via Push
 }
 
 type fifo struct {
@@ -131,12 +133,7 @@ func (q *Queue) DrainAll() []Task {
 	for ts := range q.epochs {
 		epochs = append(epochs, ts)
 	}
-	// Insertion sort: epoch counts are tiny (typically ≤ 2 live epochs).
-	for i := 1; i < len(epochs); i++ {
-		for j := i; j > 0 && epochs[j] < epochs[j-1]; j-- {
-			epochs[j], epochs[j-1] = epochs[j-1], epochs[j]
-		}
-	}
+	slices.Sort(epochs)
 	out := make([]Task, 0, q.size)
 	for _, ts := range epochs {
 		for {

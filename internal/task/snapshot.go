@@ -2,6 +2,7 @@ package task
 
 import (
 	"fmt"
+	"slices"
 
 	"ndpbridge/internal/checkpoint"
 )
@@ -60,11 +61,7 @@ func (q *Queue) SnapshotTo(e *checkpoint.Enc) {
 	for ts := range q.epochs {
 		epochs = append(epochs, ts)
 	}
-	for i := 1; i < len(epochs); i++ { // insertion sort; epoch counts are tiny
-		for j := i; j > 0 && epochs[j] < epochs[j-1]; j-- {
-			epochs[j], epochs[j-1] = epochs[j-1], epochs[j]
-		}
-	}
+	slices.Sort(epochs)
 	e.U32(uint32(len(epochs)))
 	for _, ts := range epochs {
 		f := q.epochs[ts]
