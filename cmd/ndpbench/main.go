@@ -30,6 +30,7 @@ import (
 	"os/signal"
 	"path/filepath"
 	"runtime"
+	"runtime/debug"
 	"runtime/pprof"
 	"strings"
 	"syscall"
@@ -46,23 +47,27 @@ type expFn func(experiments.Scale) (*stats.Table, error)
 var all = []struct {
 	name string
 	fn   expFn
+	// analytic marks experiments computed from closed-form models rather
+	// than simulation: they run no events, so they are excluded from the
+	// aggregate events/sec summary instead of diluting it with zeros.
+	analytic bool
 }{
-	{"tab1", func(experiments.Scale) (*stats.Table, error) { return experiments.Table1(), nil }},
-	{"tab2", func(experiments.Scale) (*stats.Table, error) { return experiments.Table2(), nil }},
-	{"fig2", experiments.Fig2},
-	{"fig10", func(sc experiments.Scale) (*stats.Table, error) { t, _, err := experiments.Fig10(sc); return t, err }},
-	{"fig11", func(sc experiments.Scale) (*stats.Table, error) { t, _, err := experiments.Fig11(sc); return t, err }},
-	{"fig12", experiments.Fig12},
-	{"fig13", func(sc experiments.Scale) (*stats.Table, error) { return experiments.Fig13(sc, nil) }},
-	{"fig14a", experiments.Fig14a},
-	{"fig14b", experiments.Fig14b},
-	{"fig15", experiments.Fig15},
-	{"fig16a", experiments.Fig16a},
-	{"fig16b", experiments.Fig16b},
-	{"fig16cd", experiments.Fig16cd},
-	{"splitdb", experiments.SplitDB},
-	{"l2variants", experiments.L2Variants},
-	{"latency", experiments.Latency},
+	{name: "tab1", fn: func(experiments.Scale) (*stats.Table, error) { return experiments.Table1(), nil }, analytic: true},
+	{name: "tab2", fn: func(experiments.Scale) (*stats.Table, error) { return experiments.Table2(), nil }, analytic: true},
+	{name: "fig2", fn: experiments.Fig2},
+	{name: "fig10", fn: func(sc experiments.Scale) (*stats.Table, error) { t, _, err := experiments.Fig10(sc); return t, err }},
+	{name: "fig11", fn: func(sc experiments.Scale) (*stats.Table, error) { t, _, err := experiments.Fig11(sc); return t, err }},
+	{name: "fig12", fn: experiments.Fig12},
+	{name: "fig13", fn: func(sc experiments.Scale) (*stats.Table, error) { return experiments.Fig13(sc, nil) }},
+	{name: "fig14a", fn: experiments.Fig14a},
+	{name: "fig14b", fn: experiments.Fig14b},
+	{name: "fig15", fn: experiments.Fig15},
+	{name: "fig16a", fn: experiments.Fig16a},
+	{name: "fig16b", fn: experiments.Fig16b},
+	{name: "fig16cd", fn: experiments.Fig16cd},
+	{name: "splitdb", fn: experiments.SplitDB},
+	{name: "l2variants", fn: experiments.L2Variants},
+	{name: "latency", fn: experiments.Latency},
 }
 
 // writeCSV stores one experiment table under dir. The write is atomic: a
@@ -77,11 +82,15 @@ func writeCSV(dir, name string, t *stats.Table) error {
 
 // benchRecord is the machine-readable perf capture for one experiment.
 type benchRecord struct {
-	Name         string  `json:"name"`
-	WallSeconds  float64 `json:"wall_seconds"`
-	Runs         uint64  `json:"runs"`
-	Events       uint64  `json:"events"`
-	Cycles       uint64  `json:"cycles"`
+	Name        string  `json:"name"`
+	WallSeconds float64 `json:"wall_seconds"`
+	Runs        uint64  `json:"runs"`
+	Events      uint64  `json:"events"`
+	Cycles      uint64  `json:"cycles"`
+	// Analytic experiments (tab1/tab2) are closed-form models: they run
+	// no simulation events, so their zero counts are expected and they
+	// are excluded from the aggregate events/sec summary.
+	Analytic     bool    `json:"analytic,omitempty"`
 	EventsPerSec float64 `json:"events_per_sec"`
 }
 
@@ -110,8 +119,23 @@ func main() {
 		ckptDir   = flag.String("ckpt-dir", "", "persist every completed simulation to this directory so a rerun resumes instead of recomputing")
 		resumeDir = flag.String("resume-dir", "", "alias for -ckpt-dir, for resuming a killed campaign")
 		auditOn   = flag.Bool("audit", false, "run the invariant auditor inside every simulation; violations fail the experiment")
+		compare   = flag.Bool("compare", false, "benchdiff mode: ndpbench -compare old.json new.json prints per-experiment events/sec deltas and exits 1 on >10% regression")
 	)
 	flag.Parse()
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: ndpbench -compare old.json new.json")
+			os.Exit(2)
+		}
+		os.Exit(runCompare(flag.Arg(0), flag.Arg(1)))
+	}
+	// Simulations allocate mostly long-lived system state up front and run
+	// near allocation-free after warm-up, so the default GC target (100%)
+	// mostly re-marks the same live heap. Relaxing it trades transient
+	// footprint for mutator throughput; GOGC set explicitly still wins.
+	if os.Getenv("GOGC") == "" {
+		debug.SetGCPercent(400)
+	}
 	experiments.SetJobs(*jobsN)
 	if *resumeDir != "" {
 		*ckptDir = *resumeDir
@@ -213,8 +237,9 @@ func main() {
 		rec := benchRecord{
 			Name: e.name, WallSeconds: wall,
 			Runs: c.Runs, Events: c.Events, Cycles: c.Cycles,
+			Analytic: e.analytic,
 		}
-		if wall > 0 {
+		if wall > 0 && !e.analytic {
 			rec.EventsPerSec = float64(c.Events) / wall
 		}
 		fmt.Println(t.Render())
@@ -229,8 +254,12 @@ func main() {
 			fmt.Printf("(%s in %.1fs)\n\n", e.name, wall)
 		}
 		bench.Experiments = append(bench.Experiments, rec)
-		bench.TotalWallS += wall
-		bench.TotalEvents += c.Events
+		if !e.analytic {
+			// Analytic tables run no events; keeping them out of the
+			// totals keeps aggregate events/sec a pure simulation rate.
+			bench.TotalWallS += wall
+			bench.TotalEvents += c.Events
+		}
 		if *csvDir != "" {
 			if err := writeCSV(*csvDir, e.name, t); err != nil {
 				fmt.Fprintf(os.Stderr, "ndpbench: csv %s: %v\n", e.name, err)
@@ -318,4 +347,85 @@ func writeBenchJSON(path string, b *benchFile) error {
 		return err
 	}
 	return checkpoint.WriteFileAtomic(path, append(data, '\n'))
+}
+
+// regressionThreshold is the events/sec drop (relative to the old capture)
+// past which runCompare flags an experiment as regressed and exits non-zero.
+const regressionThreshold = 0.10
+
+func readBenchJSON(path string) (*benchFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b benchFile
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// runCompare diffs two -benchjson captures (benchdiff): per-experiment
+// events/sec deltas plus the aggregate, returning 1 when any non-analytic
+// experiment (or the aggregate) regressed by more than regressionThreshold.
+// Analytic rows and experiments missing from either capture are reported but
+// never counted as regressions.
+func runCompare(oldPath, newPath string) int {
+	oldB, err := readBenchJSON(oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ndpbench: compare: %v\n", err)
+		return 2
+	}
+	newB, err := readBenchJSON(newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ndpbench: compare: %v\n", err)
+		return 2
+	}
+	if oldB.Scale != newB.Scale || oldB.Jobs != newB.Jobs {
+		fmt.Fprintf(os.Stderr, "ndpbench: compare: captures differ in shape (scale %q jobs %d vs scale %q jobs %d) — deltas may not be meaningful\n",
+			oldB.Scale, oldB.Jobs, newB.Scale, newB.Jobs)
+	}
+	oldBy := map[string]benchRecord{}
+	for _, r := range oldB.Experiments {
+		oldBy[r.Name] = r
+	}
+	fmt.Printf("%-12s %14s %14s %9s\n", "experiment", "old ev/s", "new ev/s", "delta")
+	regressed := false
+	for _, nr := range newB.Experiments {
+		or, ok := oldBy[nr.Name]
+		switch {
+		case nr.Analytic || (or.EventsPerSec == 0 && nr.EventsPerSec == 0):
+			fmt.Printf("%-12s %14s %14s %9s\n", nr.Name, "-", "-", "n/a")
+		case !ok:
+			fmt.Printf("%-12s %14s %14.0f %9s\n", nr.Name, "(new)", nr.EventsPerSec, "n/a")
+		case or.EventsPerSec == 0:
+			fmt.Printf("%-12s %14.0f %14.0f %9s\n", nr.Name, or.EventsPerSec, nr.EventsPerSec, "n/a")
+		default:
+			delta := nr.EventsPerSec/or.EventsPerSec - 1
+			mark := ""
+			if delta < -regressionThreshold {
+				mark = "  REGRESSED"
+				regressed = true
+			}
+			fmt.Printf("%-12s %14.0f %14.0f %+8.1f%%%s\n", nr.Name, or.EventsPerSec, nr.EventsPerSec, delta*100, mark)
+		}
+	}
+	if oldB.TotalWallS > 0 && newB.TotalWallS > 0 {
+		oldAgg := float64(oldB.TotalEvents) / oldB.TotalWallS
+		newAgg := float64(newB.TotalEvents) / newB.TotalWallS
+		if oldAgg > 0 {
+			delta := newAgg/oldAgg - 1
+			mark := ""
+			if delta < -regressionThreshold {
+				mark = "  REGRESSED"
+				regressed = true
+			}
+			fmt.Printf("%-12s %14.0f %14.0f %+8.1f%%%s\n", "aggregate", oldAgg, newAgg, delta*100, mark)
+		}
+	}
+	if regressed {
+		fmt.Fprintf(os.Stderr, "ndpbench: compare: regression beyond %.0f%% detected\n", regressionThreshold*100)
+		return 1
+	}
+	return 0
 }

@@ -67,7 +67,7 @@ type faultL1 struct {
 // retry is set, arms the bridge's retry-protocol endpoints. lost is the
 // terminal-loss hook of the recovery runtime.
 func (b *Level1) EnableFaults(inj *fault.Injector, retry bool, lost func(*msg.Message)) {
-	cfg := b.env.Cfg()
+	cfg := b.cfg
 	fi := &faultL1{
 		gatherHop:  inj.HopFor(fault.ScopeL1Gather, b.rank),
 		scatterHop: inj.HopFor(fault.ScopeL1Scatter, b.rank),
@@ -81,10 +81,10 @@ func (b *Level1) EnableFaults(inj *fault.Injector, retry bool, lost func(*msg.Me
 		fi.scatterRet = make([]*msg.Retrans, len(b.children))
 		for i := range b.children {
 			idx := i
-			fi.scatterRet[i] = msg.NewRetrans(b.env.Engine(), cfg.Retry.Timeout, cfg.Retry.BackoffCap,
+			fi.scatterRet[i] = msg.NewRetrans(b.eng, cfg.Retry.Timeout, cfg.Retry.BackoffCap,
 				cfg.Retry.BufBytes, func(m *msg.Message) { b.wireScatter(idx, m) })
 		}
-		fi.upRet = msg.NewRetrans(b.env.Engine(), cfg.Retry.Timeout, cfg.Retry.BackoffCap,
+		fi.upRet = msg.NewRetrans(b.eng, cfg.Retry.Timeout, cfg.Retry.BackoffCap,
 			cfg.Retry.BufBytes, func(m *msg.Message) { b.pushUp(m) })
 	}
 	b.fi = fi
@@ -126,7 +126,7 @@ func (b *Level1) gatherIn(idx int, m *msg.Message) {
 		return
 	}
 	if h := b.fi.gatherHop; h != nil {
-		applyOutcome(b.env.Engine(), h.Decide(b.env.Engine().Now()), m,
+		applyOutcome(b.eng, h.Decide(b.eng.Now()), m,
 			func(mm *msg.Message) { b.acceptGather(idx, mm) })
 		return
 	}
@@ -162,7 +162,7 @@ func (b *Level1) wireScatter(idx int, m *msg.Message) {
 		return
 	}
 	if h := b.fi.scatterHop; h != nil {
-		applyOutcome(b.env.Engine(), h.Decide(b.env.Engine().Now()), m,
+		applyOutcome(b.eng, h.Decide(b.eng.Now()), m,
 			func(mm *msg.Message) { b.children[idx].Deliver(mm) })
 		return
 	}
@@ -303,7 +303,7 @@ type faultL2 struct {
 // EnableFaults attaches the injector's up-hop streams and, when retry is
 // set, the level-2 ends of the up/down retry protocol.
 func (l *Level2) EnableFaults(inj *fault.Injector, retry bool) {
-	cfg := l.env.Cfg()
+	cfg := l.cfg
 	fi := &faultL2{upHop: make([]*fault.Hop, len(l.bridges))}
 	for r := range l.bridges {
 		fi.upHop[r] = inj.HopFor(fault.ScopeL1Up, r)
@@ -314,7 +314,7 @@ func (l *Level2) EnableFaults(inj *fault.Injector, retry bool) {
 		fi.downRet = make([]*msg.Retrans, len(l.bridges))
 		for r := range l.bridges {
 			rank := r
-			fi.downRet[r] = msg.NewRetrans(l.env.Engine(), cfg.Retry.Timeout, cfg.Retry.BackoffCap,
+			fi.downRet[r] = msg.NewRetrans(l.eng, cfg.Retry.Timeout, cfg.Retry.BackoffCap,
 				cfg.Retry.BufBytes, func(m *msg.Message) { l.pushDown(rank, m) })
 		}
 	}
@@ -345,7 +345,7 @@ func (l *Level2) NackDown(rank int, seq uint32) {
 func (l *Level2) acceptUp(r int, m *msg.Message) {
 	if l.fi != nil {
 		if h := l.fi.upHop[r]; h != nil {
-			applyOutcome(l.env.Engine(), h.Decide(l.env.Engine().Now()), m,
+			applyOutcome(l.eng, h.Decide(l.eng.Now()), m,
 				func(mm *msg.Message) { l.commitUp(r, mm) })
 			return
 		}

@@ -45,8 +45,12 @@ const stateMsgBytes = 36
 
 // Level1 is a rank-level bridge (Figure 4(a)).
 type Level1 struct {
-	rank     int
-	env      Env             //ndplint:nosnap simulation wiring, rebound at construction
+	rank int
+	env  Env //ndplint:nosnap simulation wiring, rebound at construction
+	// eng/cfg cache env.Engine()/env.Cfg() — both stable for the system's
+	// lifetime — so hot paths skip the interface dispatch.
+	eng      *sim.Engine     //ndplint:nosnap cached wiring, set at construction
+	cfg      *config.Config  //ndplint:nosnap cached wiring, set at construction
 	children []*ndpunit.Unit //ndplint:nosnap topology from config; units snapshot themselves
 	//ndplint:nosnap topology wiring from config (the level-2 bridge, nil in single-rank tests)
 	up upLevel
@@ -80,10 +84,16 @@ type Level1 struct {
 	lastStates   []msg.State
 	prevFinished uint64
 	wth          uint64
+	csBuf        []sched.ChildState //ndplint:nosnap scratch, consumed within loadBalance
 
 	running    bool
 	roundIdx   int
 	lastGather sim.Cycles
+
+	// Pre-bound periodic callbacks (the bus loop and the state sweep):
+	// method-value expressions allocate per use, these are created once.
+	stepFn  func() //ndplint:nosnap wiring, rebound at construction
+	sweepFn func() //ndplint:nosnap wiring, rebound at construction
 
 	st Stats
 
@@ -156,6 +166,8 @@ func NewLevel1(rank int, env Env, children []*ndpunit.Unit, rng *sim.RNG) *Level
 	b := &Level1{
 		rank:         rank,
 		env:          env,
+		eng:          env.Engine(),
+		cfg:          cfg,
 		children:     children,
 		chips:        cfg.Geometry.ChipsPerRank,
 		banksPerChip: cfg.Geometry.BanksPerChip,
@@ -168,6 +180,10 @@ func NewLevel1(rank int, env Env, children []*ndpunit.Unit, rng *sim.RNG) *Level
 		rng:          rng,
 		wth:          sched.Wth(cfg.GXfer, 1, float64(cfg.EffectiveChipDQ())),
 	}
+	// Bind the periodic callbacks once; method-value expressions allocate
+	// a closure at every use, and these reschedule every bus round.
+	b.stepFn = b.step
+	b.sweepFn = b.stateSweep
 	return b
 }
 
@@ -182,32 +198,35 @@ func (b *Level1) Stats() Stats { return b.st }
 
 // Start begins the periodic state sweeps. Call once at simulation start.
 func (b *Level1) Start() {
-	b.env.Engine().After(b.env.Cfg().IState, b.stateSweep)
-	if b.env.Cfg().Trigger != config.TriggerDynamic {
+	b.eng.After(b.cfg.IState, b.sweepFn)
+	if b.cfg.Trigger != config.TriggerDynamic {
 		b.ensureLoop()
 	}
 }
 
 func (b *Level1) localIndex(unit int) int {
-	per := b.env.Cfg().Geometry.UnitsPerRank()
+	per := b.cfg.Geometry.UnitsPerRank()
 	return unit - b.rank*per
 }
 
 func (b *Level1) isLocalUnit(unit int) bool {
-	per := b.env.Cfg().Geometry.UnitsPerRank()
+	per := b.cfg.Geometry.UnitsPerRank()
 	return unit >= 0 && unit/per == b.rank
 }
 
 // --- State sweep and load balancing -------------------------------------
 
 func (b *Level1) stateSweep() {
-	cfg := b.env.Cfg()
+	cfg := b.cfg
 	b.st.StateSweeps++
-	states := make([]msg.State, len(b.children))
+	// Overwrite lastStates in place: its backing array is reused every
+	// sweep, and readers only ever want the latest sweep's values.
+	states := b.lastStates[:0]
 	var finished uint64
-	for i, u := range b.children {
-		states[i] = u.StateSnapshot()
-		finished += states[i].WFinished
+	for _, u := range b.children {
+		s := u.StateSnapshot()
+		states = append(states, s)
+		finished += s.WFinished
 		b.st.BusBytes += stateMsgBytes
 	}
 	b.lastStates = states
@@ -221,11 +240,13 @@ func (b *Level1) stateSweep() {
 		b.loadBalance(states)
 	}
 	b.maybeTrigger()
-	b.env.Engine().After(cfg.IState, b.stateSweep)
+	b.eng.After(cfg.IState, b.sweepFn)
 }
 
+// childStates converts a sweep's states for the scheduler, reusing a scratch
+// buffer; the result is consumed within the same loadBalance call.
 func (b *Level1) childStates(states []msg.State) []sched.ChildState {
-	out := make([]sched.ChildState, 0, len(states))
+	out := b.csBuf[:0]
 	for i, s := range states {
 		if b.fi != nil && b.fi.dead[i] {
 			continue
@@ -233,11 +254,12 @@ func (b *Level1) childStates(states []msg.State) []sched.ChildState {
 		id := b.children[i].ID()
 		out = append(out, sched.ChildState{ID: id, WQueue: s.WQueue, ToArrive: b.toArrive[id]})
 	}
+	b.csBuf = out[:0]
 	return out
 }
 
 func (b *Level1) loadBalance(states []msg.State) {
-	cfg := b.env.Cfg()
+	cfg := b.cfg
 	cs := b.childStates(states)
 	receivers := sched.Receivers(cs, cfg.LoadBalance, b.wth)
 	givers := sched.Givers(cs, cfg.LoadBalance, b.wth)
@@ -255,7 +277,7 @@ func (b *Level1) loadBalance(states []msg.State) {
 	}
 	queueOf := func(g int) uint64 { return b.children[b.localIndex(g)].QueueWorkload() }
 	cmds := sched.Match(b.rng, receivers, givers, cfg.LoadBalance, b.wth, queueOf)
-	now := uint64(b.env.Engine().Now())
+	now := uint64(b.eng.Now())
 	if len(cmds) > 0 {
 		for _, c := range cs {
 			b.mWQueue.Observe(c.WQueue)
@@ -340,7 +362,7 @@ func (b *Level1) maybeTrigger() {
 
 // gatherEligible applies the trigger policy of Section V-C.
 func (b *Level1) gatherEligible() bool {
-	cfg := b.env.Cfg()
+	cfg := b.cfg
 	if b.paused() {
 		return false
 	}
@@ -349,14 +371,13 @@ func (b *Level1) gatherEligible() bool {
 		return true // fixed policies always gather, wasting empty rounds
 	}
 	anyPending := false
-	anyOverG := false
 	anyIdle := false
 	for _, u := range b.children {
 		used := u.MailboxUsed()
 		if used > 0 {
 			anyPending = true
 			if used >= cfg.GXfer {
-				anyOverG = true
+				return true // over-G_xfer pending always triggers
 			}
 		}
 		if u.Idle() {
@@ -366,10 +387,7 @@ func (b *Level1) gatherEligible() bool {
 	if !anyPending {
 		return false
 	}
-	if anyOverG {
-		return true
-	}
-	now := b.env.Engine().Now()
+	now := b.eng.Now()
 	return anyIdle && now-b.lastGather >= cfg.IMin()
 }
 
@@ -378,7 +396,7 @@ func (b *Level1) paused() bool {
 	if b.fi != nil {
 		total += b.fi.extraBackup
 	}
-	return total > b.env.Cfg().Buffers.BackupBufBytes
+	return total > b.cfg.Buffers.BackupBufBytes
 }
 
 func (b *Level1) scatterPending() bool {
@@ -397,7 +415,7 @@ func (b *Level1) ensureLoop() {
 		return
 	}
 	b.running = true
-	b.env.Engine().After(0, b.step)
+	b.eng.After(0, b.stepFn)
 }
 
 func (b *Level1) step() {
@@ -412,25 +430,25 @@ func (b *Level1) step() {
 		total += dur
 	}
 	if total > 0 {
-		if b.env.Cfg().Trigger == config.TriggerFixed2IMin {
+		if b.cfg.Trigger == config.TriggerFixed2IMin {
 			// Half-rate gathering: idle for as long as the round
 			// took (Section V-C's 2×I_min frequency).
 			total *= 2
 		}
-		b.env.Engine().After(total, b.step)
+		b.eng.After(total, b.stepFn)
 		return
 	}
-	if b.env.Cfg().Trigger != config.TriggerDynamic {
+	if b.cfg.Trigger != config.TriggerDynamic {
 		// Fixed policies keep sweeping at their interval even when
 		// idle, wasting gathers (Figure 14(b)).
-		b.env.Engine().After(b.fixedInterval(), b.step)
+		b.eng.After(b.fixedInterval(), b.stepFn)
 		return
 	}
 	if !b.paused() && b.anyActivity() {
 		// The rank still has running or queued work that will produce
 		// messages: keep polling at the I_min pace (Section V-C)
 		// rather than sleeping until the next state sweep.
-		b.env.Engine().After(b.env.Cfg().IMin(), b.step)
+		b.eng.After(b.cfg.IMin(), b.stepFn)
 		return
 	}
 	b.running = false
@@ -448,8 +466,8 @@ func (b *Level1) anyActivity() bool {
 }
 
 func (b *Level1) fixedInterval() sim.Cycles {
-	iv := b.env.Cfg().IMin()
-	if b.env.Cfg().Trigger == config.TriggerFixed2IMin {
+	iv := b.cfg.IMin()
+	if b.cfg.Trigger == config.TriggerFixed2IMin {
 		iv *= 2
 	}
 	return iv
@@ -458,7 +476,7 @@ func (b *Level1) fixedInterval() sim.Cycles {
 // roundDuration is the bus time of one gather/scatter round: G_xfer bytes
 // per chip in parallel over the per-chip DQ.
 func (b *Level1) roundDuration() sim.Cycles {
-	cfg := b.env.Cfg()
+	cfg := b.cfg
 	d := (cfg.GXfer + cfg.EffectiveChipDQ() - 1) / cfg.EffectiveChipDQ()
 	if d == 0 {
 		d = 1
@@ -469,7 +487,7 @@ func (b *Level1) roundDuration() sim.Cycles {
 // gatherRound drains up to G_xfer bytes from one child per chip (the same
 // bank index across chips, Section V-B) and routes the messages.
 func (b *Level1) gatherRound() (sim.Cycles, bool) {
-	cfg := b.env.Cfg()
+	cfg := b.cfg
 	if !b.gatherEligible() {
 		return 0, false
 	}
@@ -505,7 +523,7 @@ func (b *Level1) gatherRound() (sim.Cycles, bool) {
 		}
 	}
 	b.roundIdx++
-	b.lastGather = b.env.Engine().Now()
+	b.lastGather = b.eng.Now()
 	if movedBytes == 0 && !fixed {
 		return 0, false
 	}
@@ -535,7 +553,7 @@ func (b *Level1) pickGatherChild(chip int) int {
 // scatterRound writes up to G_xfer bytes to one child per chip from its
 // scatter buffer.
 func (b *Level1) scatterRound() (sim.Cycles, bool) {
-	cfg := b.env.Cfg()
+	cfg := b.cfg
 	var movedBytes uint64
 	for chip := 0; chip < b.chips; chip++ {
 		idx := b.pickScatterChild(chip)
@@ -628,7 +646,7 @@ func (b *Level1) route(m *msg.Message) {
 	// (Section VI-A step 4).
 	if m.Sched && m.Dst < 0 {
 		blk, _ := m.RouteAddr()
-		blk = dram.BlockAlign(blk, b.env.Cfg().GXfer)
+		blk = dram.BlockAlign(blk, b.cfg.GXfer)
 		// The table is the source of truth: a block whose messages
 		// straddle scheduling rounds keeps its first assignment.
 		if v, hit := b.borrowed.Lookup(blk); hit {
@@ -664,8 +682,8 @@ func (b *Level1) route(m *msg.Message) {
 		// A data message heading home is a return: drop our
 		// borrowed-table entry as it passes.
 		if m.Type == msg.TypeData && m.Dst == home {
-			b.borrowed.Remove(dram.BlockAlign(blk, b.env.Cfg().GXfer))
-		} else if r, ok := b.borrowed.Lookup(dram.BlockAlign(blk, b.env.Cfg().GXfer)); ok {
+			b.borrowed.Remove(dram.BlockAlign(blk, b.cfg.GXfer))
+		} else if r, ok := b.borrowed.Lookup(dram.BlockAlign(blk, b.cfg.GXfer)); ok {
 			// Our own table beats escalation: intra-rank lends are
 			// resolved here.
 			m.Dst = int(r)
@@ -712,7 +730,7 @@ func (b *Level1) insertBorrowed(blk uint64, receiver int) {
 func (b *Level1) AcceptFromUp(m *msg.Message) {
 	if b.fi != nil {
 		if h := b.fi.downHop; h != nil {
-			applyOutcome(b.env.Engine(), h.Decide(b.env.Engine().Now()), m, b.acceptDown)
+			applyOutcome(b.eng, h.Decide(b.eng.Now()), m, b.acceptDown)
 			return
 		}
 	}
@@ -735,7 +753,7 @@ func (b *Level1) acceptDown(m *msg.Message) {
 		// Cross-rank lend arriving at the receiver rank: pick an idle
 		// child for the block.
 		blk, _ := m.RouteAddr()
-		gx := b.env.Cfg().GXfer
+		gx := b.cfg.GXfer
 		blk = dram.BlockAlign(blk, gx)
 		if r, ok := b.borrowed.Lookup(blk); ok {
 			m.Dst = int(r)
@@ -795,7 +813,7 @@ func (b *Level1) enqueueScatter(idx int, m *msg.Message) {
 		}
 		return
 	}
-	cfg := b.env.Cfg()
+	cfg := b.cfg
 	s := m.Size()
 	if b.scatterBytes[idx]+s <= cfg.Buffers.ScatterBufBytes && len(b.backup) == 0 {
 		b.scatter[idx] = append(b.scatter[idx], m)
@@ -821,7 +839,7 @@ func (b *Level1) pushUp(m *msg.Message) {
 // reinjectBackup moves backed-up messages into their target buffers in FIFO
 // order, stopping at the first that still does not fit.
 func (b *Level1) reinjectBackup() {
-	cfg := b.env.Cfg()
+	cfg := b.cfg
 	for len(b.backup) > 0 {
 		m := b.backup[0]
 		s := m.Size()

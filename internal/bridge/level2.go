@@ -18,7 +18,11 @@ import (
 // them down the destination rank's channel. Each transfer occupies the
 // channel link and pays a fixed host software overhead per batch.
 type Level2 struct {
-	env     Env         //ndplint:nosnap simulation wiring, rebound at construction
+	env Env //ndplint:nosnap simulation wiring, rebound at construction
+	// eng/cfg cache env.Engine()/env.Cfg() — both stable for the system's
+	// lifetime — so hot paths skip the interface dispatch.
+	eng     *sim.Engine    //ndplint:nosnap cached wiring, set at construction
+	cfg     *config.Config //ndplint:nosnap cached wiring, set at construction
 	bridges []*Level1   //ndplint:nosnap topology from config; bridges snapshot themselves
 	links   []*sim.Link //ndplint:nosnap channel wiring from config; link busy-state is replayed
 
@@ -36,6 +40,15 @@ type Level2 struct {
 	running []bool // per-channel loop active
 	idle    map[int]bool
 	rng     *sim.RNG
+
+	// Per-channel pre-bound callbacks and reused batch buffers. One batch
+	// is in flight per channel (running[ch]), so the buffers are safe to
+	// recycle between finishBatch and the next step.
+	chRanks   [][]int  //ndplint:nosnap topology constant from config
+	stepFns   []func() //ndplint:nosnap wiring, rebound at construction
+	finishFns []func() //ndplint:nosnap wiring, rebound at construction
+	batchDown [][]l2Delivery //ndplint:nosnap in flight only while the channel link is busy
+	batchUp   [][]l2Delivery //ndplint:nosnap in flight only while the channel link is busy
 
 	st Stats2
 
@@ -87,6 +100,8 @@ func NewLevel2(env Env, bridges []*Level1, rng *sim.RNG) *Level2 {
 	}
 	l2 := &Level2{
 		env:          env,
+		eng:          env.Engine(),
+		cfg:          cfg,
 		bridges:      bridges,
 		links:        links,
 		borrowed:     metadata.NewBorrowed(cfg.Metadata.BridgeBorrowedEntries, cfg.Metadata.BridgeBorrowedWays),
@@ -101,6 +116,17 @@ func NewLevel2(env Env, bridges []*Level1, rng *sim.RNG) *Level2 {
 	for _, b := range bridges {
 		b.SetUp(l2)
 	}
+	l2.chRanks = make([][]int, len(links))
+	l2.stepFns = make([]func(), len(links))
+	l2.finishFns = make([]func(), len(links))
+	l2.batchDown = make([][]l2Delivery, len(links))
+	l2.batchUp = make([][]l2Delivery, len(links))
+	for ch := range links {
+		ch := ch
+		l2.chRanks[ch] = l2.ranksOn(ch)
+		l2.stepFns[ch] = func() { l2.step(ch) }
+		l2.finishFns[ch] = func() { l2.finishBatch(ch) }
+	}
 	return l2
 }
 
@@ -113,8 +139,8 @@ func (l *Level2) Links() []*sim.Link { return l.links }
 // Start begins the periodic cross-rank scheduling sweep, offset from the
 // level-1 sweeps by half a period.
 func (l *Level2) Start() {
-	cfg := l.env.Cfg()
-	l.env.Engine().After(cfg.IState+cfg.IState/2, l.sweep)
+	cfg := l.cfg
+	l.eng.After(cfg.IState+cfg.IState/2, l.sweep)
 }
 
 // RankAllIdle implements upLevel: a level-1 bridge reports a starved rank.
@@ -128,7 +154,7 @@ func (l *Level2) KickChannel(rank int) {
 
 // groupOf maps a rank to its transport loop index.
 func (l *Level2) groupOf(rank int) int {
-	switch l.env.Cfg().Level2 {
+	switch l.cfg.Level2 {
 	case config.L2DIMMLink:
 		return rank
 	case config.L2ABCDIMM:
@@ -138,21 +164,21 @@ func (l *Level2) groupOf(rank int) int {
 }
 
 func (l *Level2) sweep() {
-	cfg := l.env.Cfg()
+	cfg := l.cfg
 	if cfg.Design.LoadBalancing() && len(l.bridges) > 1 {
 		l.crossRankBalance()
 	}
 	for ch := range l.running {
 		l.ensureLoop(ch)
 	}
-	l.env.Engine().After(cfg.IState, l.sweep)
+	l.eng.After(cfg.IState, l.sweep)
 }
 
 // crossRankBalance matches starved ranks with loaded ranks (Section VI-A:
 // the level-2 bridge only assigns budgets and coordinates data among the
 // level-1 bridges).
 func (l *Level2) crossRankBalance() {
-	cfg := l.env.Cfg()
+	cfg := l.cfg
 	states := make([]sched.ChildState, len(l.bridges))
 	for i, b := range l.bridges {
 		states[i] = b.AggregateState()
@@ -180,7 +206,7 @@ func (l *Level2) crossRankBalance() {
 	rankWth := wthMax * uint64(cfg.Geometry.UnitsPerRank()) / 4
 	queueOf := func(g int) uint64 { return states[g].WQueue }
 	cmds := sched.Match(l.rng, receivers, givers, cfg.LoadBalance, rankWth, queueOf)
-	now := uint64(l.env.Engine().Now())
+	now := uint64(l.eng.Now())
 	for _, c := range cmds {
 		l.st.LBRounds++
 		l.cLB.Inc()
@@ -199,17 +225,23 @@ func (l *Level2) newRound() uint32 {
 	return l.nextRound
 }
 
+// l2Delivery is one message of an in-flight channel batch with its rank.
+type l2Delivery struct {
+	rank int
+	m    *msg.Message
+}
+
 func (l *Level2) ensureLoop(ch int) {
 	if ch < 0 || ch >= len(l.running) || l.running[ch] {
 		return
 	}
 	l.running[ch] = true
-	l.env.Engine().After(0, func() { l.step(ch) })
+	l.eng.After(0, l.stepFns[ch])
 }
 
 // ranksOn lists the global rank indices served by one transport loop.
 func (l *Level2) ranksOn(ch int) []int {
-	switch l.env.Cfg().Level2 {
+	switch l.cfg.Level2 {
 	case config.L2DIMMLink:
 		return []int{ch}
 	case config.L2ABCDIMM:
@@ -219,7 +251,7 @@ func (l *Level2) ranksOn(ch int) []int {
 		}
 		return out
 	}
-	per := l.env.Cfg().Geometry.RanksPerChannel
+	per := l.cfg.Geometry.RanksPerChannel
 	out := make([]int, 0, per)
 	for r := ch * per; r < (ch+1)*per; r++ {
 		if r < len(l.bridges) {
@@ -234,17 +266,13 @@ func (l *Level2) ranksOn(ch int) []int {
 // up-mailboxes, as one aggregated transaction — one software overhead plus
 // the channel occupancy of the combined bytes and the per-rank state polls.
 func (l *Level2) step(ch int) {
-	cfg := l.env.Cfg()
-	eng := l.env.Engine()
+	cfg := l.cfg
+	eng := l.eng
 	now := eng.Now()
-	ranks := l.ranksOn(ch)
+	ranks := l.chRanks[ch]
 
-	type delivery struct {
-		rank int
-		m    *msg.Message
-	}
-	var down []delivery
-	var up []delivery
+	down := l.batchDown[ch][:0]
+	up := l.batchUp[ch][:0]
 	var bytes uint64
 	budget := cfg.Timing.HostBatchBytes
 
@@ -270,7 +298,7 @@ func (l *Level2) step(ch int) {
 						break
 					}
 				}
-				down = append(down, delivery{r, m})
+				down = append(down, l2Delivery{r, m})
 			}
 		}
 		// Gather the rank's up-bound messages.
@@ -278,7 +306,7 @@ func (l *Level2) step(ch int) {
 			ms := l.bridges[r].DrainUp(budget - bytes)
 			for _, m := range ms {
 				bytes += m.Size()
-				up = append(up, delivery{r, m})
+				up = append(up, l2Delivery{r, m})
 			}
 		}
 	}
@@ -286,7 +314,7 @@ func (l *Level2) step(ch int) {
 		// Keep polling while upstream work is still in progress.
 		for _, r := range ranks {
 			if l.bridges[r].HasWork() || l.scatterBytes[r] > 0 {
-				eng.After(cfg.IMin(), func() { l.step(ch) })
+				eng.After(cfg.IMin(), l.stepFns[ch])
 				return
 			}
 		}
@@ -310,21 +338,37 @@ func (l *Level2) step(ch int) {
 	}
 	l.st.CrossRankBytes += bytes
 	l.mBatch.Observe(bytes)
-	eng.At(end, func() {
-		for _, d := range down {
-			l.bridges[d.rank].AcceptFromUp(d.m)
-		}
-		for _, d := range up {
-			l.acceptUp(d.rank, d.m)
-		}
-		l.step(ch)
-	})
+	l.batchDown[ch] = down
+	l.batchUp[ch] = up
+	eng.At(end, l.finishFns[ch])
+}
+
+// finishBatch applies one completed channel batch: scattered messages reach
+// their rank bridges, gathered ones are routed, and the sweep continues.
+func (l *Level2) finishBatch(ch int) {
+	down := l.batchDown[ch]
+	up := l.batchUp[ch]
+	for _, d := range down {
+		l.bridges[d.rank].AcceptFromUp(d.m)
+	}
+	for _, d := range up {
+		l.acceptUp(d.rank, d.m)
+	}
+	for i := range down {
+		down[i] = l2Delivery{}
+	}
+	for i := range up {
+		up[i] = l2Delivery{}
+	}
+	l.batchDown[ch] = down[:0]
+	l.batchUp[ch] = up[:0]
+	l.step(ch)
 }
 
 // routeUp routes one gathered cross-rank message to its destination rank's
 // scatter queue.
 func (l *Level2) routeUp(m *msg.Message) {
-	cfg := l.env.Cfg()
+	cfg := l.cfg
 	amap := l.env.Map()
 
 	if m.Sched && m.Dst < 0 {

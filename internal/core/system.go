@@ -15,6 +15,7 @@ import (
 	"ndpbridge/internal/fault"
 	"ndpbridge/internal/host"
 	"ndpbridge/internal/metrics"
+	"ndpbridge/internal/msg"
 	"ndpbridge/internal/ndpunit"
 	"ndpbridge/internal/rowclone"
 	"ndpbridge/internal/sim"
@@ -45,6 +46,7 @@ type System struct {
 	amap *dram.AddrMap
 	reg  *task.Registry
 	rng  *sim.RNG
+	pool *msg.Pool
 
 	units   []*ndpunit.Unit
 	bridges []*bridge.Level1
@@ -124,6 +126,7 @@ func New(cfg config.Config) (*System, error) {
 	s := &System{
 		cfg:         cfg,
 		eng:         sim.NewEngine(),
+		pool:        msg.NewPool(),
 		amap:        dram.NewAddrMap(cfg.Geometry),
 		reg:         task.NewRegistry(),
 		rng:         sim.NewRNG(cfg.Seed),
@@ -311,6 +314,20 @@ func (s *System) SetTaskTrace(fn func(now uint64)) { s.taskTrace = fn }
 
 // AttachTrace installs an activity recorder. Attach before Run.
 func (s *System) AttachTrace(r *trace.Recorder) { s.rec = r }
+
+// MsgPool returns the run's shared message pool (ndpunit.Env).
+func (s *System) MsgPool() *msg.Pool { return s.pool }
+
+// SetCompatEventCore switches the run to the pre-batching event core: a pure
+// min-heap engine (no calendar queue) and one engine event per delivered
+// message (no unit inbox). The event-core equivalence tests run one system
+// each way and require identical results and state digests.
+func (s *System) SetCompatEventCore(on bool) {
+	s.eng.SetHeapOnly(on)
+	for _, u := range s.units {
+		u.SetLegacyDeliver(on)
+	}
+}
 
 // Trace returns the attached recorder (nil when tracing is off).
 func (s *System) Trace() *trace.Recorder { return s.rec }

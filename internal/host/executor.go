@@ -1,6 +1,7 @@
 package host
 
 import (
+	"ndpbridge/internal/config"
 	"ndpbridge/internal/metrics"
 	"ndpbridge/internal/ndpunit"
 	"ndpbridge/internal/sim"
@@ -25,7 +26,11 @@ type ExecEnv interface {
 // stealing in shared memory), a last-level cache, and the two DDR channels
 // for memory traffic.
 type Executor struct {
-	env   ExecEnv
+	env ExecEnv
+	// eng/cfg cache env.Engine()/env.Cfg() — both stable for the system's
+	// lifetime — so hot paths skip the interface dispatch.
+	eng   *sim.Engine    //ndplint:nosnap cached wiring, set at construction
+	cfg   *config.Config //ndplint:nosnap cached wiring, set at construction
 	cores int
 	busy  []bool
 	queue *task.Queue
@@ -35,6 +40,14 @@ type Executor struct {
 	busyCycles []uint64
 	tasks      []uint64
 	spawned    uint64
+
+	// Reused hot-path scratch: per-core execution contexts and pre-bound
+	// completion callbacks (one task in flight per core), plus the shared
+	// kick callback child-task enqueues schedule.
+	ctxs    []hostCtx
+	curTS   []uint32
+	doneFns []func()
+	kickFn  func()
 
 	// rng is per-executor so concurrent simulations never share a stream:
 	// each run draws the same deterministic sequence regardless of what
@@ -74,8 +87,10 @@ func NewExecutor(env ExecEnv) *Executor {
 	for llcBytes*2 <= cfg.Host.LLCBytes {
 		llcBytes *= 2
 	}
-	return &Executor{
+	e := &Executor{
 		env:        env,
+		eng:        env.Engine(),
+		cfg:        cfg,
 		cores:      cfg.Host.Cores,
 		busy:       make([]bool, cfg.Host.Cores),
 		queue:      task.NewQueue(),
@@ -85,6 +100,15 @@ func NewExecutor(env ExecEnv) *Executor {
 		tasks:      make([]uint64, cfg.Host.Cores),
 		rng:        sim.NewRNG(0x415e),
 	}
+	e.ctxs = make([]hostCtx, cfg.Host.Cores)
+	e.curTS = make([]uint32, cfg.Host.Cores)
+	e.doneFns = make([]func(), cfg.Host.Cores)
+	for c := 0; c < cfg.Host.Cores; c++ {
+		c := c
+		e.doneFns[c] = func() { e.taskDone(c) }
+	}
+	e.kickFn = e.Kick
+	return e
 }
 
 // Links exposes the channel links for traffic accounting.
@@ -103,7 +127,7 @@ func (e *Executor) Seed(t task.Task) {
 	if t.ID == 0 {
 		t.ID = e.env.NextTaskID()
 	}
-	t.SpawnedAt = e.env.Engine().Now()
+	t.SpawnedAt = e.eng.Now()
 	e.queue.Push(t)
 }
 
@@ -126,7 +150,7 @@ func (e *Executor) tryStart(c int) {
 		return
 	}
 	e.busy[c] = true
-	eng := e.env.Engine()
+	eng := e.eng
 	now := eng.Now()
 	// A freed core can pop a task slightly before its logical spawn cursor
 	// (the queue is shared); clamp those to zero queueing latency.
@@ -135,9 +159,9 @@ func (e *Executor) tryStart(c int) {
 		lat = now - t.SpawnedAt
 	}
 	e.mTaskLat.Observe(lat)
-	ctx := &hostCtx{e: e, start: now, cursor: now + e.env.Cfg().Host.DispatchCost}
-	e.env.Registry().Handler(t.Func)(ctx, t)
-	end := ctx.cursor
+	e.ctxs[c] = hostCtx{e: e, start: now, cursor: now + e.cfg.Host.DispatchCost}
+	e.env.Registry().Handler(t.Func)(&e.ctxs[c], t)
+	end := e.ctxs[c].cursor
 	if end <= now {
 		end = now + 1
 	}
@@ -145,11 +169,15 @@ func (e *Executor) tryStart(c int) {
 	e.busyCycles[c] += end - now
 	e.tasks[c]++
 	e.env.Trace().Record(trace.KindTask, c, uint64(now), uint64(end), e.env.Registry().Name(t.Func))
-	eng.At(end, func() {
-		e.busy[c] = false
-		e.env.TaskDone(t.TS)
-		e.tryStart(c)
-	})
+	e.curTS[c] = t.TS
+	eng.At(end, e.doneFns[c])
+}
+
+// taskDone is core c's task-completion event body.
+func (e *Executor) taskDone(c int) {
+	e.busy[c] = false
+	e.env.TaskDone(e.curTS[c])
+	e.tryStart(c)
 }
 
 // hostCtx implements task.Ctx for host execution. Computation is scaled by
@@ -168,7 +196,7 @@ func (c *hostCtx) Now() sim.Cycles { return c.start }
 func (c *hostCtx) Rand() *sim.RNG  { return c.e.rng }
 
 func (c *hostCtx) Compute(cycles sim.Cycles) {
-	f := c.e.env.Cfg().Host.IPCFactor
+	f := c.e.cfg.Host.IPCFactor
 	if f <= 0 {
 		f = 1
 	}
@@ -183,7 +211,7 @@ func (c *hostCtx) access(addr, n uint64) {
 	if n == 0 {
 		return
 	}
-	cfg := c.e.env.Cfg()
+	cfg := c.e.cfg
 	hits, misses := c.e.llc.AccessRange(addr, n)
 	c.cursor += sim.Cycles(hits) // LLC hit ≈ one NDP-core cycle
 	if misses > 0 {
@@ -209,8 +237,7 @@ func (c *hostCtx) Enqueue(t task.Task) {
 	t.SpawnedAt = c.cursor
 	c.e.queue.Push(t)
 	// Wake an idle core at the task's earliest start.
-	e := c.e
-	e.env.Engine().At(c.cursor, func() { e.Kick() })
+	c.e.eng.At(c.cursor, c.e.kickFn)
 }
 
 // Spawned returns the number of child tasks created on the host.

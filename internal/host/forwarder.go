@@ -36,13 +36,31 @@ type ForwarderStats struct {
 // hop crosses the bandwidth-limited channels and pays a fixed software
 // overhead per batch (Section II-C).
 type Forwarder struct {
-	env   Env
+	env Env
+	// eng/cfg cache env.Engine()/env.Cfg() — both stable for the system's
+	// lifetime — so hot paths skip the interface dispatch.
+	eng   *sim.Engine    //ndplint:nosnap cached wiring, set at construction
+	cfg   *config.Config //ndplint:nosnap cached wiring, set at construction
 	units []*ndpunit.Unit
 	links []*sim.Link // per channel
 
 	running  []bool
 	cursor   []int // round-robin position per channel
 	inflight int   // messages the host has read but not yet written back
+	chanOf   []int // channel of each unit, precomputed from the address map
+
+	// Per-channel pre-bound callbacks and reused buffers. batch holds the
+	// one in-flight gather batch per channel; pend is the FIFO of reserved
+	// per-message deliveries, drained one engine event at a time under each
+	// entry's reserved (cycle, seq) so execution order is identical to
+	// scheduling every delivery eagerly.
+	sweepFn  func()
+	stepFns  []func()
+	batchFns []func()
+	pendFns  []func()
+	batch    [][]*msg.Message
+	pend     [][]fwdPend
+	pendHead []int
 
 	st ForwarderStats
 
@@ -64,13 +82,42 @@ func NewForwarder(env Env, units []*ndpunit.Unit) *Forwarder {
 	for i := range links {
 		links[i] = sim.NewLink("host-channel", cfg.Timing.ChannelBytesPerCycle, 4)
 	}
-	return &Forwarder{
+	f := &Forwarder{
 		env:     env,
+		eng:     env.Engine(),
+		cfg:     cfg,
 		units:   units,
 		links:   links,
 		running: make([]bool, cfg.Geometry.Channels),
 		cursor:  make([]int, cfg.Geometry.Channels),
 	}
+	f.chanOf = make([]int, len(units))
+	for i := range units {
+		f.chanOf[i] = env.Map().ChannelOfRank(env.Map().GlobalRank(i))
+	}
+	n := cfg.Geometry.Channels
+	f.sweepFn = f.sweep
+	f.stepFns = make([]func(), n)
+	f.batchFns = make([]func(), n)
+	f.pendFns = make([]func(), n)
+	f.batch = make([][]*msg.Message, n)
+	f.pend = make([][]fwdPend, n)
+	f.pendHead = make([]int, n)
+	for ch := 0; ch < n; ch++ {
+		ch := ch
+		f.stepFns[ch] = func() { f.step(ch) }
+		f.batchFns[ch] = func() { f.finishBatch(ch) }
+		f.pendFns[ch] = func() { f.deliverNext(ch) }
+	}
+	return f
+}
+
+// fwdPend is one reserved channel delivery awaiting its link completion.
+type fwdPend struct {
+	at  sim.Cycles
+	seq uint64
+	u   *ndpunit.Unit
+	m   *msg.Message
 }
 
 // Stats returns forwarding counters.
@@ -81,14 +128,14 @@ func (f *Forwarder) Links() []*sim.Link { return f.links }
 
 // Start begins the periodic mailbox polling.
 func (f *Forwarder) Start() {
-	f.env.Engine().After(f.env.Cfg().IState, f.sweep)
+	f.eng.After(f.cfg.IState, f.sweepFn)
 }
 
 func (f *Forwarder) sweep() {
 	for ch := range f.running {
 		f.ensureLoop(ch)
 	}
-	f.env.Engine().After(f.env.Cfg().IState, f.sweep)
+	f.eng.After(f.cfg.IState, f.sweepFn)
 }
 
 func (f *Forwarder) ensureLoop(ch int) {
@@ -99,13 +146,11 @@ func (f *Forwarder) ensureLoop(ch int) {
 		return
 	}
 	f.running[ch] = true
-	f.env.Engine().After(0, func() { f.step(ch) })
+	f.eng.After(0, f.stepFns[ch])
 }
 
-// unitsOn reports whether unit u sits on channel ch.
-func (f *Forwarder) channelOf(u int) int {
-	return f.env.Map().ChannelOfRank(f.env.Map().GlobalRank(u))
-}
+// channelOf returns the channel unit u sits on.
+func (f *Forwarder) channelOf(u int) int { return f.chanOf[u] }
 
 // nextUnit finds the next unit on ch with pending mailbox bytes.
 func (f *Forwarder) nextUnit(ch int) int {
@@ -134,11 +179,11 @@ const stateProbeBytes = 8
 // the channel, drains the non-empty mailboxes, and forwards the messages as
 // one software batch.
 func (f *Forwarder) step(ch int) {
-	cfg := f.env.Cfg()
-	eng := f.env.Engine()
+	cfg := f.cfg
+	eng := f.eng
 	now := eng.Now()
 
-	var ms []*msg.Message
+	ms := f.batch[ch][:0]
 	var bytes uint64
 	polled := 0
 	for i, u := range f.units {
@@ -160,7 +205,7 @@ func (f *Forwarder) step(ch int) {
 			// Idle polls still burn channel bandwidth.
 			f.links[ch].Reserve(now, uint64(polled)*stateProbeBytes)
 			f.st.Bytes += uint64(polled) * stateProbeBytes
-			eng.After(cfg.IMin(), func() { f.step(ch) })
+			eng.After(cfg.IMin(), f.stepFns[ch])
 			return
 		}
 		f.running[ch] = false
@@ -177,12 +222,23 @@ func (f *Forwarder) step(ch int) {
 	// Actor -1: host batches are system-level, not tied to one unit.
 	f.env.Trace().Record(trace.KindGather, -1, now, end, "host-forward")
 	f.inflight += len(ms)
-	eng.At(end, func() {
-		for _, m := range ms {
-			f.forward(m)
-		}
-		f.step(ch)
-	})
+	f.batch[ch] = ms
+	eng.At(end, f.batchFns[ch])
+}
+
+// finishBatch forwards one completed gather batch and continues the sweep.
+//
+//ndplint:hotpath
+func (f *Forwarder) finishBatch(ch int) {
+	ms := f.batch[ch]
+	for _, m := range ms {
+		f.forward(m)
+	}
+	for i := range ms {
+		ms[i] = nil
+	}
+	f.batch[ch] = ms[:0]
+	f.step(ch)
 }
 
 // anyBacklog reports whether any unit on ch still has work.
@@ -198,7 +254,7 @@ func (f *Forwarder) anyBacklog(ch int) bool {
 // forward writes one message to its destination unit over that unit's
 // channel.
 func (f *Forwarder) forward(m *msg.Message) {
-	eng := f.env.Engine()
+	eng := f.eng
 	dst := m.Dst
 	if dst < 0 || dst >= len(f.units) || f.units[dst].Dead() {
 		// No load balancing in designs C/R: scheduled-out messages
@@ -211,12 +267,44 @@ func (f *Forwarder) forward(m *msg.Message) {
 			return
 		}
 	}
-	ch := f.channelOf(dst)
+	ch := f.chanOf[dst]
 	end := f.links[ch].Reserve(eng.Now(), m.Size())
 	f.st.Bytes += m.Size()
 	u := f.units[dst]
-	eng.At(end, func() {
-		f.inflight--
-		u.Deliver(m)
-	})
+	// Reserve the engine sequence now but keep one event in flight per
+	// channel: link reservations complete in FIFO order, and scheduling
+	// the successor under its reserved (cycle, seq) reproduces the exact
+	// execution order of eagerly scheduling every delivery.
+	seq := eng.ReserveSeq()
+	f.pend[ch] = append(f.pend[ch], fwdPend{at: end, seq: seq, u: u, m: m})
+	if len(f.pend[ch])-f.pendHead[ch] == 1 {
+		eng.AtSeq(end, seq, f.pendFns[ch])
+	}
+}
+
+// deliverNext commits the head pending delivery of one channel and arms the
+// next one.
+//
+//ndplint:hotpath
+func (f *Forwarder) deliverNext(ch int) {
+	p := f.pend[ch][f.pendHead[ch]]
+	f.pend[ch][f.pendHead[ch]] = fwdPend{}
+	f.pendHead[ch]++
+	f.inflight--
+	p.u.Deliver(p.m)
+	if f.pendHead[ch] < len(f.pend[ch]) {
+		n := f.pend[ch][f.pendHead[ch]]
+		f.eng.AtSeq(n.at, n.seq, f.pendFns[ch])
+		if f.pendHead[ch] > 64 && f.pendHead[ch]*2 >= len(f.pend[ch]) {
+			k := copy(f.pend[ch], f.pend[ch][f.pendHead[ch]:])
+			for i := k; i < len(f.pend[ch]); i++ {
+				f.pend[ch][i] = fwdPend{}
+			}
+			f.pend[ch] = f.pend[ch][:k]
+			f.pendHead[ch] = 0
+		}
+		return
+	}
+	f.pend[ch] = f.pend[ch][:0]
+	f.pendHead[ch] = 0
 }

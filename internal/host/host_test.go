@@ -49,6 +49,7 @@ func (e *testEnv) TaskDone(uint32)          { e.done++ }
 func (e *testEnv) MsgStaged()               { e.inflight++ }
 func (e *testEnv) MsgDelivered()            { e.inflight-- }
 func (e *testEnv) Trace() *trace.Recorder   { return nil }
+func (e *testEnv) MsgPool() *msg.Pool        { return nil }
 
 func TestForwarderDeliversAcrossChannels(t *testing.T) {
 	env := newTestEnv(config.DesignC)

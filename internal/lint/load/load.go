@@ -27,6 +27,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"sort"
+	"strings"
 	"strconv"
 )
 
@@ -123,6 +124,7 @@ func Packages(dir string, patterns ...string) ([]*Package, error) {
 		byPath[p.ImportPath] = p
 		if p.Export != "" {
 			exports[p.ImportPath] = p.Export
+			registerBaseExport(exports, p)
 		}
 	}
 
@@ -199,10 +201,29 @@ func Dir(dir string) (*Package, error) {
 		for _, p := range listed {
 			if p.Export != "" {
 				exports[p.ImportPath] = p.Export
+				registerBaseExport(exports, p)
 			}
 		}
 	}
 	return checkParsed(filepath.Base(dir), dir, fset, syntax, exports)
+}
+
+// registerBaseExport also indexes a build-variant package under its plain
+// import path. When a main package carries a PGO profile (default.pgo), `go
+// list -export -deps` reports its dependencies as variants like
+// "runtime/pprof [module/cmd/tool]"; if that is the only build of the
+// package in the listing, a source import of "runtime/pprof" would
+// otherwise find no export data. Any variant's export data type-checks
+// identically (PGO changes optimization, not API), so first-wins is fine.
+func registerBaseExport(exports map[string]string, p *listPkg) {
+	i := strings.IndexByte(p.ImportPath, ' ')
+	if i <= 0 {
+		return
+	}
+	base := p.ImportPath[:i]
+	if _, ok := exports[base]; !ok {
+		exports[base] = p.Export
+	}
 }
 
 // check parses files and type-checks them as one package.

@@ -25,6 +25,12 @@ type Mailbox struct {
 	dequeued uint64
 	stalls   uint64
 	peakUsed uint64
+
+	// drainBuf backs DrainUpTo's return slice so a mailbox drained every
+	// bus round does not allocate. Valid only until the next DrainUpTo on
+	// the same mailbox; every caller hands the batch off (or finishes
+	// iterating it) before draining this mailbox again.
+	drainBuf []*msg.Message //ndplint:nosnap scratch; contents owned by caller
 }
 
 // New returns an empty mailbox of the given byte capacity.
@@ -134,8 +140,13 @@ func (mb *Mailbox) Dequeue() (*msg.Message, bool) {
 // mailbox is non-empty: the transfer granularity is a floor on bus
 // occupancy, not a cap on message size (and messages are ≤64 B ≤ G_xfer
 // anyway). This models one GATHER of G_xfer bytes.
+//
+// The returned slice is only valid until the next DrainUpTo call on this
+// mailbox.
+//
+//ndplint:hotpath
 func (mb *Mailbox) DrainUpTo(budget uint64) []*msg.Message {
-	var out []*msg.Message
+	out := mb.drainBuf[:0]
 	var used uint64
 	for {
 		m, ok := mb.Peek()
@@ -151,6 +162,10 @@ func (mb *Mailbox) DrainUpTo(budget uint64) []*msg.Message {
 		if used >= budget {
 			break
 		}
+	}
+	mb.drainBuf = out
+	if len(out) == 0 {
+		return nil
 	}
 	return out
 }

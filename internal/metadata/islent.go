@@ -12,13 +12,18 @@ import (
 )
 
 // IsLent is a bitmap with one bit per G_xfer-sized block of the local bank,
-// marking blocks currently lent to another unit.
+// marking blocks currently lent to another unit. The word storage appears on
+// the first lend: most units in a run never lend, and the per-unit bitmaps
+// added up across constructed systems.
 type IsLent struct {
-	bits       []uint64
+	bits       []uint64 // nil until the first lend
 	blockShift uint
 	blocks     uint64
 	lentCount  int
 }
+
+// words returns the bitmap length in 64-bit words, allocated or not.
+func (l *IsLent) words() int { return int((l.blocks + 63) / 64) }
 
 // NewIsLent covers bankBytes of local DRAM at blockBytes granularity.
 // blockBytes must be a power of two.
@@ -28,7 +33,6 @@ func NewIsLent(bankBytes, blockBytes uint64) *IsLent {
 	}
 	blocks := (bankBytes + blockBytes - 1) / blockBytes
 	return &IsLent{
-		bits:       make([]uint64, (blocks+63)/64),
 		blockShift: uint(bits.TrailingZeros64(blockBytes)),
 		blocks:     blocks,
 	}
@@ -43,8 +47,13 @@ func (l *IsLent) index(offset uint64) (word int, mask uint64) {
 }
 
 // Lent reports whether the block containing bank offset is lent out.
+//
+//ndplint:hotpath
 func (l *IsLent) Lent(offset uint64) bool {
 	w, m := l.index(offset)
+	if l.bits == nil {
+		return false
+	}
 	return l.bits[w]&m != 0
 }
 
@@ -52,6 +61,12 @@ func (l *IsLent) Lent(offset uint64) bool {
 // It reports whether the bit changed.
 func (l *IsLent) SetLent(offset uint64, lent bool) bool {
 	w, m := l.index(offset)
+	if l.bits == nil {
+		if !lent {
+			return false
+		}
+		l.bits = make([]uint64, l.words())
+	}
 	was := l.bits[w]&m != 0
 	if was == lent {
 		return false

@@ -19,7 +19,7 @@ import (
 func (l *IsLent) SnapshotTo(e *checkpoint.Enc) {
 	e.U64(l.blocks)
 	e.U64(uint64(l.blockShift))
-	e.U32(uint32(len(l.bits)))
+	e.U32(uint32(l.words()))
 	if l.lentCount == 0 {
 		// SetLent keeps lentCount equal to the bitmap popcount, so an
 		// empty count means every word is zero — skip the scans.
@@ -49,19 +49,22 @@ func (l *IsLent) RestoreFrom(d *checkpoint.Dec) error {
 	blocks := d.U64()
 	shift := uint(d.U64())
 	n := d.U32()
-	if d.Err() == nil && (blocks != l.blocks || shift != l.blockShift || int(n) != len(l.bits)) {
+	if d.Err() == nil && (blocks != l.blocks || shift != l.blockShift || int(n) != l.words()) {
 		return fmt.Errorf("metadata: isLent snapshot shape (%d blocks, shift %d, %d words) does not match (%d, %d, %d)",
-			blocks, shift, n, l.blocks, l.blockShift, len(l.bits))
+			blocks, shift, n, l.blocks, l.blockShift, l.words())
 	}
 	nz := d.U32()
 	if d.Err() != nil {
 		return d.Err()
 	}
-	if int(nz) > len(l.bits) {
-		return fmt.Errorf("metadata: isLent snapshot has %d nonzero words for a %d-word bitmap", nz, len(l.bits))
+	if int(nz) > l.words() {
+		return fmt.Errorf("metadata: isLent snapshot has %d nonzero words for a %d-word bitmap", nz, l.words())
 	}
 	for i := range l.bits {
 		l.bits[i] = 0
+	}
+	if nz > 0 && l.bits == nil {
+		l.bits = make([]uint64, l.words())
 	}
 	for k := uint32(0); k < nz; k++ {
 		idx := d.U32()
@@ -93,14 +96,11 @@ func (b *Borrowed) SnapshotTo(e *checkpoint.Enc) {
 	if b.used == 0 {
 		return
 	}
-	for s, n := range b.setUsed {
-		if n == 0 {
-			continue
-		}
-		set := b.table[s*b.ways : (s+1)*b.ways]
+	for _, s := range b.sortedSets() {
+		set := b.table[s]
 		for i := range set {
 			if set[i].valid {
-				e.U32(uint32(s*b.ways + i))
+				e.U32(uint32(int(s)*b.ways + i))
 				e.U64(set[i].key)
 				e.U64(set[i].value)
 				e.U64(set[i].lru)
@@ -123,30 +123,30 @@ func (b *Borrowed) RestoreFrom(d *checkpoint.Dec) error {
 	if d.Err() != nil {
 		return d.Err()
 	}
-	if n > len(b.table) {
-		return fmt.Errorf("metadata: borrowed snapshot has %d entries for a %d-slot table", n, len(b.table))
+	if n > b.sets*b.ways {
+		return fmt.Errorf("metadata: borrowed snapshot has %d entries for a %d-slot table", n, b.sets*b.ways)
 	}
-	for i := range b.table {
-		b.table[i] = bentry{}
-	}
-	for i := range b.setUsed {
-		b.setUsed[i] = 0
+	for _, set := range b.table {
+		clear(set)
 	}
 	for k := 0; k < n; k++ {
 		slot := int(d.U32())
 		if d.Err() != nil {
 			return d.Err()
 		}
-		if slot >= len(b.table) || b.table[slot].valid {
-			return fmt.Errorf("metadata: borrowed snapshot entry %d names bad or duplicate slot %d", k, slot)
+		if slot >= b.sets*b.ways {
+			return fmt.Errorf("metadata: borrowed snapshot entry %d names bad slot %d", k, slot)
 		}
-		b.table[slot] = bentry{
+		ent := b.slotAt(slot/b.ways, slot%b.ways)
+		if ent.valid {
+			return fmt.Errorf("metadata: borrowed snapshot entry %d names duplicate slot %d", k, slot)
+		}
+		*ent = bentry{
 			valid: true,
 			key:   d.U64(),
 			value: d.U64(),
 			lru:   d.U64(),
 		}
-		b.setUsed[slot/b.ways]++
 	}
 	b.used = n
 	return d.Err()

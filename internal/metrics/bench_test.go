@@ -55,8 +55,9 @@ func BenchmarkEngineDispatchMetrics(b *testing.B) {
 // instruments performs zero heap allocations per event.
 func TestDispatchNilRegistryZeroAlloc(t *testing.T) {
 	e := dispatchLoop(nil)
-	// Warm up so the heap's backing array reaches its high-water mark.
-	if err := e.Run(4096); err != nil && err != sim.ErrLimit {
+	// Warm up past one full calendar-queue revolution so every wheel
+	// bucket's storage reaches its high-water mark (16 chains per cycle).
+	if err := e.Run(16 * (sim.WheelSize + 64)); err != nil && err != sim.ErrLimit {
 		t.Fatal(err)
 	}
 	allocs := testing.AllocsPerRun(100, func() {
@@ -73,7 +74,7 @@ func TestDispatchNilRegistryZeroAlloc(t *testing.T) {
 // allocation-free once created — Observe/Inc touch only pre-allocated state.
 func TestDispatchLiveRegistrySteadyStateZeroAlloc(t *testing.T) {
 	e := dispatchLoop(NewRegistry())
-	if err := e.Run(4096); err != nil && err != sim.ErrLimit {
+	if err := e.Run(16 * (sim.WheelSize + 64)); err != nil && err != sim.ErrLimit {
 		t.Fatal(err)
 	}
 	allocs := testing.AllocsPerRun(100, func() {

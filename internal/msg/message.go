@@ -123,6 +123,15 @@ type Message struct {
 
 	// State is set for TypeState.
 	State *State
+
+	// Pool bookkeeping (see pool.go): the slot index and generation of a
+	// pooled message, whether it is pool-owned at all, and whether it is
+	// currently on the free list. Simulator memory-management metadata —
+	// never part of the wire format, the checksum, or snapshots.
+	pidx   uint32
+	pgen   uint32
+	pooled bool
+	freed  bool
 }
 
 // Size returns the message's on-wire size in bytes, capped at MaxSize.
@@ -279,9 +288,11 @@ func (m *Message) Verify() bool { return m.Sum == Checksum(m) }
 // Clone returns an independent shallow copy for retransmission. The State
 // payload pointer is shared: retry-layer receivers either accept exactly one
 // copy (dedup) or discard, and accepted state messages are consumed
-// read-only, so aliasing is safe.
+// read-only, so aliasing is safe. The copy does not inherit the original's
+// pool identity — it is a plain allocation the pool will never recycle.
 func (m *Message) Clone() *Message {
 	c := *m
+	c.pidx, c.pgen, c.pooled, c.freed = 0, 0, false, false
 	return &c
 }
 

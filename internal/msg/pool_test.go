@@ -1,0 +1,72 @@
+package msg
+
+import "testing"
+
+func TestPoolReusesSlots(t *testing.T) {
+	p := NewPool()
+	a := p.Get()
+	a.Type = TypeTask
+	a.Src = 7
+	idx := a.pidx
+	p.Put(a)
+	b := p.Get()
+	if b.pidx != idx {
+		t.Fatalf("free list did not reuse slot: got %d, want %d", b.pidx, idx)
+	}
+	if b.Type != 0 || b.Src != 0 {
+		t.Fatalf("recycled message not zeroed: %+v", b)
+	}
+	if n := p.InUse(); n != 1 {
+		t.Fatalf("InUse = %d, want 1", n)
+	}
+}
+
+func TestPoolHandleCatchesUseAfterFree(t *testing.T) {
+	p := NewPool()
+	m := p.Get()
+	h, ok := m.Handle()
+	if !ok {
+		t.Fatal("pooled message did not produce a handle")
+	}
+	if !p.Live(h) {
+		t.Fatal("fresh handle reported dead")
+	}
+	p.Put(m)
+	if p.Live(h) {
+		t.Fatal("handle still live after free")
+	}
+	// Recycle the slot into a new generation: the old handle must stay
+	// dead, the new one live.
+	m2 := p.Get()
+	if m2.pidx != h.idx {
+		t.Fatalf("expected slot %d to recycle, got %d", h.idx, m2.pidx)
+	}
+	if p.Live(h) {
+		t.Fatal("stale handle resolves against recycled slot (ABA)")
+	}
+	h2, _ := m2.Handle()
+	if !p.Live(h2) {
+		t.Fatal("new-generation handle reported dead")
+	}
+}
+
+func TestPoolDoubleFreePanics(t *testing.T) {
+	p := NewPool()
+	m := p.Get()
+	p.Put(m)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double free did not panic")
+		}
+	}()
+	p.Put(m)
+}
+
+func TestPoolIgnoresForeignMessages(t *testing.T) {
+	p := NewPool()
+	m := &Message{Type: TypeTask}
+	p.Put(m) // must be a no-op, not a panic
+	if _, ok := m.Handle(); ok {
+		t.Fatal("plain allocation produced a pool handle")
+	}
+}

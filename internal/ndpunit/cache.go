@@ -9,17 +9,32 @@ type Cache struct {
 	sets     int
 	ways     int
 	lineBits uint
-	lines    []cline
-	clock    uint64
+	// groups holds the line arrays, allocated lazily in runs of setGroup
+	// sets: a system constructs one cache per unit, and most units touch
+	// only a small slice of the set index space (or nothing at all), so
+	// eager full-size line arrays dominated allocation profiles.
+	groups [][]cline
+	clock  uint64
 
 	hits, misses uint64
 }
 
+// setGroup is the lazy-allocation granularity in sets. 64 sets × 4 ways ×
+// 16 B = 4 kB per group for the L1 shape — small enough that sparse units
+// stay cheap, large enough that a fully-touched cache costs only 16 group
+// allocations.
+const setGroup = 64
+
+// cline packs a line's presence and tag into one word: tagP1 is the line tag
+// plus one, so the zero value means invalid and a freshly zeroed line array
+// is an empty cache. 16 bytes instead of 24 matters: the line arrays are the
+// largest per-unit allocation in a system.
 type cline struct {
-	valid bool
-	tag   uint64
+	tagP1 uint64
 	lru   uint64
 }
+
+func (w *cline) valid() bool { return w.tagP1 != 0 }
 
 // NewCache builds a cache of capacityBytes with the given associativity and
 // line size. Line size and the derived set count must be powers of two.
@@ -42,7 +57,7 @@ func NewCache(capacityBytes, ways, lineBytes int) *Cache {
 	for 1<<lb != lineBytes {
 		lb++
 	}
-	return &Cache{sets: sets, ways: ways, lineBits: lb, lines: make([]cline, totalLines)}
+	return &Cache{sets: sets, ways: ways, lineBits: lb}
 }
 
 // LineBytes returns the line size.
@@ -50,24 +65,39 @@ func (c *Cache) LineBytes() uint64 { return 1 << c.lineBits }
 
 // Touch accesses the line containing addr, returning true on a hit. On a
 // miss the line is filled (LRU victim replaced).
+//
+//ndplint:hotpath
 func (c *Cache) Touch(addr uint64) bool {
 	line := addr >> c.lineBits
 	set := int(line) & (c.sets - 1)
-	ways := c.lines[set*c.ways : (set+1)*c.ways]
+	if c.groups == nil {
+		c.groups = make([][]cline, (c.sets+setGroup-1)/setGroup) //ndplint:alloc once, on first access
+	}
+	g := set / setGroup
+	grp := c.groups[g]
+	if grp == nil {
+		n := setGroup
+		if c.sets < n {
+			n = c.sets
+		}
+		grp = make([]cline, n*c.ways) //ndplint:alloc once per touched set group
+		c.groups[g] = grp
+	}
+	ways := grp[(set%setGroup)*c.ways:][:c.ways]
 	c.clock++
 	var victim *cline
 	for i := range ways {
 		w := &ways[i]
-		if w.valid && w.tag == line {
+		if w.tagP1 == line+1 {
 			w.lru = c.clock
 			c.hits++
 			return true
 		}
-		if victim == nil || (!w.valid && victim.valid) || (w.valid == victim.valid && w.lru < victim.lru) {
+		if victim == nil || (!w.valid() && victim.valid()) || (w.valid() == victim.valid() && w.lru < victim.lru) {
 			victim = w
 		}
 	}
-	*victim = cline{valid: true, tag: line, lru: c.clock}
+	*victim = cline{tagP1: line + 1, lru: c.clock}
 	c.misses++
 	return false
 }
@@ -97,11 +127,18 @@ func (c *Cache) AccessRange(addr, n uint64) (hits, misses int) {
 // Invalidate drops the line containing addr if present (used when a borrowed
 // block is returned home).
 func (c *Cache) Invalidate(addr uint64) {
+	if c.groups == nil {
+		return
+	}
 	line := addr >> c.lineBits
 	set := int(line) & (c.sets - 1)
-	ways := c.lines[set*c.ways : (set+1)*c.ways]
+	grp := c.groups[set/setGroup]
+	if grp == nil {
+		return
+	}
+	ways := grp[(set%setGroup)*c.ways:][:c.ways]
 	for i := range ways {
-		if ways[i].valid && ways[i].tag == line {
+		if ways[i].tagP1 == line+1 {
 			ways[i] = cline{}
 			return
 		}

@@ -39,7 +39,7 @@ func (c *execCtx) access(addr, n uint64, write bool) {
 	c.cursor += sim.Cycles(hits) // 1 cycle per hit line
 	if misses > 0 {
 		lineBytes := c.u.cache.LineBytes()
-		epj := c.u.env.Cfg().Energy.DRAMAccessPJPer64b
+		epj := c.u.cfg.Energy.DRAMAccessPJPer64b
 		c.cursor = c.u.bank.Access(c.cursor, off, uint64(misses)*lineBytes, write, dram.AccessLocal, epj)
 	}
 }

@@ -67,8 +67,8 @@ func (u *Unit) EnableFaults() {
 func (u *Unit) EnableRetry(parent Parent) {
 	u.EnableFaults()
 	u.ft.parent = parent
-	cfg := u.env.Cfg()
-	u.ft.gatherRet = msg.NewRetrans(u.env.Engine(), cfg.Retry.Timeout, cfg.Retry.BackoffCap,
+	cfg := u.cfg
+	u.ft.gatherRet = msg.NewRetrans(u.eng, cfg.Retry.Timeout, cfg.Retry.BackoffCap,
 		cfg.Retry.BufBytes, func(m *msg.Message) { parent.GatherIn(u.id, m) })
 }
 
@@ -156,7 +156,7 @@ func (u *Unit) Extinguish() Remains {
 // copy must complete exactly once. Tasks whose block is lent out re-enter
 // the fabric as fresh messages.
 func (u *Unit) AdoptTask(t task.Task) {
-	t.SpawnedAt = u.env.Engine().Now()
+	t.SpawnedAt = u.eng.Now()
 	if _, local := u.localOffset(t.Addr); !local {
 		u.emit(u.taskMessage(t, u.env.Map().Home(t.Addr) == u.id))
 		u.flushStaged()

@@ -92,17 +92,24 @@ func (u *Unit) SnapshotTo(e *checkpoint.Enc) {
 // explicitly. The common case costs two integers instead of thousands of
 // offsets; any pop/push history is still captured exactly because order
 // (which steers future allocations) is preserved.
+// The stack is stored in two parts (virtual pristine prefix + explicit freed
+// tail; see the Unit field comment), so the logical stack is reconstituted on
+// the fly. The pristine prefix matches the construction layout by definition;
+// the scan continues into the freed tail because a freed slot can land on a
+// position whose layout value it happens to equal, and the encoding must stay
+// byte-identical to the former eager-stack encoder.
 func (u *Unit) snapshotSlots(e *checkpoint.Enc) {
-	cfg := u.env.Cfg()
-	stride := cfg.GXfer
-	total := cfg.Metadata.BorrowedRegionBytes / stride
-	e.U32(uint32(len(u.slots)))
-	p := 0
-	for p < len(u.slots) && u.slots[p] == u.borrowedOff+(total-1-uint64(p))*stride {
+	stride := u.gxfer()
+	total := u.slotTotal
+	pristine := int(total - u.slotNext)
+	logical := pristine + len(u.slots)
+	e.U32(uint32(logical))
+	p := pristine
+	for p < logical && u.slots[p-pristine] == u.borrowedOff+(total-1-uint64(p))*stride {
 		p++
 	}
 	e.U32(uint32(p))
-	for _, s := range u.slots[p:] {
+	for _, s := range u.slots[p-pristine:] {
 		e.U64(s)
 	}
 }
@@ -111,7 +118,10 @@ func (u *Unit) snapshotSlots(e *checkpoint.Enc) {
 // Tags and LRU stamps go as varints: the line array is the single largest
 // blob in a unit snapshot (every cache is warm in steady state), and both
 // fields are small-valued — tags are bank offsets shifted down by lineBits,
-// stamps are bounded by the access clock.
+// stamps are bounded by the access clock. The line array is lazily
+// materialized, so its length (zero for a never-accessed cache) is encoded
+// explicitly; materialization is a deterministic function of execution, so
+// replayed runs still digest identically.
 func (c *Cache) snapshotTo(e *checkpoint.Enc) {
 	e.U32(uint32(c.sets))
 	e.U32(uint32(c.ways))
@@ -119,10 +129,37 @@ func (c *Cache) snapshotTo(e *checkpoint.Enc) {
 	e.U64(c.clock)
 	e.U64(c.hits)
 	e.U64(c.misses)
-	for i := range c.lines {
-		e.Bool(c.lines[i].valid)
-		e.UVarint(c.lines[i].tag)
-		e.UVarint(c.lines[i].lru)
+	touched := false
+	for _, g := range c.groups {
+		if g != nil {
+			touched = true
+			break
+		}
+	}
+	if !touched {
+		e.U32(0)
+		return
+	}
+	// Encode the logical set×way array. Unmaterialized groups are all
+	// invalid lines, so emitting zero lines for them keeps the stream
+	// byte-identical to the former whole-array encoder.
+	e.U32(uint32(c.sets * c.ways))
+	var zero cline
+	for set := 0; set < c.sets; set++ {
+		grp := c.groups[set/setGroup]
+		for w := 0; w < c.ways; w++ {
+			l := &zero
+			if grp != nil {
+				l = &grp[(set%setGroup)*c.ways+w]
+			}
+			e.Bool(l.valid())
+			tag := l.tagP1
+			if tag != 0 {
+				tag--
+			}
+			e.UVarint(tag)
+			e.UVarint(l.lru)
+		}
 	}
 }
 

@@ -51,15 +51,38 @@ type Env interface {
 	NextTaskID() uint64
 	// Trace returns the activity recorder, or nil when tracing is off.
 	Trace() *trace.Recorder
+	// MsgPool returns the run's message pool (nil for a private pool).
+	MsgPool() *msg.Pool
 }
 
 // taskRecordBytes is the DRAM footprint of one task queue record.
 const taskRecordBytes = 32
 
+// inboxEntry is one delivered-but-uncommitted message in a unit's inbox: the
+// bank commit cycle, the engine sequence number reserved at Deliver time, and
+// the message itself.
+type inboxEntry struct {
+	at  sim.Cycles
+	seq uint64
+	m   *msg.Message
+}
+
+// schedSel is one block selected by CommandSchedule together with its tasks
+// and their summed workload.
+type schedSel struct {
+	blk   uint64
+	tasks []task.Task
+	w     uint64
+}
+
 // Unit is one NDP unit.
 type Unit struct {
 	id  int
-	env Env
+	env Env //ndplint:nosnap simulation wiring, rebound at construction
+	// eng/cfg cache env.Engine()/env.Cfg() — both stable for the system's
+	// lifetime — so hot paths skip the interface dispatch.
+	eng *sim.Engine    //ndplint:nosnap cached wiring, set at construction
+	cfg *config.Config //ndplint:nosnap cached wiring, set at construction
 
 	bank  *dram.Bank
 	cache *Cache
@@ -72,7 +95,15 @@ type Unit struct {
 
 	isLent   *metadata.IsLent
 	borrowed *metadata.Borrowed
-	slots    []uint64 // free borrowed-region slot offsets (stack)
+	// The free borrowed-region slot stack is kept in two parts so a unit
+	// that never borrows allocates nothing: a virtual pristine prefix of
+	// never-used slots (slotNext counts how many have been handed out;
+	// offsets ascend from borrowedOff) and an explicit stack of freed
+	// slots sitting logically on top of it. Pop order is identical to the
+	// former eager stack: freed slots LIFO first, then pristine ascending.
+	slots     []uint64 // freed slot offsets (stack top)
+	slotNext  uint64   // pristine slots handed out so far
+	slotTotal uint64   // total slots in the borrowed region
 
 	sk         *sketch.Sketch
 	rq         *sketch.ReservedQueue
@@ -82,6 +113,36 @@ type Unit struct {
 
 	running bool
 	staged  []*msg.Message // outgoing messages waiting for mailbox space
+
+	// pool recycles task/data messages (see msg.Pool). Allocation always
+	// draws from it; freeing is suppressed on fault runs, where retry
+	// layers hold message pointers past delivery.
+	pool *msg.Pool //ndplint:nosnap memory recycling, carries no model state
+
+	// inbox is the batched-delivery queue: messages whose bank write has
+	// been charged, waiting for their commit cycle. Each entry carries the
+	// engine seq reserved at Deliver time; one dispatch event is in flight
+	// whenever the inbox is non-empty, scheduled under the head entry's
+	// (cycle, seq) so execution order is identical to per-message
+	// scheduling. Undelivered messages hold the epoch open, so the inbox
+	// is provably empty at every bulk-sync barrier.
+	inbox     []inboxEntry //ndplint:nosnap empty at barrier checkpoints, like the engine queue
+	inboxHead int          //ndplint:nosnap empty at barrier checkpoints
+	inboxFn   func()       //ndplint:nosnap wiring, rebound at construction
+	// legacyDeliver restores one engine event per delivered message (the
+	// pre-inbox path); the event-core equivalence tests run both.
+	legacyDeliver bool //ndplint:nosnap test toggle, not model state
+
+	// Reused hot-path scratch: the single in-flight execution context and
+	// its completion event, and the SCHEDULE selection buffers.
+	ctx        execCtx      //ndplint:nosnap live only inside one runTask call
+	curTS      uint32       //ndplint:nosnap shadow of the running task's epoch, dead when idle
+	taskDoneFn func()       //ndplint:nosnap wiring, rebound at construction
+	splitBuf   []*msg.Message //ndplint:nosnap scratch, empty between calls
+	selBuf     []schedSel     //ndplint:nosnap scratch, empty between calls
+	byBlock    map[uint64]int //ndplint:nosnap scratch, cleared between calls
+	taskBuf    []task.Task    //ndplint:nosnap scratch for reserved-queue takes
+	skipBuf    []task.Task    //ndplint:nosnap scratch, empty between calls
 
 	// DRAM layout offsets within the bank.
 	mailboxOff  uint64 //ndplint:nosnap layout constant from config
@@ -141,6 +202,8 @@ func New(id int, env Env, rng *sim.RNG) *Unit {
 	u := &Unit{
 		id:    id,
 		env:   env,
+		eng:   env.Engine(),
+		cfg:   cfg,
 		bank:  dram.NewBank(cfg.Timing),
 		cache: NewCache(64<<10, 4, 64),
 		queue: task.NewQueue(),
@@ -153,11 +216,7 @@ func New(id int, env Env, rng *sim.RNG) *Unit {
 	u.borrowedOff = u.mailboxOff - cfg.Metadata.BorrowedRegionBytes
 	u.queueOff = u.borrowedOff - (64 << 10)
 
-	nSlots := int(cfg.Metadata.BorrowedRegionBytes / cfg.GXfer)
-	u.slots = make([]uint64, 0, nSlots)
-	for i := nSlots - 1; i >= 0; i-- {
-		u.slots = append(u.slots, u.borrowedOff+uint64(i)*cfg.GXfer)
-	}
+	u.slotTotal = cfg.Metadata.BorrowedRegionBytes / cfg.GXfer
 
 	if cfg.Design == config.DesignR {
 		u.chipMail = mailbox.New(cfg.Buffers.MailboxBytes)
@@ -170,11 +229,22 @@ func New(id int, env Env, rng *sim.RNG) *Unit {
 		}
 		u.rq = sketch.NewReservedQueue(cfg.Sketch.ReservedChunks, chunkTasks)
 	}
+	u.pool = env.MsgPool()
+	if u.pool == nil {
+		u.pool = msg.NewPool()
+	}
+	u.inboxFn = u.inboxFire
+	u.taskDoneFn = u.taskDone
 	return u
 }
 
+// SetLegacyDeliver switches the unit back to one engine event per delivered
+// message instead of the batched inbox. The event-core equivalence tests run
+// both paths and require identical results.
+func (u *Unit) SetLegacyDeliver(on bool) { u.legacyDeliver = on }
+
 func (u *Unit) hotEnabled() bool {
-	cfg := u.env.Cfg()
+	cfg := u.cfg
 	return cfg.Design.LoadBalancing() && cfg.LoadBalance.Hot
 }
 
@@ -196,7 +266,7 @@ func (u *Unit) SRAMAccesses() uint64 {
 	return h + m + u.hits64
 }
 
-func (u *Unit) gxfer() uint64 { return u.env.Cfg().GXfer }
+func (u *Unit) gxfer() uint64 { return u.cfg.GXfer }
 
 func (u *Unit) block(addr uint64) uint64 { return dram.BlockAlign(addr, u.gxfer()) }
 
@@ -241,7 +311,7 @@ func (u *Unit) SeedTask(t task.Task) {
 	if t.ID == 0 {
 		t.ID = u.env.NextTaskID()
 	}
-	t.SpawnedAt = u.env.Engine().Now()
+	t.SpawnedAt = u.eng.Now()
 	if _, local := u.localOffset(t.Addr); !local {
 		// The block was lent out in an earlier epoch: forward the
 		// seed to its current holder through the fabric.
@@ -284,14 +354,15 @@ func (u *Unit) nextTask(ts uint32) (task.Task, bool) {
 		// Refill from the hottest reserved block; those tasks were
 		// candidates to give away, but nobody asked — run them.
 		e, ok := u.sk.Hottest()
-		var tasks []task.Task
+		tasks := u.taskBuf[:0]
 		if ok {
-			tasks = u.rq.Take(e.Addr)
+			tasks = u.rq.TakeAppend(tasks, e.Addr)
 			u.sk.Remove(e.Addr)
 		}
 		if len(tasks) == 0 {
-			tasks = u.rq.Drain()
+			tasks = u.rq.DrainAppend(tasks)
 		}
+		u.taskBuf = tasks[:0]
 		if len(tasks) == 0 {
 			return task.Task{}, false
 		}
@@ -310,13 +381,13 @@ func (u *Unit) tryStart() {
 		if u.ft.dead {
 			return
 		}
-		if now := u.env.Engine().Now(); now < u.ft.stalledUntil {
+		if now := u.eng.Now(); now < u.ft.stalledUntil {
 			// Transient stall: defer the start to the wake cycle.
 			// One armed wake-up per stall window is enough — every
 			// path back to readiness funnels through tryStart.
 			if !u.ft.wakeArmed {
 				u.ft.wakeArmed = true
-				u.env.Engine().At(u.ft.stalledUntil, func() {
+				u.eng.At(u.ft.stalledUntil, func() {
 					u.ft.wakeArmed = false
 					u.tryStart()
 				})
@@ -327,9 +398,9 @@ func (u *Unit) tryStart() {
 	if len(u.staged) > 0 && !u.flushStaged() {
 		return // stalled: mailbox full, resume on next drain
 	}
-	eng := u.env.Engine()
+	eng := u.eng
 	ts := u.env.CurrentEpoch()
-	epj := u.env.Cfg().Energy.DRAMAccessPJPer64b
+	epj := u.cfg.Energy.DRAMAccessPJPer64b
 
 	for {
 		t, ok := u.nextTask(ts)
@@ -359,11 +430,12 @@ func (u *Unit) runTask(t task.Task, eng *sim.Engine, epj float64) {
 	if t.SpawnedAt <= now {
 		u.mTaskLat.Observe(now - t.SpawnedAt)
 	}
-	// Task queue pop: one DRAM record read.
+	// Task queue pop: one DRAM record read. The execution context is reused
+	// across tasks — handlers run synchronously and never retain it.
 	cursor := u.bank.Access(now, u.queueOff, taskRecordBytes, false, dram.AccessLocal, epj)
-	ctx := &execCtx{u: u, start: now, cursor: cursor}
-	u.env.Registry().Handler(t.Func)(ctx, t)
-	end := ctx.cursor
+	u.ctx = execCtx{u: u, start: now, cursor: cursor}
+	u.env.Registry().Handler(t.Func)(&u.ctx, t)
+	end := u.ctx.cursor
 	if end <= now {
 		end = now + 1
 	}
@@ -379,26 +451,35 @@ func (u *Unit) runTask(t task.Task, eng *sim.Engine, epj float64) {
 		u.ft.curBusy = end - now
 	}
 	u.env.Trace().Record(trace.KindTask, u.id, now, end, u.env.Registry().Name(t.Func))
-	eng.At(end, func() {
-		if u.ft != nil {
-			if u.ft.dead {
-				// Killed mid-task: Extinguish already force-completed
-				// the task (TaskDone fired there), so this pending
-				// completion must not double-report it.
-				return
-			}
-			u.ft.cur = nil
+	// One task is in flight at a time (u.running), so the completion event
+	// is the pre-bound taskDone reading the epoch shadowed in curTS.
+	u.curTS = t.TS
+	eng.At(end, u.taskDoneFn)
+}
+
+// taskDone is the task-completion event body.
+//
+//ndplint:hotpath
+func (u *Unit) taskDone() {
+	if u.ft != nil {
+		if u.ft.dead {
+			// Killed mid-task: Extinguish already force-completed
+			// the task (TaskDone fired there), so this pending
+			// completion must not double-report it.
+			return
 		}
-		u.running = false
-		u.env.TaskDone(t.TS)
-		u.tryStart()
-	})
+		u.ft.cur = nil
+	}
+	u.running = false
+	u.env.TaskDone(u.curTS)
+	u.tryStart()
 }
 
 // taskMessage builds an outgoing task message addressed to the home unit.
 // escalate marks the cross-rank chase described in Section VI-B.
+//ndplint:hotpath
 func (u *Unit) taskMessage(t task.Task, escalate bool) *msg.Message {
-	m := msg.NewTask(u.id, u.env.Map().Home(t.Addr), t)
+	m := u.pool.NewTaskIn(u.id, u.env.Map().Home(t.Addr), t)
 	m.Escalate = escalate
 	return m
 }
@@ -407,7 +488,7 @@ func (u *Unit) taskMessage(t task.Task, escalate bool) *msg.Message {
 // space allows; the caller decides when a failed flush should stall the core.
 func (u *Unit) emit(m *msg.Message) {
 	u.env.MsgStaged()
-	m.StagedAt = u.env.Engine().Now()
+	m.StagedAt = u.eng.Now()
 	u.staged = append(u.staged, m)
 }
 
@@ -415,8 +496,8 @@ func (u *Unit) emit(m *msg.Message) {
 // for same-chip destinations in design R), charging a DRAM write per
 // message. It returns false while messages remain (mailbox full).
 func (u *Unit) flushStaged() bool {
-	epj := u.env.Cfg().Energy.DRAMAccessPJPer64b
-	now := u.env.Engine().Now()
+	epj := u.cfg.Energy.DRAMAccessPJPer64b
+	now := u.eng.Now()
 	for len(u.staged) > 0 {
 		m := u.staged[0]
 		mb := u.mb
@@ -453,8 +534,8 @@ func (u *Unit) DrainChipMail(budget uint64) []*msg.Message {
 	}
 	ms := u.chipMail.DrainUpTo(budget)
 	if len(ms) > 0 {
-		epj := u.env.Cfg().Energy.DRAMAccessPJPer64b
-		u.bank.Access(u.env.Engine().Now(), u.mailboxOff, msg.TotalSize(ms), false, dram.AccessComm, epj)
+		epj := u.cfg.Energy.DRAMAccessPJPer64b
+		u.bank.Access(u.eng.Now(), u.mailboxOff, msg.TotalSize(ms), false, dram.AccessComm, epj)
 		if len(u.staged) > 0 && u.flushStaged() {
 			u.tryStart()
 		}
@@ -473,7 +554,7 @@ func (u *Unit) MailboxUsed() uint64 { return u.mb.Used() }
 // messages get another chance to enter the mailbox and the core resumes if
 // it was stalled.
 func (u *Unit) DrainMailbox(budget uint64) ([]*msg.Message, sim.Cycles) {
-	now := u.env.Engine().Now()
+	now := u.eng.Now()
 	if u.ft != nil {
 		if u.ft.dead {
 			return nil, now
@@ -500,7 +581,7 @@ func (u *Unit) DrainMailbox(budget uint64) ([]*msg.Message, sim.Cycles) {
 			u.ft.gatherRet.Track(m)
 		}
 	}
-	epj := u.env.Cfg().Energy.DRAMAccessPJPer64b
+	epj := u.cfg.Energy.DRAMAccessPJPer64b
 	done := u.bank.Access(now, u.mailboxOff, msg.TotalSize(ms), false, dram.AccessComm, epj)
 	if len(u.staged) > 0 {
 		if u.flushStaged() {
@@ -535,16 +616,18 @@ func (u *Unit) BorrowedBlocks() []uint64 {
 // fixed-interval triggering reads the transfer granularity from the mailbox
 // region regardless of content (Section V-C).
 func (u *Unit) WastedGather() {
-	epj := u.env.Cfg().Energy.DRAMAccessPJPer64b
-	u.bank.Access(u.env.Engine().Now(), u.mailboxOff, u.gxfer(), false, dram.AccessComm, epj)
+	epj := u.cfg.Energy.DRAMAccessPJPer64b
+	u.bank.Access(u.eng.Now(), u.mailboxOff, u.gxfer(), false, dram.AccessComm, epj)
 }
 
 // Deliver serves a SCATTER of one message to this unit. It charges the bank
 // write and schedules the message's effect at the completion time. The
 // returned cycle is when the bank transaction finishes.
+//
+//ndplint:hotpath
 func (u *Unit) Deliver(m *msg.Message) sim.Cycles {
-	eng := u.env.Engine()
-	epj := u.env.Cfg().Energy.DRAMAccessPJPer64b
+	eng := u.eng
+	epj := u.cfg.Energy.DRAMAccessPJPer64b
 	var off uint64
 	switch m.Type {
 	case msg.TypeTask:
@@ -555,8 +638,70 @@ func (u *Unit) Deliver(m *msg.Message) sim.Cycles {
 		off = u.queueOff
 	}
 	done := u.bank.Access(eng.Now(), off, m.Size(), true, dram.AccessComm, epj)
-	eng.At(done, func() { u.receive(m) })
+	if u.legacyDeliver {
+		eng.At(done, func() { u.receive(m) }) //ndplint:alloc legacy compat path, off by default
+		return done
+	}
+	// Batched delivery: reserve the sequence number now (so global event
+	// order is identical to scheduling immediately) but park the message in
+	// the inbox. One dispatch event is in flight whenever the inbox is
+	// non-empty, keyed to the head entry's (cycle, seq).
+	seq := eng.ReserveSeq()
+	u.inbox = append(u.inbox, inboxEntry{at: done, seq: seq, m: m})
+	if len(u.inbox)-u.inboxHead == 1 {
+		eng.AtSeq(done, seq, u.inboxFn)
+	}
 	return done
+}
+
+// inboxFire dispatches the inbox head and coalesces directly-following
+// entries: a successor at the same cycle with the very next sequence number
+// would be the engine's next event anyway — nothing can order between two
+// consecutive sequence numbers at one cycle — so it is processed in the same
+// event and credited to the engine's processed count. Otherwise the successor
+// gets its own event under its reserved (cycle, seq).
+//
+//ndplint:hotpath
+func (u *Unit) inboxFire() {
+	e := u.inbox[u.inboxHead]
+	u.inbox[u.inboxHead] = inboxEntry{}
+	u.inboxHead++
+	u.receive(e.m)
+	eng := u.eng
+	for u.inboxHead < len(u.inbox) {
+		n := u.inbox[u.inboxHead]
+		if n.at == e.at && n.seq == e.seq+1 {
+			u.inbox[u.inboxHead] = inboxEntry{}
+			u.inboxHead++
+			eng.CreditEvent()
+			u.receive(n.m)
+			e = n
+			continue
+		}
+		eng.AtSeq(n.at, n.seq, u.inboxFn)
+		if u.inboxHead > 64 && u.inboxHead*2 >= len(u.inbox) {
+			k := copy(u.inbox, u.inbox[u.inboxHead:])
+			for i := k; i < len(u.inbox); i++ {
+				u.inbox[i] = inboxEntry{}
+			}
+			u.inbox = u.inbox[:k]
+			u.inboxHead = 0
+		}
+		return
+	}
+	u.inbox = u.inbox[:0]
+	u.inboxHead = 0
+}
+
+// freeMsg recycles a terminally-consumed message. Freeing is suppressed on
+// fault-injection runs (retry layers hold message pointers in retransmit
+// buffers past delivery), where the pool degrades to a plain arena.
+//
+//ndplint:hotpath
+func (u *Unit) freeMsg(m *msg.Message) {
+	if u.ft == nil && m.Seq == 0 {
+		u.pool.Put(m)
+	}
 }
 
 // receive applies a delivered message at bank-commit time.
@@ -585,7 +730,7 @@ func (u *Unit) receive(m *msg.Message) {
 	}
 	u.st.MsgsIn++
 	u.env.MsgDelivered()
-	now := uint64(u.env.Engine().Now())
+	now := uint64(u.eng.Now())
 	u.env.Trace().Record(trace.KindDeliver, u.id, now, now, "")
 	if m.StagedAt <= now {
 		u.mMsgLat.Observe(now - m.StagedAt)
@@ -601,14 +746,18 @@ func (u *Unit) receive(m *msg.Message) {
 			u.cBounces.Inc()
 			u.lastBounce = t.Addr
 			u.env.MsgStaged() // re-enters flight
-			u.staged = append(u.staged, u.taskMessage(t, u.env.Map().Home(t.Addr) == u.id))
+			home := u.env.Map().Home(t.Addr) == u.id
+			u.freeMsg(m)
+			u.staged = append(u.staged, u.taskMessage(t, home))
 			u.flushStaged()
 			return
 		}
+		u.freeMsg(m)
 		u.acceptTask(t)
 		u.tryStart()
 	case msg.TypeData:
 		u.receiveData(m)
+		u.freeMsg(m)
 	default:
 		panic(fmt.Sprintf("ndpunit: unit %d received %v message", u.id, m.Type))
 	}
@@ -661,12 +810,17 @@ func (u *Unit) receiveData(m *msg.Message) {
 }
 
 func (u *Unit) allocSlot() (uint64, bool) {
-	if len(u.slots) == 0 {
-		return 0, false
+	if n := len(u.slots); n > 0 {
+		s := u.slots[n-1]
+		u.slots = u.slots[:n-1]
+		return s, true
 	}
-	s := u.slots[len(u.slots)-1]
-	u.slots = u.slots[:len(u.slots)-1]
-	return s, true
+	if u.slotNext < u.slotTotal {
+		s := u.borrowedOff + u.slotNext*u.gxfer()
+		u.slotNext++
+		return s, true
+	}
+	return 0, false
 }
 
 // evictOneBorrowed returns an arbitrary borrowed block home to free a slot.
@@ -693,7 +847,8 @@ func (u *Unit) returnBlock(blk, slot uint64) {
 	u.slots = append(u.slots, slot)
 	u.cache.Invalidate(blk)
 	home := u.env.Map().Home(blk)
-	for _, dm := range msg.SplitData(u.id, home, blk, uint32(u.gxfer())) {
+	u.splitBuf = u.pool.SplitDataInto(u.splitBuf[:0], u.id, home, blk, uint32(u.gxfer()))
+	for _, dm := range u.splitBuf {
 		u.emit(dm)
 	}
 	u.flushStaged()
@@ -750,14 +905,22 @@ func (u *Unit) HasBacklog() bool {
 // state message.
 func (u *Unit) CommandSchedule(budget uint64, round uint32) {
 	ts := u.env.CurrentEpoch()
-	cfg := u.env.Cfg()
-	type sel struct {
-		blk   uint64
-		tasks []task.Task
-		w     uint64
-	}
-	var selected []sel
+	cfg := u.cfg
+	// selected reuses the per-unit scratch buffer (and, within capacity,
+	// each recycled entry's tasks backing array) across rounds.
+	selected := u.selBuf[:0]
 	var acc uint64
+	appendSel := func(blk uint64, w uint64) *schedSel {
+		if n := len(selected); n < cap(selected) {
+			selected = selected[:n+1]
+			s := &selected[n]
+			s.blk, s.w = blk, w
+			s.tasks = s.tasks[:0]
+			return s
+		}
+		selected = append(selected, schedSel{blk: blk, w: w})
+		return &selected[len(selected)-1]
+	}
 
 	useHot := u.sk != nil && cfg.LoadBalance.Hot
 	if useHot {
@@ -766,7 +929,8 @@ func (u *Unit) CommandSchedule(budget uint64, round uint32) {
 			if !ok {
 				break
 			}
-			tasks := u.rq.Take(e.Addr)
+			tasks := u.rq.TakeAppend(u.taskBuf[:0], e.Addr)
+			u.taskBuf = tasks[:0]
 			u.sk.Remove(e.Addr)
 			if len(tasks) == 0 {
 				continue
@@ -785,15 +949,20 @@ func (u *Unit) CommandSchedule(budget uint64, round uint32) {
 				}
 				continue
 			}
-			selected = append(selected, sel{blk: e.Addr, tasks: tasks, w: w})
+			s := appendSel(e.Addr, w)
+			s.tasks = append(s.tasks, tasks...)
 			acc += w
 		}
 	}
 	// Fallback (and the whole path for work stealing): pop from the queue
 	// tail, grouping tasks by block.
 	if acc < budget {
-		byBlock := make(map[uint64]int)
-		var skipped []task.Task
+		if u.byBlock == nil {
+			u.byBlock = make(map[uint64]int, 16)
+		} else {
+			clear(u.byBlock)
+		}
+		skipped := u.skipBuf[:0]
 		for acc < budget {
 			t, ok := u.queue.PopTail(ts)
 			if !ok {
@@ -804,37 +973,42 @@ func (u *Unit) CommandSchedule(budget uint64, round uint32) {
 				skipped = append(skipped, t)
 				continue
 			}
-			if i, ok := byBlock[blk]; ok {
+			if i, ok := u.byBlock[blk]; ok {
 				selected[i].tasks = append(selected[i].tasks, t)
 				selected[i].w += t.EffectiveWorkload()
 			} else {
-				byBlock[blk] = len(selected)
-				selected = append(selected, sel{blk: blk, tasks: []task.Task{t}, w: t.EffectiveWorkload()})
+				u.byBlock[blk] = len(selected)
+				s := appendSel(blk, t.EffectiveWorkload())
+				s.tasks = append(s.tasks, t)
 			}
 			acc += t.EffectiveWorkload()
 		}
 		for _, t := range skipped {
 			u.queue.Push(t)
 		}
+		u.skipBuf = skipped[:0]
 	}
 
-	for _, s := range selected {
+	for i := range selected {
+		s := &selected[i]
 		off := u.env.Map().Offset(s.blk)
 		u.isLent.SetLent(off, true)
 		u.cache.Invalidate(s.blk)
 		u.st.Lent++
-		for _, dm := range msg.SplitData(u.id, -1, s.blk, uint32(u.gxfer())) {
+		u.splitBuf = u.pool.SplitDataInto(u.splitBuf[:0], u.id, -1, s.blk, uint32(u.gxfer()))
+		for _, dm := range u.splitBuf {
 			dm.Sched = true
 			dm.Round = round
 			u.emit(dm)
 		}
 		for _, t := range s.tasks {
-			tm := msg.NewTask(u.id, -1, t)
+			tm := u.pool.NewTaskIn(u.id, -1, t)
 			tm.Sched = true
 			tm.Round = round
 			u.emit(tm)
 		}
 		u.schedOut = append(u.schedOut, msg.SchedOut{BlockAddr: s.blk, Workload: s.w})
 	}
+	u.selBuf = selected
 	u.flushStaged()
 }

@@ -8,6 +8,7 @@ package rowclone
 import (
 	"ndpbridge/internal/config"
 	"ndpbridge/internal/dram"
+	"ndpbridge/internal/msg"
 	"ndpbridge/internal/ndpunit"
 	"ndpbridge/internal/sim"
 )
@@ -28,10 +29,21 @@ type Stats struct {
 
 // Engine drives one copy engine per DRAM chip.
 type Engine struct {
-	env     Env
+	env Env
+	// eng/cfg cache env.Engine()/env.Cfg() — both stable for the system's
+	// lifetime — so hot paths skip the interface dispatch.
+	eng     *sim.Engine    //ndplint:nosnap cached wiring, set at construction
+	cfg     *config.Config //ndplint:nosnap cached wiring, set at construction
 	chips   [][]*ndpunit.Unit // units grouped by chip
 	running []bool
 	st      Stats
+
+	// Per-chip pre-bound callbacks and the one in-flight copy batch per
+	// chip (running[chip] guards reuse).
+	sweepFn func()
+	stepFns []func()
+	copyFns []func()
+	batch   [][]*msg.Message
 }
 
 // New groups units by chip and builds the engine.
@@ -42,7 +54,17 @@ func New(env Env, units []*ndpunit.Unit) *Engine {
 	for c := 0; c < nChips; c++ {
 		chips[c] = units[c*banks : (c+1)*banks]
 	}
-	return &Engine{env: env, chips: chips, running: make([]bool, nChips)}
+	e := &Engine{env: env, eng: env.Engine(), cfg: env.Cfg(), chips: chips, running: make([]bool, nChips)}
+	e.sweepFn = e.sweep
+	e.stepFns = make([]func(), nChips)
+	e.copyFns = make([]func(), nChips)
+	e.batch = make([][]*msg.Message, nChips)
+	for c := 0; c < nChips; c++ {
+		c := c
+		e.stepFns[c] = func() { e.step(c) }
+		e.copyFns[c] = func() { e.finishCopy(c) }
+	}
+	return e
 }
 
 // Stats returns the counters.
@@ -50,14 +72,14 @@ func (e *Engine) Stats() Stats { return e.st }
 
 // Start begins periodic polling of the chip mailboxes.
 func (e *Engine) Start() {
-	e.env.Engine().After(e.env.Cfg().IState/4, e.sweep)
+	e.eng.After(e.cfg.IState/4, e.sweepFn)
 }
 
 func (e *Engine) sweep() {
 	for c := range e.chips {
 		e.ensureLoop(c)
 	}
-	e.env.Engine().After(e.env.Cfg().IState/4, e.sweep)
+	e.eng.After(e.cfg.IState/4, e.sweepFn)
 }
 
 func (e *Engine) ensureLoop(chip int) {
@@ -68,7 +90,7 @@ func (e *Engine) ensureLoop(chip int) {
 		return
 	}
 	e.running[chip] = true
-	e.env.Engine().After(0, func() { e.step(chip) })
+	e.eng.After(0, e.stepFns[chip])
 }
 
 func (e *Engine) pick(chip int) int {
@@ -83,13 +105,13 @@ func (e *Engine) pick(chip int) int {
 // step performs one RowClone transfer: a batch of same-chip messages moves
 // from one bank's mailbox to destination banks at bulk-row-copy latency.
 func (e *Engine) step(chip int) {
-	cfg := e.env.Cfg()
-	eng := e.env.Engine()
+	cfg := e.cfg
+	eng := e.eng
 	src := e.pick(chip)
 	if src < 0 {
 		for _, u := range e.chips[chip] {
 			if u.HasBacklog() {
-				e.env.Engine().After(e.env.Cfg().IMin(), func() { e.step(chip) })
+				e.eng.After(e.cfg.IMin(), e.stepFns[chip])
 				return
 			}
 		}
@@ -105,14 +127,19 @@ func (e *Engine) step(chip int) {
 	e.st.Copies++
 	e.st.Messages += uint64(len(ms))
 	e.st.Bytes += bytes
+	e.batch[chip] = ms
+	eng.At(end, e.copyFns[chip])
+}
+
+// finishCopy delivers one completed RowClone batch and continues the loop.
+func (e *Engine) finishCopy(chip int) {
 	units := e.chips[chip]
-	banks := cfg.Geometry.BanksPerChip
-	eng.At(end, func() {
-		for _, m := range ms {
-			if m.Dst >= 0 {
-				units[m.Dst%banks].Deliver(m)
-			}
+	banks := e.cfg.Geometry.BanksPerChip
+	for _, m := range e.batch[chip] {
+		if m.Dst >= 0 {
+			units[m.Dst%banks].Deliver(m)
 		}
-		e.step(chip)
-	})
+	}
+	e.batch[chip] = nil
+	e.step(chip)
 }

@@ -5,6 +5,7 @@ import (
 
 	"ndpbridge/internal/config"
 	"ndpbridge/internal/dram"
+	"ndpbridge/internal/msg"
 	"ndpbridge/internal/ndpunit"
 	"ndpbridge/internal/sim"
 	"ndpbridge/internal/task"
@@ -45,6 +46,7 @@ func (e *testEnv) TaskDone(uint32)          {}
 func (e *testEnv) MsgStaged()               { e.inflight++ }
 func (e *testEnv) MsgDelivered()            { e.inflight-- }
 func (e *testEnv) Trace() *trace.Recorder   { return nil }
+func (e *testEnv) MsgPool() *msg.Pool        { return nil }
 
 func TestRowCloneDeliversIntraChip(t *testing.T) {
 	env := newTestEnv()

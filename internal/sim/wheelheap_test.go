@@ -1,0 +1,111 @@
+package sim
+
+import "testing"
+
+// firing is one executed event in a recorded schedule.
+type firing struct {
+	id int
+	at Cycles
+}
+
+// runRandomSchedule drives an engine with a self-expanding random workload:
+// every fired event may schedule children at random deltas straddling the
+// wheel/heap boundary (0 … 2×WheelSize), including exact-boundary and
+// same-cycle deltas. It records the (id, time) firing order.
+func runRandomSchedule(t *testing.T, heapOnly bool, seed uint64, n int) []firing {
+	t.Helper()
+	e := NewEngine()
+	e.SetHeapOnly(heapOnly)
+	rng := NewRNG(seed)
+	var got []firing
+	next := 0
+	var spawn func(id int) func()
+	spawn = func(id int) func() {
+		return func() {
+			got = append(got, firing{id, e.Now()})
+			if next >= n {
+				return
+			}
+			kids := 1 + rng.Intn(2)
+			for k := 0; k < kids && next < n; k++ {
+				var d Cycles
+				switch rng.Intn(6) {
+				case 0:
+					d = 0 // same cycle, must fire in seq order
+				case 1:
+					d = WheelSize - 1 // last wheel slot
+				case 2:
+					d = WheelSize // first heap delta
+				case 3:
+					d = WheelSize + rng.Uint64n(WheelSize) // far future
+				default:
+					d = rng.Uint64n(WheelSize) // typical near-future
+				}
+				id := next
+				next++
+				e.After(d, spawn(id))
+			}
+		}
+	}
+	for i := 0; i < 8; i++ {
+		id := next
+		next++
+		e.At(rng.Uint64n(2*WheelSize), spawn(id))
+	}
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+// TestWheelHeapEquivalence proves the calendar queue is a pure container
+// optimization: for randomized schedules crossing the wheel/heap boundary,
+// the hybrid engine fires exactly the same events at the same times in the
+// same order as a heap-only engine.
+func TestWheelHeapEquivalence(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 42, 1234, 99999} {
+		hybrid := runRandomSchedule(t, false, seed, 5000)
+		heap := runRandomSchedule(t, true, seed, 5000)
+		if len(hybrid) != len(heap) {
+			t.Fatalf("seed %d: fired %d events hybrid, %d heap-only", seed, len(hybrid), len(heap))
+		}
+		for i := range hybrid {
+			if hybrid[i] != heap[i] {
+				t.Fatalf("seed %d: firing %d diverges: hybrid %+v, heap-only %+v",
+					seed, i, hybrid[i], heap[i])
+			}
+		}
+		// The engines must also agree on the clock and event count.
+		if len(hybrid) == 0 {
+			t.Fatalf("seed %d: schedule fired nothing", seed)
+		}
+	}
+}
+
+// TestWheelSameCycleSeqOrder pins the insertion-order guarantee inside one
+// wheel bucket: events scheduled for the same cycle fire in schedule order
+// even when interleaved with other cycles.
+func TestWheelSameCycleSeqOrder(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		// Alternate target cycles so bucket insertion interleaves.
+		e.At(Cycles(10+(i%3)*7), func() { got = append(got, i) })
+	}
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 100 {
+		t.Fatalf("fired %d events, want 100", len(got))
+	}
+	// Within each cycle, ids must ascend; across cycles, times ascend.
+	seen := map[Cycles]int{}
+	for idx, id := range got {
+		at := Cycles(10 + (id%3)*7)
+		if prev, ok := seen[at]; ok && prev > id {
+			t.Fatalf("cycle %d fired id %d after id %d (index %d)", at, id, prev, idx)
+		}
+		seen[at] = id
+	}
+}

@@ -14,9 +14,13 @@ type ReservedQueue struct {
 	chunkTasks  int // tasks per chunk (G_xfer / task record size)
 	freeChunks  int
 	totalChunks int
+	total       int //ndplint:nosnap derived; summed task count, rebuilt on restore
 
 	blocks map[uint64]*blockList
 	order  []uint64 // insertion order, for deterministic Drain
+	// spare parks emptied blockLists so their task arrays are reused when
+	// blocks churn through the queue instead of reallocated per block.
+	spare []*blockList //ndplint:nosnap free-list of empty lists, no logical state
 }
 
 type blockList struct {
@@ -45,7 +49,14 @@ func (r *ReservedQueue) Add(block uint64, t task.Task) bool {
 		if r.freeChunks == 0 {
 			return false
 		}
-		bl = &blockList{chunks: 1}
+		if n := len(r.spare); n > 0 {
+			bl = r.spare[n-1]
+			r.spare[n-1] = nil
+			r.spare = r.spare[:n-1]
+			bl.chunks = 1
+		} else {
+			bl = &blockList{chunks: 1}
+		}
 		r.freeChunks--
 		r.blocks[block] = bl
 		if len(r.order) > 2*len(r.blocks)+64 {
@@ -68,11 +79,13 @@ func (r *ReservedQueue) Add(block uint64, t task.Task) bool {
 		r.freeChunks--
 	}
 	bl.tasks = append(bl.tasks, t)
+	r.total++
 	return true
 }
 
 // Take removes and returns all tasks reserved under block, freeing its
-// chunks.
+// chunks. Ownership of the returned slice transfers to the caller; hot paths
+// should prefer TakeAppend, which recycles the internal storage.
 func (r *ReservedQueue) Take(block uint64) []task.Task {
 	bl := r.blocks[block]
 	if bl == nil {
@@ -80,18 +93,44 @@ func (r *ReservedQueue) Take(block uint64) []task.Task {
 	}
 	delete(r.blocks, block)
 	r.freeChunks += bl.chunks
+	r.total -= len(bl.tasks)
 	return bl.tasks
+}
+
+// TakeAppend appends block's reserved tasks to dst, frees its chunks, and
+// parks the emptied storage for reuse. It returns dst (possibly regrown);
+// dst is returned unchanged when the block has no reservation.
+//
+//ndplint:hotpath
+func (r *ReservedQueue) TakeAppend(dst []task.Task, block uint64) []task.Task {
+	bl := r.blocks[block]
+	if bl == nil {
+		return dst
+	}
+	delete(r.blocks, block)
+	r.freeChunks += bl.chunks
+	r.total -= len(bl.tasks)
+	dst = append(dst, bl.tasks...)
+	bl.tasks = bl.tasks[:0]
+	bl.chunks = 0
+	r.spare = append(r.spare, bl)
+	return dst
 }
 
 // Drain removes and returns all reserved tasks of every block in insertion
 // order, freeing all chunks. Used when falling back or finishing an epoch.
 func (r *ReservedQueue) Drain() []task.Task {
-	var out []task.Task
+	return r.DrainAppend(nil)
+}
+
+// DrainAppend is Drain appending into a caller-supplied buffer, recycling
+// all internal storage.
+func (r *ReservedQueue) DrainAppend(dst []task.Task) []task.Task {
 	for _, b := range r.order {
-		out = append(out, r.Take(b)...)
+		dst = r.TakeAppend(dst, b)
 	}
 	r.order = r.order[:0]
-	return out
+	return dst
 }
 
 // Len returns the number of reserved tasks of block.
@@ -103,13 +142,9 @@ func (r *ReservedQueue) Len(block uint64) int {
 }
 
 // Total returns the number of reserved tasks across all blocks.
-func (r *ReservedQueue) Total() int {
-	n := 0
-	for _, bl := range r.blocks {
-		n += len(bl.tasks)
-	}
-	return n
-}
+//
+//ndplint:hotpath
+func (r *ReservedQueue) Total() int { return r.total }
 
 // FreeChunks returns the unallocated chunk count.
 func (r *ReservedQueue) FreeChunks() int { return r.freeChunks }

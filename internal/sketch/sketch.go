@@ -42,9 +42,15 @@ func New(buckets, entriesPerBucket int, decayBase float64, rng *sim.RNG) *Sketch
 	if decayBase <= 1 {
 		panic("sketch: decay base must exceed 1")
 	}
+	// All bucket storage is carved from one slab: a sketch is built per
+	// unit per run, and buckets separate allocations (with their separate
+	// zeroing passes) show up in construction profiles. Three-index
+	// slicing caps each bucket at entriesPerBucket, which the full-bucket
+	// check in Observe relies on.
 	t := make([][]Entry, buckets)
+	slab := make([]Entry, buckets*entriesPerBucket)
 	for i := range t {
-		t[i] = make([]Entry, 0, entriesPerBucket)
+		t[i] = slab[i*entriesPerBucket : i*entriesPerBucket : (i+1)*entriesPerBucket]
 	}
 	return &Sketch{
 		buckets: buckets, entries: entriesPerBucket,

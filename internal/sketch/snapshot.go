@@ -94,6 +94,7 @@ func (r *ReservedQueue) RestoreFrom(d *checkpoint.Dec) error {
 	n := d.U32()
 	r.blocks = make(map[uint64]*blockList, n)
 	r.order = r.order[:0]
+	r.total = 0
 	for i := uint32(0); i < n; i++ {
 		b := d.U64()
 		bl := &blockList{chunks: int(d.I64())}
@@ -106,6 +107,7 @@ func (r *ReservedQueue) RestoreFrom(d *checkpoint.Dec) error {
 		}
 		r.blocks[b] = bl
 		r.order = append(r.order, b)
+		r.total += len(bl.tasks)
 	}
 	return d.Err()
 }

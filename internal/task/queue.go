@@ -12,6 +12,9 @@ import "slices"
 type Queue struct {
 	epochs map[uint32]*fifo
 	size   int //ndplint:nosnap derived; recomputed by RestoreFrom via Push
+	// spare recycles emptied per-epoch FIFOs so their backing arrays are
+	// reused across epochs instead of reallocated and regrown every epoch.
+	spare []*fifo //ndplint:nosnap free-list of empty FIFOs, no logical state
 }
 
 type fifo struct {
@@ -63,11 +66,27 @@ func NewQueue() *Queue {
 func (q *Queue) Push(t Task) {
 	f := q.epochs[t.TS]
 	if f == nil {
-		f = &fifo{}
+		if n := len(q.spare); n > 0 {
+			f = q.spare[n-1]
+			q.spare[n-1] = nil
+			q.spare = q.spare[:n-1]
+		} else {
+			f = &fifo{}
+		}
 		q.epochs[t.TS] = f
 	}
 	f.push(t)
 	q.size++
+}
+
+// retire removes an emptied epoch FIFO from the map and parks it on the
+// free list with its backing array retained.
+func (q *Queue) retire(ts uint32, f *fifo) {
+	delete(q.epochs, ts)
+	f.items = f.items[:0]
+	f.head = 0
+	f.workload = 0
+	q.spare = append(q.spare, f)
 }
 
 // Pop removes the oldest task of epoch ts. It returns false if none exists.
@@ -80,7 +99,7 @@ func (q *Queue) Pop(ts uint32) (Task, bool) {
 	if ok {
 		q.size--
 		if f.len() == 0 {
-			delete(q.epochs, ts)
+			q.retire(ts, f)
 		}
 	}
 	return t, ok
@@ -96,7 +115,7 @@ func (q *Queue) PopTail(ts uint32) (Task, bool) {
 	if ok {
 		q.size--
 		if f.len() == 0 {
-			delete(q.epochs, ts)
+			q.retire(ts, f)
 		}
 	}
 	return t, ok
