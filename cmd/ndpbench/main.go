@@ -119,7 +119,9 @@ func main() {
 		ckptDir   = flag.String("ckpt-dir", "", "persist every completed simulation to this directory so a rerun resumes instead of recomputing")
 		resumeDir = flag.String("resume-dir", "", "alias for -ckpt-dir, for resuming a killed campaign")
 		auditOn   = flag.Bool("audit", false, "run the invariant auditor inside every simulation; violations fail the experiment")
-		compare   = flag.Bool("compare", false, "benchdiff mode: ndpbench -compare old.json new.json prints per-experiment events/sec deltas and exits 1 on >10% regression")
+		compare   = flag.Bool("compare", false, "benchdiff mode: ndpbench -compare old.json new.json prints per-experiment events/sec deltas and exits 1 on regression beyond -compare-threshold")
+		compareTh = flag.Float64("compare-threshold", defaultRegressionThreshold, "relative events/sec drop treated as a regression by -compare (0.10 = 10%)")
+		critpath  = flag.Bool("critpath", false, "trace causal flows inside every simulation and print a per-experiment critical-path bottleneck table")
 	)
 	flag.Parse()
 	if *compare {
@@ -127,7 +129,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "usage: ndpbench -compare old.json new.json")
 			os.Exit(2)
 		}
-		os.Exit(runCompare(flag.Arg(0), flag.Arg(1)))
+		os.Exit(runCompare(flag.Arg(0), flag.Arg(1), *compareTh))
 	}
 	// Simulations allocate mostly long-lived system state up front and run
 	// near allocation-free after warm-up, so the default GC target (100%)
@@ -216,6 +218,9 @@ func main() {
 		if *metDir != "" {
 			experiments.EnableMetrics()
 		}
+		if *critpath {
+			experiments.EnableFlowTrace(0)
+		}
 		start := time.Now()
 		t, err := e.fn(sc)
 		if err != nil {
@@ -243,6 +248,11 @@ func main() {
 			rec.EventsPerSec = float64(c.Events) / wall
 		}
 		fmt.Println(t.Render())
+		if *critpath {
+			if rows := experiments.TakeCrit(); len(rows) > 0 {
+				fmt.Println(experiments.CritTable(rows).Render())
+			}
+		}
 		cached := ""
 		if h := experiments.CacheHits(); h > 0 {
 			cached = fmt.Sprintf(", %d resumed from checkpoint", h)
@@ -349,9 +359,10 @@ func writeBenchJSON(path string, b *benchFile) error {
 	return checkpoint.WriteFileAtomic(path, append(data, '\n'))
 }
 
-// regressionThreshold is the events/sec drop (relative to the old capture)
-// past which runCompare flags an experiment as regressed and exits non-zero.
-const regressionThreshold = 0.10
+// defaultRegressionThreshold is the default -compare-threshold: the
+// events/sec drop (relative to the old capture) past which runCompare flags
+// an experiment as regressed and exits non-zero.
+const defaultRegressionThreshold = 0.10
 
 func readBenchJSON(path string) (*benchFile, error) {
 	data, err := os.ReadFile(path)
@@ -367,10 +378,10 @@ func readBenchJSON(path string) (*benchFile, error) {
 
 // runCompare diffs two -benchjson captures (benchdiff): per-experiment
 // events/sec deltas plus the aggregate, returning 1 when any non-analytic
-// experiment (or the aggregate) regressed by more than regressionThreshold.
-// Analytic rows and experiments missing from either capture are reported but
-// never counted as regressions.
-func runCompare(oldPath, newPath string) int {
+// experiment (or the aggregate) regressed by more than threshold. Analytic
+// rows and experiments missing from either capture are reported but never
+// counted as regressions.
+func runCompare(oldPath, newPath string, threshold float64) int {
 	oldB, err := readBenchJSON(oldPath)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ndpbench: compare: %v\n", err)
@@ -390,7 +401,7 @@ func runCompare(oldPath, newPath string) int {
 		oldBy[r.Name] = r
 	}
 	fmt.Printf("%-12s %14s %14s %9s\n", "experiment", "old ev/s", "new ev/s", "delta")
-	regressed := false
+	var regressions []string
 	for _, nr := range newB.Experiments {
 		or, ok := oldBy[nr.Name]
 		switch {
@@ -403,9 +414,9 @@ func runCompare(oldPath, newPath string) int {
 		default:
 			delta := nr.EventsPerSec/or.EventsPerSec - 1
 			mark := ""
-			if delta < -regressionThreshold {
+			if delta < -threshold {
 				mark = "  REGRESSED"
-				regressed = true
+				regressions = append(regressions, fmt.Sprintf("%s %+.1f%%", nr.Name, delta*100))
 			}
 			fmt.Printf("%-12s %14.0f %14.0f %+8.1f%%%s\n", nr.Name, or.EventsPerSec, nr.EventsPerSec, delta*100, mark)
 		}
@@ -416,15 +427,16 @@ func runCompare(oldPath, newPath string) int {
 		if oldAgg > 0 {
 			delta := newAgg/oldAgg - 1
 			mark := ""
-			if delta < -regressionThreshold {
+			if delta < -threshold {
 				mark = "  REGRESSED"
-				regressed = true
+				regressions = append(regressions, fmt.Sprintf("aggregate %+.1f%%", delta*100))
 			}
 			fmt.Printf("%-12s %14.0f %14.0f %+8.1f%%%s\n", "aggregate", oldAgg, newAgg, delta*100, mark)
 		}
 	}
-	if regressed {
-		fmt.Fprintf(os.Stderr, "ndpbench: compare: regression beyond %.0f%% detected\n", regressionThreshold*100)
+	if len(regressions) > 0 {
+		fmt.Fprintf(os.Stderr, "ndpbench: compare: regression beyond %.0f%%: %s\n",
+			threshold*100, strings.Join(regressions, ", "))
 		return 1
 	}
 	return 0

@@ -44,6 +44,10 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "simulation seed")
 		verbose  = flag.Bool("v", false, "print per-component detail")
 		traceOut = flag.String("trace", "", "write a Chrome/Perfetto trace JSON to this file")
+		flowOut  = flag.String("flowtrace", "", "write a Chrome/Perfetto trace with causal flow arrows to this file")
+		critOn   = flag.Bool("critpath", false, "print the critical-path attribution report")
+		critOut  = flag.String("critpath-json", "", "write the critical-path report JSON to this file")
+		traceCap = flag.Int("trace-cap", 0, "max retained trace events and causal spans (0 = default 2M each)")
 		heatmap  = flag.Bool("heatmap", false, "print a per-unit utilization heatmap")
 		metOut   = flag.String("metrics", "", "write instrument metrics (counters, histograms, sampled series) JSON to this file")
 		progress = flag.Bool("progress", false, "print a progress heartbeat to stderr while simulating")
@@ -165,8 +169,12 @@ func main() {
 		}()
 	}
 	var rec *trace.Recorder
-	if *traceOut != "" || *heatmap {
-		rec = trace.New(0)
+	flows := *flowOut != "" || *critOn || *critOut != ""
+	if *traceOut != "" || *heatmap || flows {
+		rec = trace.New(*traceCap)
+		if flows {
+			rec.EnableFlows(*traceCap)
+		}
 		sys.AttachTrace(rec)
 	}
 	var reg *metrics.Registry
@@ -192,6 +200,15 @@ func main() {
 	}
 
 	fmt.Println(r)
+	if rec != nil {
+		// Dropped counts surface capped traces: a report built from a
+		// truncated recording should say so, not pass as complete.
+		fmt.Printf("trace: %d events retained (%d dropped)", rec.Len(), rec.Dropped())
+		if rec.FlowsEnabled() {
+			fmt.Printf(", %d spans retained (%d dropped)", rec.SpanCount(), rec.DroppedSpans())
+		}
+		fmt.Println()
+	}
 	if *verbose {
 		printDetail(r)
 	}
@@ -206,6 +223,25 @@ func main() {
 		fatalIf(rec.ChromeTrace(&buf))
 		fatalIf(checkpoint.WriteFileAtomic(*traceOut, buf.Bytes()))
 		fmt.Printf("wrote %d trace events to %s\n", rec.Len(), *traceOut)
+	}
+	if *flowOut != "" {
+		var buf bytes.Buffer
+		fatalIf(rec.FlowTrace(&buf))
+		fatalIf(checkpoint.WriteFileAtomic(*flowOut, buf.Bytes()))
+		fmt.Printf("wrote %d trace events and %d causal spans to %s\n", rec.Len(), rec.SpanCount(), *flowOut)
+	}
+	if *critOn || *critOut != "" {
+		rep := rec.CritPath(r.Makespan)
+		if *critOn {
+			fmt.Println()
+			fmt.Print(rep.Render())
+		}
+		if *critOut != "" {
+			data, err := json.MarshalIndent(rep, "", "  ")
+			fatalIf(err)
+			fatalIf(checkpoint.WriteFileAtomic(*critOut, append(data, '\n')))
+			fmt.Printf("wrote critical-path report (%d epochs) to %s\n", len(rep.Epochs), *critOut)
+		}
 	}
 	if *metOut != "" {
 		var buf bytes.Buffer

@@ -4,6 +4,7 @@ import (
 	"ndpbridge/internal/fault"
 	"ndpbridge/internal/msg"
 	"ndpbridge/internal/sim"
+	"ndpbridge/internal/trace"
 )
 
 // This file holds the bridges' fault-injection machinery: the per-hop fault
@@ -83,9 +84,11 @@ func (b *Level1) EnableFaults(inj *fault.Injector, retry bool, lost func(*msg.Me
 			idx := i
 			fi.scatterRet[i] = msg.NewRetrans(b.eng, cfg.Retry.Timeout, cfg.Retry.BackoffCap,
 				cfg.Retry.BufBytes, func(m *msg.Message) { b.wireScatter(idx, m) })
+			fi.scatterRet[i].SetTrace(b.env.Trace, b.children[i].ID())
 		}
 		fi.upRet = msg.NewRetrans(b.eng, cfg.Retry.Timeout, cfg.Retry.BackoffCap,
 			cfg.Retry.BufBytes, func(m *msg.Message) { b.pushUp(m) })
+		fi.upRet.SetTrace(b.env.Trace, -1)
 	}
 	b.fi = fi
 }
@@ -316,6 +319,7 @@ func (l *Level2) EnableFaults(inj *fault.Injector, retry bool) {
 			rank := r
 			fi.downRet[r] = msg.NewRetrans(l.eng, cfg.Retry.Timeout, cfg.Retry.BackoffCap,
 				cfg.Retry.BufBytes, func(m *msg.Message) { l.pushDown(rank, m) })
+			fi.downRet[r].SetTrace(l.env.Trace, -1)
 		}
 	}
 	l.fi = fi
@@ -365,6 +369,16 @@ func (l *Level2) commitUp(r int, m *msg.Message) {
 			return
 		}
 		m.Seq, m.Sum = 0, 0
+	}
+	if rec := l.env.Trace(); rec.FlowsEnabled() {
+		// Up-channel leg: level-1 drain → level-2 commit (channel batch).
+		now := l.eng.Now()
+		cat := trace.CatHostRT
+		if m.Sched || m.Round != 0 {
+			cat = trace.CatLBMigration
+		}
+		m.Span = rec.Span(m.Flow, m.Span, trace.SpanBridgeQ, cat, -1, m.HopStart(), now)
+		m.HopAt = now
 	}
 	l.routeUp(m)
 }

@@ -250,6 +250,7 @@ func (s *System) checkAdvance() {
 		return
 	}
 	s.rec.Record(trace.KindEpoch, -1, uint64(s.eng.Now()), uint64(s.eng.Now()), fmt.Sprintf("epoch %d", next))
+	s.rec.EpochMark(next, uint64(s.eng.Now()))
 	s.epoch = next
 	// Barrier broadcast: a small fixed cost before units resume.
 	s.eng.After(16, s.kickAll)
@@ -312,8 +313,15 @@ func (s *System) MaxEvents() uint64 { return s.maxEvents }
 // completion cycle — a profiling hook for tests and tools.
 func (s *System) SetTaskTrace(fn func(now uint64)) { s.taskTrace = fn }
 
-// AttachTrace installs an activity recorder. Attach before Run.
-func (s *System) AttachTrace(r *trace.Recorder) { s.rec = r }
+// AttachTrace installs an activity recorder. Attach before Run. If a metrics
+// registry is already attached, the recorder's per-category wait histograms
+// bind to it (and vice versa in AttachMetrics — attachment order is free).
+func (s *System) AttachTrace(r *trace.Recorder) {
+	s.rec = r
+	if s.met != nil {
+		r.BindMetrics(s.met)
+	}
+}
 
 // MsgPool returns the run's shared message pool (ndpunit.Env).
 func (s *System) MsgPool() *msg.Pool { return s.pool }
@@ -341,6 +349,7 @@ func (s *System) AttachMetrics(reg *metrics.Registry) {
 	if reg == nil {
 		return
 	}
+	s.rec.BindMetrics(reg)
 	s.mEpoch = reg.Histogram("epoch_cycles")
 	for _, u := range s.units {
 		u.BindMetrics(reg)
@@ -431,6 +440,7 @@ func (s *System) Run(app App) (*stats.Result, error) {
 	// The first epoch starts at the clock edge; later boundaries come from
 	// checkAdvance.
 	s.rec.Record(trace.KindEpoch, -1, s.eng.Now(), s.eng.Now(), "epoch 0")
+	s.rec.EpochMark(0, s.eng.Now())
 	s.epochStart = s.eng.Now()
 	s.met.StartSampler(s.eng, s.cfg.IState)
 
@@ -620,6 +630,28 @@ func (s *System) collect(appName string) *stats.Result {
 		ec.ChannelBytes += rs.Bytes
 	}
 	r.Faults = s.faultResult()
+	if rep := s.rec.CritPath(uint64(s.eng.Now())); rep != nil {
+		dom, frac := rep.Dominant()
+		paths := 0
+		for _, ep := range rep.Epochs {
+			paths += ep.PathSpans
+		}
+		r.Crit = &stats.Crit{
+			Epochs:       len(rep.Epochs),
+			PathSpans:    paths,
+			BankBusy:     rep.Total.BankBusy,
+			TaskQueue:    rep.Total.TaskQueue,
+			GatherBatch:  rep.Total.GatherBatch,
+			BridgeQueue:  rep.Total.BridgeQueue,
+			LBMigration:  rep.Total.LBMigration,
+			Retry:        rep.Total.Retry,
+			HostRT:       rep.Total.HostRT,
+			Slack:        rep.Total.Slack,
+			Dominant:     dom,
+			DominantPct:  100 * frac,
+			DroppedSpans: rep.DroppedSpans,
+		}
+	}
 	r.Finalize()
 	r.Energy = energy.Breakdown(ec, s.cfg.Energy)
 	return r

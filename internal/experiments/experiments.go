@@ -67,7 +67,7 @@ func newApp(name string, sc Scale) (core.App, error) {
 func run(cfg config.Config, appName string, sc Scale) (*stats.Result, error) {
 	dir := CheckpointDir()
 	var key []byte
-	if dir != "" && !metricsEnabled() {
+	if dir != "" && !metricsEnabled() && !flowTraceEnabled() {
 		var err error
 		key, err = cacheKeyMaterial(cfg, appName, sc)
 		if err != nil {
@@ -114,6 +114,7 @@ func runSystem(sys *core.System, app core.App) (*stats.Result, error) {
 		sys.AttachMetrics(metrics.NewRegistry())
 		collect = true
 	}
+	attachFlowTrace(sys.AttachTrace, sys.Trace())
 	// Cancellation checkpoint: once the pool is canceled, the engine halts
 	// within 64K events instead of finishing a long simulation. The hook runs
 	// on the engine's own goroutine, so Stop needs no synchronization.
@@ -132,6 +133,9 @@ func runSystem(sys *core.System, app core.App) (*stats.Result, error) {
 	}
 	if collect {
 		mergeMetrics(sys.Metrics(), r.App+"/"+r.Design+"/")
+	}
+	if r.Crit != nil {
+		addCritRow(CritRow{App: r.App, Design: r.Design, Makespan: r.Makespan, Crit: *r.Crit})
 	}
 	ctrRuns.Add(1)
 	ctrEvents.Add(r.Events)

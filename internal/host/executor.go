@@ -159,16 +159,24 @@ func (e *Executor) tryStart(c int) {
 		lat = now - t.SpawnedAt
 	}
 	e.mTaskLat.Observe(lat)
-	e.ctxs[c] = hostCtx{e: e, start: now, cursor: now + e.cfg.Host.DispatchCost}
+	rec := e.env.Trace()
+	var execSpan uint32
+	if rec.FlowsEnabled() {
+		flow, enq := rec.TaskOrigin(t.Span, t.ID, t.SpawnedAt)
+		q := rec.Span(flow, t.Span, trace.SpanQueued, trace.CatTaskQueue, c, enq, uint64(now))
+		execSpan = rec.OpenSpan(flow, q, trace.SpanExec, trace.CatBankBusy, c, uint64(now))
+	}
+	e.ctxs[c] = hostCtx{e: e, start: now, cursor: now + e.cfg.Host.DispatchCost, span: execSpan}
 	e.env.Registry().Handler(t.Func)(&e.ctxs[c], t)
 	end := e.ctxs[c].cursor
 	if end <= now {
 		end = now + 1
 	}
+	rec.CloseSpan(execSpan, uint64(end))
 	e.mTaskExec.Observe(end - now)
 	e.busyCycles[c] += end - now
 	e.tasks[c]++
-	e.env.Trace().Record(trace.KindTask, c, uint64(now), uint64(end), e.env.Registry().Name(t.Func))
+	rec.Record(trace.KindTask, c, uint64(now), uint64(end), e.env.Registry().Name(t.Func))
 	e.curTS[c] = t.TS
 	eng.At(end, e.doneFns[c])
 }
@@ -187,6 +195,10 @@ type hostCtx struct {
 	e      *Executor
 	start  sim.Cycles
 	cursor sim.Cycles
+	// span is the running task's (open) execution span, which children
+	// reference as their causal parent (see execCtx in ndpunit). Zero when
+	// flow tracing is off.
+	span uint32
 }
 
 var _ task.Ctx = (*hostCtx)(nil)
@@ -235,6 +247,7 @@ func (c *hostCtx) Enqueue(t task.Task) {
 		t.ID = c.e.env.NextTaskID()
 	}
 	t.SpawnedAt = c.cursor
+	t.Span = c.span
 	c.e.queue.Push(t)
 	// Wake an idle core at the task's earliest start.
 	c.e.eng.At(c.cursor, c.e.kickFn)

@@ -102,6 +102,16 @@ type Message struct {
 	// of the wire format.
 	StagedAt uint64
 
+	// Flow/Span/HopAt carry causal-trace identity while flow tracing is on:
+	// the flow the message belongs to, the 1-based trace-span ID of the hop
+	// that produced it (its causal parent), and the cycle its current hop
+	// began (zero until the first hop completes — see HopStart). Simulator
+	// measurement metadata like StagedAt — never part of the wire format,
+	// the checksum, or snapshots; all-zero when tracing is off.
+	Flow  uint64
+	Span  uint32
+	HopAt uint64
+
 	// Seq and Sum are link-layer retry metadata, live only while the
 	// message traverses one bridge hop under the fault-injection retry
 	// protocol. The sender stamps a per-hop sequence number and a
@@ -153,6 +163,17 @@ func (m *Message) Size() uint64 {
 		return HeaderSize + 24
 	}
 	return HeaderSize
+}
+
+// HopStart returns the cycle the message's current hop began: HopAt once a
+// hop span has been recorded, else the staging cycle. Keeping the first-hop
+// stamp implicit (rather than storing HopAt at emit time) keeps the hot
+// staging path free of trace code.
+func (m *Message) HopStart() uint64 {
+	if m.HopAt == 0 {
+		return m.StagedAt
+	}
+	return m.HopAt
 }
 
 // RouteAddr returns the address the bridges route on: the data element

@@ -117,6 +117,9 @@ func (p *Pool) NewTaskIn(src, dst int, t task.Task) *Message {
 	m.Src = src
 	m.Dst = dst
 	m.Task = t
+	// The hop-chain parent is the task's causal parent; the flow is stamped
+	// by the caller when tracing is on (the pool has no recorder access).
+	m.Span = t.Span
 	return m
 }
 

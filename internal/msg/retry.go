@@ -2,6 +2,7 @@ package msg
 
 import (
 	"ndpbridge/internal/sim"
+	"ndpbridge/internal/trace"
 )
 
 // This file implements the per-hop retry machinery of the fault-tolerant
@@ -46,6 +47,21 @@ type Retrans struct {
 	bytes   uint64
 	armed   bool //ndplint:nosnap deliberately not encoded; RestoreFrom re-arms the sweep
 	st      RetransStats
+
+	// Causal-trace wiring, set by SetTrace: trc is consulted at each
+	// retransmission for the current recorder (late-bound — recorders attach
+	// to a system after its components are built) and trcActor labels the
+	// retransmission spans.
+	trc      func() *trace.Recorder //ndplint:nosnap trace wiring from SetTrace
+	trcActor int                    //ndplint:nosnap trace wiring from SetTrace
+}
+
+// SetTrace wires a late-bound causal tracer: src returns the recorder in
+// effect when a retransmission fires (nil recorders and flow-disabled
+// recorders cost one branch), actor labels the spans.
+func (r *Retrans) SetTrace(src func() *trace.Recorder, actor int) {
+	r.trc = src
+	r.trcActor = actor
 }
 
 // NewRetrans builds a retransmit buffer. send is invoked for every
@@ -110,6 +126,19 @@ func (r *Retrans) Nack(seq uint32) {
 // sweep is iterating it (and a nack storm would recurse on the stack).
 func (r *Retrans) resend(i int) {
 	e := &r.entries[i]
+	if r.trc != nil {
+		if rec := r.trc(); rec.FlowsEnabled() {
+			// The span covers the round-trip that just failed: from the
+			// send whose ack window expired (deadline − rto) to now. A
+			// nack-triggered resend has a future deadline; clamp to now.
+			now := uint64(r.eng.Now())
+			last := now
+			if d := uint64(e.deadline); d <= now && d >= uint64(e.rto) {
+				last = d - uint64(e.rto)
+			}
+			rec.Span(e.m.Flow, e.m.Span, trace.SpanRetx, trace.CatRetry, r.trcActor, last, now)
+		}
+	}
 	e.rto *= 2
 	if e.rto > r.rtoCap {
 		e.rto = r.rtoCap

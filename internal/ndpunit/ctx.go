@@ -17,6 +17,9 @@ type execCtx struct {
 	u      *Unit
 	start  sim.Cycles
 	cursor sim.Cycles
+	// span is the running task's (open) execution span, which children
+	// reference as their causal parent. Zero when flow tracing is off.
+	span uint32
 }
 
 var _ task.Ctx = (*execCtx)(nil)
@@ -55,6 +58,7 @@ func (c *execCtx) Enqueue(t task.Task) {
 		t.ID = u.env.NextTaskID()
 	}
 	t.SpawnedAt = c.cursor
+	t.Span = c.span
 	if _, local := u.localOffset(t.Addr); local {
 		u.acceptTask(t)
 		return

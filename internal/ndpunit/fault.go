@@ -70,6 +70,7 @@ func (u *Unit) EnableRetry(parent Parent) {
 	cfg := u.cfg
 	u.ft.gatherRet = msg.NewRetrans(u.eng, cfg.Retry.Timeout, cfg.Retry.BackoffCap,
 		cfg.Retry.BufBytes, func(m *msg.Message) { parent.GatherIn(u.id, m) })
+	u.ft.gatherRet.SetTrace(u.env.Trace, u.id)
 }
 
 // SetLostHook installs the terminal-loss callback invoked for every message

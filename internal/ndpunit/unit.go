@@ -430,15 +430,25 @@ func (u *Unit) runTask(t task.Task, eng *sim.Engine, epj float64) {
 	if t.SpawnedAt <= now {
 		u.mTaskLat.Observe(now - t.SpawnedAt)
 	}
+	// Causal spans: the closed queue-wait span, then an open execution span
+	// children can reference as their parent; closed once the cursor lands.
+	rec := u.env.Trace()
+	var execSpan uint32
+	if rec.FlowsEnabled() {
+		flow, enq := rec.TaskOrigin(t.Span, t.ID, t.SpawnedAt)
+		q := rec.Span(flow, t.Span, trace.SpanQueued, trace.CatTaskQueue, u.id, enq, now)
+		execSpan = rec.OpenSpan(flow, q, trace.SpanExec, trace.CatBankBusy, u.id, now)
+	}
 	// Task queue pop: one DRAM record read. The execution context is reused
 	// across tasks — handlers run synchronously and never retain it.
 	cursor := u.bank.Access(now, u.queueOff, taskRecordBytes, false, dram.AccessLocal, epj)
-	u.ctx = execCtx{u: u, start: now, cursor: cursor}
+	u.ctx = execCtx{u: u, start: now, cursor: cursor, span: execSpan}
 	u.env.Registry().Handler(t.Func)(&u.ctx, t)
 	end := u.ctx.cursor
 	if end <= now {
 		end = now + 1
 	}
+	rec.CloseSpan(execSpan, end)
 	u.mTaskExec.Observe(end - now)
 	u.st.Busy += end - now
 	u.st.Tasks++
@@ -481,6 +491,9 @@ func (u *Unit) taskDone() {
 func (u *Unit) taskMessage(t task.Task, escalate bool) *msg.Message {
 	m := u.pool.NewTaskIn(u.id, u.env.Map().Home(t.Addr), t)
 	m.Escalate = escalate
+	if rec := u.env.Trace(); rec.FlowsEnabled() {
+		m.Flow, _ = rec.TaskOrigin(t.Span, t.ID, t.SpawnedAt)
+	}
 	return m
 }
 
@@ -490,6 +503,20 @@ func (u *Unit) emit(m *msg.Message) {
 	u.env.MsgStaged()
 	m.StagedAt = u.eng.Now()
 	u.staged = append(u.staged, m)
+}
+
+// hopCat picks the attribution category for a message hop at this unit:
+// load-balancing traffic bills migration; designs whose fabric is the host
+// (C, R's cross-chip path, H) bill the host round-trip; bridge designs bill
+// gather/scatter batching delay.
+func (u *Unit) hopCat(m *msg.Message) trace.Category {
+	if m.Sched || m.Round != 0 {
+		return trace.CatLBMigration
+	}
+	if u.cfg.Design.UsesBridges() {
+		return trace.CatGatherBatch
+	}
+	return trace.CatHostRT
 }
 
 // flushStaged moves staged messages into the mailbox (or the chip mailbox
@@ -534,6 +561,15 @@ func (u *Unit) DrainChipMail(budget uint64) []*msg.Message {
 	}
 	ms := u.chipMail.DrainUpTo(budget)
 	if len(ms) > 0 {
+		if rec := u.env.Trace(); rec.FlowsEnabled() {
+			now := u.eng.Now()
+			for _, m := range ms {
+				// Intra-chip RowClone pickup: batching delay, like a
+				// bridge gather.
+				m.Span = rec.Span(m.Flow, m.Span, trace.SpanMailbox, trace.CatGatherBatch, u.id, m.HopStart(), now)
+				m.HopAt = now
+			}
+		}
 		epj := u.cfg.Energy.DRAMAccessPJPer64b
 		u.bank.Access(u.eng.Now(), u.mailboxOff, msg.TotalSize(ms), false, dram.AccessComm, epj)
 		if len(u.staged) > 0 && u.flushStaged() {
@@ -562,12 +598,22 @@ func (u *Unit) DrainMailbox(budget uint64) ([]*msg.Message, sim.Cycles) {
 		if u.ft.gatherRet != nil && u.ft.gatherRet.Full() {
 			// Retransmit-buffer watermark: refuse the drain so the
 			// bridge's backpressure reaches the mailbox.
+			u.env.Trace().Span(0, 0, trace.SpanBlocked, trace.CatRetry, u.id, now, now)
 			return nil, now
 		}
 	}
 	ms := u.mb.DrainUpTo(budget)
 	if len(ms) == 0 {
 		return nil, now
+	}
+	if rec := u.env.Trace(); rec.FlowsEnabled() {
+		// One mailbox-wait span per message: staged → picked up by this
+		// gather. The message's span/hop stamps advance to this hop so the
+		// next leg chains causally.
+		for _, m := range ms {
+			m.Span = rec.Span(m.Flow, m.Span, trace.SpanMailbox, u.hopCat(m), u.id, m.HopStart(), now)
+			m.HopAt = now
+		}
 	}
 	if u.ft != nil && u.ft.gatherRet != nil {
 		// Stamp each message with a gather-hop sequence number and
@@ -731,13 +777,22 @@ func (u *Unit) receive(m *msg.Message) {
 	u.st.MsgsIn++
 	u.env.MsgDelivered()
 	now := uint64(u.eng.Now())
-	u.env.Trace().Record(trace.KindDeliver, u.id, now, now, "")
+	rec := u.env.Trace()
+	rec.Record(trace.KindDeliver, u.id, now, now, "")
+	if rec.FlowsEnabled() {
+		// Final in-flight leg: last hop handoff → bank commit here.
+		m.Span = rec.Span(m.Flow, m.Span, trace.SpanDeliver, u.hopCat(m), u.id, m.HopStart(), now)
+		m.HopAt = now
+	}
 	if m.StagedAt <= now {
 		u.mMsgLat.Observe(now - m.StagedAt)
 	}
 	switch m.Type {
 	case msg.TypeTask:
 		t := m.Task
+		// The task resumes its flow at this unit: its queue wait chains off
+		// the delivery span (whose End is the delivery commit).
+		t.Span = m.Span
 		if _, local := u.localOffset(t.Addr); !local {
 			// Chasing a moving block: re-emit toward its home;
 			// escalate if we are the home (it lives in another
@@ -848,7 +903,11 @@ func (u *Unit) returnBlock(blk, slot uint64) {
 	u.cache.Invalidate(blk)
 	home := u.env.Map().Home(blk)
 	u.splitBuf = u.pool.SplitDataInto(u.splitBuf[:0], u.id, home, blk, uint32(u.gxfer()))
+	// A returning block is its own causal root (the LB round that lent it
+	// out is long resolved): one fresh flow shared by its sub-messages.
+	flow := u.env.Trace().NewFlow()
 	for _, dm := range u.splitBuf {
+		dm.Flow = flow
 		u.emit(dm)
 	}
 	u.flushStaged()
@@ -996,15 +1055,23 @@ func (u *Unit) CommandSchedule(budget uint64, round uint32) {
 		u.cache.Invalidate(s.blk)
 		u.st.Lent++
 		u.splitBuf = u.pool.SplitDataInto(u.splitBuf[:0], u.id, -1, s.blk, uint32(u.gxfer()))
+		// Each migrated block starts a fresh flow; its scheduled-out tasks
+		// keep their own task flows (the spans bill CatLBMigration either
+		// way via the Sched/Round marks).
+		flow := u.env.Trace().NewFlow()
 		for _, dm := range u.splitBuf {
 			dm.Sched = true
 			dm.Round = round
+			dm.Flow = flow
 			u.emit(dm)
 		}
 		for _, t := range s.tasks {
 			tm := u.pool.NewTaskIn(u.id, -1, t)
 			tm.Sched = true
 			tm.Round = round
+			if rec := u.env.Trace(); rec.FlowsEnabled() {
+				tm.Flow, _ = rec.TaskOrigin(t.Span, t.ID, t.SpawnedAt)
+			}
 			u.emit(tm)
 		}
 		u.schedOut = append(u.schedOut, msg.SchedOut{BlockAddr: s.blk, Workload: s.w})

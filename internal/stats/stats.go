@@ -107,6 +107,45 @@ type Result struct {
 	// Faults summarizes fault injection and recovery. Nil when the run
 	// carried no fault plan, so faultless output stays byte-identical.
 	Faults *FaultStats
+
+	// Crit summarizes the critical-path attribution (internal/trace.CritPath).
+	// Nil when the run carried no flow tracing; omitted from JSON then so
+	// untraced output stays byte-identical.
+	Crit *Crit `json:",omitempty"`
+}
+
+// Crit is the critical-path makespan attribution of one traced run: every
+// cycle of the makespan billed to exactly one exclusive category. The fields
+// mirror trace.CatCycles but stay plain integers so stats keeps no trace
+// dependency.
+type Crit struct {
+	Epochs       int
+	PathSpans    int
+	BankBusy     uint64
+	TaskQueue    uint64
+	GatherBatch  uint64
+	BridgeQueue  uint64
+	LBMigration  uint64
+	Retry        uint64
+	HostRT       uint64
+	Slack        uint64
+	Dominant     string
+	DominantPct  float64
+	DroppedSpans uint64
+}
+
+// String renders the attribution as percentage shares of the makespan.
+func (c *Crit) String() string {
+	total := c.BankBusy + c.TaskQueue + c.GatherBatch + c.BridgeQueue +
+		c.LBMigration + c.Retry + c.HostRT + c.Slack
+	if total == 0 {
+		return "critpath: no spans"
+	}
+	pct := func(v uint64) float64 { return 100 * float64(v) / float64(total) }
+	return fmt.Sprintf("critpath: bank-busy=%.1f%% task-queue=%.1f%% gather-batch=%.1f%% bridge-queue=%.1f%% "+
+		"lb-migration=%.1f%% retry-backoff=%.1f%% host-roundtrip=%.1f%% slack=%.1f%% dominant=%s",
+		pct(c.BankBusy), pct(c.TaskQueue), pct(c.GatherBatch), pct(c.BridgeQueue),
+		pct(c.LBMigration), pct(c.Retry), pct(c.HostRT), pct(c.Slack), c.Dominant)
 }
 
 // FaultStats aggregates one run's injected faults and the recovery work they

@@ -23,12 +23,21 @@ const MaxArgs = 3
 // Task is one data-centric unit of work. The zero value is not a valid task;
 // use New.
 type Task struct {
-	Func     FuncID
-	TS       uint32 // bulk-synchronization timestamp (epoch)
-	Addr     uint64 // physical address of the data element it operates on
-	Workload uint32 // estimated cycles; 0 means unspecified
-	NArgs    uint8
-	Args     [MaxArgs]uint64
+	Func  FuncID
+	NArgs uint8
+	TS    uint32 // bulk-synchronization timestamp (epoch)
+	Addr  uint64 // physical address of the data element it operates on
+	// Workload is the estimated cycles; 0 means unspecified.
+	Workload uint32
+	// Span is the 1-based trace-span ID of this task's causal parent while
+	// flow tracing is on (zero otherwise, and for flow roots). The flow and
+	// queue-entry cycle are derived from the parent record at pickup
+	// (trace.Recorder.TaskOrigin), so this one uint32 — packed into what
+	// would otherwise be padding — is the task's whole trace footprint and
+	// the struct stays a single 64-byte cache line. Simulator measurement
+	// metadata; never part of the wire format or snapshots.
+	Span uint32
+	Args [MaxArgs]uint64
 
 	// SpawnedAt is the cycle the task was created, stamped by the runtime
 	// at seed/enqueue time. Simulator measurement metadata (it feeds the

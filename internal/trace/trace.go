@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"io"
 	"sort"
+
+	"ndpbridge/internal/metrics"
 )
 
 // Kind classifies a recorded event.
@@ -57,6 +59,17 @@ type Recorder struct {
 	events  []Event
 	cap     int
 	dropped uint64
+
+	// Causal flow state (span.go), active only after EnableFlows: spans with
+	// parent links under their own cap, epoch boundary marks, and optional
+	// per-category wait histograms bound by BindMetrics.
+	flows     bool
+	spans     []Span
+	spanCap   int
+	spanDrops uint64
+	nextFlow  uint64
+	epochs    []EpochMark
+	catHist   [nCategories]*metrics.Histogram
 }
 
 // New returns a recorder with the given event capacity (0 = default 2M).
@@ -124,6 +137,18 @@ func (r *Recorder) ChromeTrace(w io.Writer) error {
 		r.Len(), r.Dropped(), capacity); err != nil {
 		return err
 	}
+	if err := r.writeEventBody(bw); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString("\n]\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// writeEventBody emits the interval-event records shared by ChromeTrace and
+// FlowTrace (one ",\n  {...}" per event, continuing an open JSON array).
+func (r *Recorder) writeEventBody(bw *bufio.Writer) error {
 	for _, e := range r.Events() {
 		dur := e.End - e.Start
 		if dur == 0 {
@@ -139,10 +164,7 @@ func (r *Recorder) ChromeTrace(w io.Writer) error {
 			return err
 		}
 	}
-	if _, err := bw.WriteString("\n]\n"); err != nil {
-		return err
-	}
-	return bw.Flush()
+	return nil
 }
 
 // Utilization returns, for each actor, the fraction of each of `buckets`
