@@ -10,7 +10,9 @@
 //	ndpbench -pprof-cpu cpu.out -exp fig10
 //
 // Experiments: fig2, fig10, fig11, fig12, fig13, fig14a, fig14b, fig15,
-// fig16a, fig16b, fig16cd, splitdb, l2variants, latency, tab1, tab2.
+// fig16a, fig16b, fig16cd, splitdb, l2variants, latency, tab1, tab2,
+// serving (open-loop saturation sweep), servedegrade (rank-dark
+// degradation curve).
 //
 // Independent (app, design, config) simulations are fanned across a worker
 // pool; -j controls its width (default: one worker per CPU, -j 1 restores
@@ -68,6 +70,8 @@ var all = []struct {
 	{name: "splitdb", fn: experiments.SplitDB},
 	{name: "l2variants", fn: experiments.L2Variants},
 	{name: "latency", fn: experiments.Latency},
+	{name: "serving", fn: experiments.ServingSweep},
+	{name: "servedegrade", fn: experiments.ServingDegrade},
 }
 
 // writeCSV stores one experiment table under dir. The write is atomic: a

@@ -5,6 +5,12 @@
 //	ndpsim -app tree -design O
 //	ndpsim -app pr -design C -units 128
 //	ndpsim -app bfs -design O -gxfer 64 -small
+//
+// With -serve it instead runs the open-loop serving workload: a kvstore-style
+// GET stream with seeded arrivals, admission control, and an SLO report:
+//
+//	ndpsim -serve -rate 8 -slo 20000
+//	ndpsim -serve -arrival burst -rate 4 -policy codel -faults examples/faults/rankdark.json
 package main
 
 import (
@@ -26,6 +32,7 @@ import (
 	"ndpbridge/internal/metrics"
 	"ndpbridge/internal/stats"
 	"ndpbridge/internal/trace"
+	"ndpbridge/internal/traffic"
 	"ndpbridge/internal/workloads"
 )
 
@@ -57,6 +64,15 @@ func main() {
 		ckptEvr  = flag.Uint64("ckpt-every", 0, "cycles between periodic checkpoints (0 = only on interrupt)")
 		resume   = flag.String("resume", "", "resume from a checkpoint file (replay-verified; supersedes workload/config flags)")
 		auditOn  = flag.Bool("audit", false, "run the invariant auditor; conservation violations abort the run")
+
+		serveOn  = flag.Bool("serve", false, "run the open-loop serving workload instead of -app")
+		arrival  = flag.String("arrival", "poisson", "serving arrival process: poisson, burst, diurnal")
+		rate     = flag.Float64("rate", 2, "serving offered load in requests per 1000 cycles")
+		requests = flag.Uint64("requests", 2000, "serving arrivals to generate")
+		queueCap = flag.Int("queue", 64, "serving admission queue depth")
+		policy   = flag.String("policy", "drop-newest", "serving shed policy: drop-newest, drop-oldest, codel")
+		sloP99   = flag.Uint64("slo", 20000, "serving p99 latency target in cycles")
+		window   = flag.Uint64("window", 0, "serving degradation-curve window in cycles (0 = no windows)")
 	)
 	flag.Parse()
 
@@ -101,6 +117,23 @@ func main() {
 	cfg.SplitDIMMBuffer = *split
 	cfg.Seed = *seed
 
+	// The serving spec is built from flags; a resumed serving checkpoint
+	// supersedes it below (the label carries the exact spec).
+	var serveSpec *traffic.Spec
+	if *serveOn {
+		sp := traffic.DefaultSpec()
+		sp.Arrival = *arrival
+		sp.Rate = *rate
+		sp.Requests = *requests
+		sp.Seed = *seed
+		sp.QueueCap = *queueCap
+		sp.Policy = *policy
+		sp.SLOP99 = *sloP99
+		sp.Window = *window
+		fatalIf(sp.Validate())
+		serveSpec = &sp
+	}
+
 	// A checkpoint supersedes the workload and config flags: the run must
 	// be rebuilt exactly as recorded or the replay-verify marker check
 	// rejects it.
@@ -109,25 +142,42 @@ func main() {
 		resumeCk, err = core.ReadCheckpoint(*resume)
 		fatalIf(err)
 		fatalIf(json.Unmarshal(resumeCk.CfgJSON, &cfg))
-		name, sized, ok := strings.Cut(resumeCk.App, "@")
-		if !ok {
-			fatalIf(fmt.Errorf("checkpoint %s: malformed app label %q", *resume, resumeCk.App))
+		if label, isServe := strings.CutPrefix(resumeCk.App, "serve:"); isServe {
+			sp, err := traffic.ParseSpec(label)
+			fatalIf(err)
+			serveSpec = &sp
+			fmt.Printf("resuming serving run from %s: epoch %d, cycle %d\n",
+				*resume, resumeCk.Epoch, resumeCk.Cycle)
+		} else {
+			serveSpec = nil
+			name, sized, ok := strings.Cut(resumeCk.App, "@")
+			if !ok {
+				fatalIf(fmt.Errorf("checkpoint %s: malformed app label %q", *resume, resumeCk.App))
+			}
+			*appName, *small = name, sized == "small"
+			fmt.Printf("resuming %s (%s workload) from %s: epoch %d, cycle %d\n",
+				name, sized, *resume, resumeCk.Epoch, resumeCk.Cycle)
 		}
-		*appName, *small = name, sized == "small"
-		fmt.Printf("resuming %s (%s workload) from %s: epoch %d, cycle %d\n",
-			name, sized, *resume, resumeCk.Epoch, resumeCk.Cycle)
 	}
 
 	var app core.App
-	if *small {
+	if serveSpec != nil {
+		app = core.ServingApp{}
+	} else if *small {
 		app, err = workloads.NewSmall(*appName)
+		fatalIf(err)
 	} else {
 		app, err = workloads.New(*appName)
+		fatalIf(err)
 	}
-	fatalIf(err)
 
 	sys, err := core.New(cfg)
 	fatalIf(err)
+	if serveSpec != nil {
+		src, err := traffic.NewSource(*serveSpec, 64)
+		fatalIf(err)
+		sys.AttachTraffic(src)
+	}
 	switch {
 	case resumeCk != nil:
 		plan, err := resumeCk.Plan()
@@ -149,11 +199,15 @@ func main() {
 		fatalIf(sys.AttachAudit(0))
 	}
 	if *ckptOut != "" {
-		sized := "full"
-		if *small {
-			sized = "small"
+		if serveSpec != nil {
+			sys.SetCheckpointApp("serve:" + serveSpec.Label())
+		} else {
+			sized := "full"
+			if *small {
+				sized = "small"
+			}
+			sys.SetCheckpointApp(*appName + "@" + sized)
 		}
-		sys.SetCheckpointApp(*appName + "@" + sized)
 		sys.EnableCheckpoints(*ckptOut, *ckptEvr)
 		// First signal: snapshot at the next barrier and stop cleanly.
 		// Second signal: force exit (the run may be far from a barrier).
@@ -294,6 +348,12 @@ func printDetail(r *stats.Result) {
 	}
 	if !r.MsgLatency.IsZero() {
 		fmt.Printf("  msg latency:     %12s cycles (p50/p90/p99/max)\n", r.MsgLatency)
+	}
+	if v := r.Serving; v != nil {
+		fmt.Printf("  serving:         %12d offered, %d completed, %d shed (newest %d, oldest %d, deadline %d)\n",
+			v.Offered, v.Completed, v.ShedTotal(), v.ShedNewest, v.ShedOldest, v.ShedDeadline)
+		fmt.Printf("  serving latency: p50/p90/p99/p999/max %d/%d/%d/%d/%d cycles, goodput %.3f/kc of %.3f/kc offered\n",
+			v.P50, v.P90, v.P99, v.P999, v.MaxLat, v.GoodputKC, v.OfferedKC)
 	}
 	e := r.Energy
 	fmt.Printf("  energy (mJ):     core+SRAM %.2f, local DRAM %.2f, comm %.2f, static %.2f, total %.2f\n",

@@ -85,10 +85,12 @@ func (b *Level1) EnableFaults(inj *fault.Injector, retry bool, lost func(*msg.Me
 			fi.scatterRet[i] = msg.NewRetrans(b.eng, cfg.Retry.Timeout, cfg.Retry.BackoffCap,
 				cfg.Retry.BufBytes, func(m *msg.Message) { b.wireScatter(idx, m) })
 			fi.scatterRet[i].SetTrace(b.env.Trace, b.children[i].ID())
+			fi.scatterRet[i].SetJitter(msg.JitterSeed(2, uint64(b.children[i].ID())))
 		}
 		fi.upRet = msg.NewRetrans(b.eng, cfg.Retry.Timeout, cfg.Retry.BackoffCap,
 			cfg.Retry.BufBytes, func(m *msg.Message) { b.pushUp(m) })
 		fi.upRet.SetTrace(b.env.Trace, -1)
+		fi.upRet.SetJitter(msg.JitterSeed(3, uint64(b.rank)))
 	}
 	b.fi = fi
 }
@@ -320,6 +322,7 @@ func (l *Level2) EnableFaults(inj *fault.Injector, retry bool) {
 			fi.downRet[r] = msg.NewRetrans(l.eng, cfg.Retry.Timeout, cfg.Retry.BackoffCap,
 				cfg.Retry.BufBytes, func(m *msg.Message) { l.pushDown(rank, m) })
 			fi.downRet[r].SetTrace(l.env.Trace, -1)
+			fi.downRet[r].SetJitter(msg.JitterSeed(4, uint64(r)))
 		}
 	}
 	l.fi = fi

@@ -111,6 +111,11 @@ func (s *System) snapshotInto(e *checkpoint.Enc) {
 		s.l2.SnapshotTo(e)
 	}
 	s.inj.SnapshotTo(e)
+	// Serving state rides along only in serving mode, so closed-loop
+	// snapshots and digests stay byte-identical.
+	if s.serve != nil {
+		s.serve.src.SnapshotTo(e)
+	}
 }
 
 // StateDigest returns the FNV-64 digest of the full component state. The

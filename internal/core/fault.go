@@ -93,8 +93,18 @@ func (s *System) scheduleFaults() {
 	// backoff — so it only fires on genuine lack of progress.
 	wdPeriod := s.cfg.Retry.BackoffCap + sim.Cycles(s.injPlan.MaxCycles()) + 8*s.cfg.IState
 	s.wd = sim.NewWatchdog(s.eng, wdPeriod, 4,
+		// Admission activity (offers, sheds, injections) counts as progress
+		// through s.progress, so an open-loop overload interval that
+		// correctly sheds every arrival is not mistaken for a stall; a
+		// backed-up admission queue counts as pending work, so a fabric
+		// that stops draining it is.
 		func() uint64 { return s.progress },
-		func() bool { return s.outstanding[s.epoch] != 0 || s.inflight != 0 },
+		func() bool {
+			if s.outstanding[s.epoch] != 0 || s.inflight != 0 {
+				return true
+			}
+			return s.serve != nil && s.serve.src.QueueLen() > 0
+		},
 		func() { s.eng.Stop() })
 	s.wd.Start()
 }

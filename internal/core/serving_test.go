@@ -1,0 +1,282 @@
+package core
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"ndpbridge/internal/config"
+	"ndpbridge/internal/fault"
+	"ndpbridge/internal/stats"
+	"ndpbridge/internal/traffic"
+)
+
+func servingSpec() traffic.Spec {
+	sp := traffic.DefaultSpec()
+	sp.Shards = 128 // fits testCfg's 4 MB banks across 8 units
+	sp.Requests = 600
+	sp.Rate = 2
+	sp.Warmup = 2000
+	sp.Barrier = 1 << 13
+	return sp
+}
+
+func runServing(t *testing.T, d config.Design, sp traffic.Spec, plan *fault.Plan) (*System, *stats.Result) {
+	t.Helper()
+	sys, err := New(testCfg(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := traffic.NewSource(sp, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.AttachTraffic(src)
+	if plan != nil {
+		if err := sys.AttachFaults(plan, 7); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r, err := sys.Run(ServingApp{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, r
+}
+
+// TestServingCompletesAndBalances runs the open-loop serving app on every
+// design and checks the admission ledger: every offered request is either
+// completed or shed, nothing is lost, and the SLO report is populated.
+func TestServingCompletesAndBalances(t *testing.T) {
+	for _, d := range []config.Design{config.DesignO, config.DesignC, config.DesignH} {
+		sp := servingSpec()
+		_, r := runServing(t, d, sp, nil)
+		v := r.Serving
+		if v == nil {
+			t.Fatalf("%s: no serving report", d)
+		}
+		if v.Offered != sp.Requests {
+			t.Fatalf("%s: offered %d, want %d", d, v.Offered, sp.Requests)
+		}
+		if v.Completed+v.ShedTotal() != v.Offered {
+			t.Fatalf("%s: ledger leak: completed %d + shed %d != offered %d", d, v.Completed, v.ShedTotal(), v.Offered)
+		}
+		if v.Admitted != v.Completed {
+			t.Fatalf("%s: %d admitted requests never completed", d, v.Admitted-v.Completed)
+		}
+		if v.Completed == 0 || v.P99 == 0 || v.MaxLat == 0 {
+			t.Fatalf("%s: empty latency report: %+v", d, v)
+		}
+		if v.P50 > v.P90 || v.P90 > v.P99 || v.P99 > v.P999 || v.P999 > v.MaxLat {
+			t.Fatalf("%s: non-monotone percentiles: %+v", d, v)
+		}
+	}
+}
+
+// TestServingDeterministicRepeat: two identical serving runs must render
+// byte-identical JSON, including the windowed degradation curve.
+func TestServingDeterministicRepeat(t *testing.T) {
+	sp := servingSpec()
+	sp.Window = 1 << 14
+	one := func() string {
+		_, r := runServing(t, config.DesignO, sp, nil)
+		b, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	a, b := one(), one()
+	if a != b {
+		t.Fatalf("serving runs diverged:\n%s\n%s", a, b)
+	}
+}
+
+// TestServingOverloadSheds: offered load far beyond one-unit capacity with a
+// tiny admission queue must shed (not queue unboundedly) and still finish.
+func TestServingOverloadSheds(t *testing.T) {
+	for _, policy := range []string{traffic.PolicyDropNewest, traffic.PolicyDropOldest, traffic.PolicyCoDel} {
+		sp := servingSpec()
+		sp.Rate = 50 // ~6 kcycle of work per kcycle offered: far past saturation
+		sp.Policy = policy
+		sp.QueueCap = 16
+		sp.Requests = 1500
+		sys, r := runServing(t, config.DesignO, sp, nil)
+		v := r.Serving
+		if v.ShedTotal() == 0 {
+			t.Fatalf("%s: overload shed nothing: %+v", policy, v)
+		}
+		if v.Completed+v.ShedTotal() != v.Offered {
+			t.Fatalf("%s: ledger leak: %+v", policy, v)
+		}
+		if sys.ServingSource().QueueLen() != 0 {
+			t.Fatalf("%s: run ended with queued requests", policy)
+		}
+	}
+}
+
+// TestServingBackpressureCredits: a MaxInFlight credit pool must bound the
+// number of concurrently admitted requests without losing any.
+func TestServingBackpressureCredits(t *testing.T) {
+	sp := servingSpec()
+	sp.Rate = 20
+	sp.Requests = 400
+	sp.MaxInFlight = 4
+	sp.QueueCap = 500 // roomy: credits, not capacity, do the limiting
+	_, r := runServing(t, config.DesignO, sp, nil)
+	v := r.Serving
+	if v.Completed+v.ShedTotal() != v.Offered || v.Completed == 0 {
+		t.Fatalf("credit run leaked: %+v", v)
+	}
+}
+
+// TestServingWatchdogToleratesShedding is the watchdog regression test: a
+// fault plan arms the watchdog, the fabric is stalled dark for a long
+// window, and the admission queue is tiny — so for the whole dark window
+// the only "progress" is shedding. The watchdog must not trip (shedding IS
+// progress), and the run must still drain and finish.
+func TestServingWatchdogToleratesShedding(t *testing.T) {
+	sp := servingSpec()
+	sp.Rate = 20
+	sp.Requests = 1200
+	sp.QueueCap = 8
+	plan := &fault.Plan{Faults: []fault.Spec{}}
+	for u := 0; u < 8; u++ {
+		plan.Faults = append(plan.Faults, fault.Spec{
+			Kind: fault.KindStall, Unit: u, At: 4000, Cycles: 30000, Rank: -1,
+		})
+	}
+	sys, r := runServing(t, config.DesignO, sp, plan)
+	if sys.wd == nil {
+		t.Fatal("fault plan did not arm the watchdog")
+	}
+	if sys.wd.Tripped() {
+		t.Fatal("watchdog tripped on a correctly-shedding interval")
+	}
+	v := r.Serving
+	if v.ShedTotal() == 0 {
+		t.Fatal("dark window shed nothing — test lost its premise")
+	}
+	if v.Completed+v.ShedTotal() != v.Offered {
+		t.Fatalf("ledger leak under faults: %+v", v)
+	}
+}
+
+// TestServingGracefulDegradationAndRecovery: under a rank-dark fault the
+// per-window curve must show shedding during the dark window and goodput
+// recovery to ≥95% of the pre-fault level after healing.
+func TestServingGracefulDegradationAndRecovery(t *testing.T) {
+	sp := servingSpec()
+	sp.Rate = 6
+	sp.Requests = 3000
+	sp.QueueCap = 32
+	sp.Window = 1 << 14
+	const darkAt, darkLen = 100000, 80000
+	plan := &fault.Plan{}
+	for u := 0; u < 4; u++ { // rank 0 of testCfg's two ranks goes dark
+		plan.Faults = append(plan.Faults, fault.Spec{
+			Kind: fault.KindStall, Unit: u, At: darkAt, Cycles: darkLen, Rank: -1,
+		})
+	}
+	_, r := runServing(t, config.DesignO, sp, plan)
+	v := r.Serving
+	if len(v.Windows) == 0 {
+		t.Fatal("no degradation windows")
+	}
+	var preGood, darkShed, postGood float64
+	var preN, postN int
+	for _, w := range v.Windows {
+		end := w.Start + uint64(sp.Window)
+		switch {
+		case end <= darkAt && w.Start >= sp.Warmup:
+			preGood += float64(w.Completed)
+			preN++
+		case w.Start >= darkAt && end <= darkAt+darkLen:
+			darkShed += float64(w.Shed)
+		case w.Start >= darkAt+darkLen && w.Offered > 0:
+			postGood += float64(w.Completed)
+			postN++
+		}
+	}
+	if preN == 0 || postN == 0 {
+		t.Fatalf("windows missed the fault phases: %+v", v.Windows)
+	}
+	if darkShed == 0 {
+		t.Fatal("rank-dark window shed nothing")
+	}
+	pre, post := preGood/float64(preN), postGood/float64(postN)
+	if post < 0.95*pre {
+		t.Fatalf("goodput did not recover: pre %.1f/window, post %.1f/window", pre, post)
+	}
+}
+
+// TestServingCheckpointResume: a serving run checkpoints at its paced
+// barriers and a replay-resume reproduces the marker state and the exact
+// final result (arrival-stream determinism across resume).
+func TestServingCheckpointResume(t *testing.T) {
+	sp := servingSpec()
+	path := filepath.Join(t.TempDir(), "serve.ckpt")
+	sys, err := New(testCfg(config.DesignO))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := traffic.NewSource(sp, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.AttachTraffic(src)
+	sys.SetCheckpointApp("serve:" + sp.Label())
+	sys.EnableCheckpoints(path, 1) // every paced barrier
+	r1, err := sys.Run(ServingApp{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.CheckpointsWritten() == 0 {
+		t.Fatal("serving run wrote no checkpoints (paced barriers never fired?)")
+	}
+	ck, err := ReadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cfg config.Config
+	if err := json.Unmarshal(ck.CfgJSON, &cfg); err != nil {
+		t.Fatal(err)
+	}
+	sys2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src2, err := traffic.NewSource(sp, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys2.AttachTraffic(src2)
+	sys2.VerifyResume(ck)
+	r2, err := sys2.Run(ServingApp{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sys2.ResumeVerified() {
+		t.Fatal("serving replay never matched the checkpoint marker")
+	}
+	if !reflect.DeepEqual(r1, r2) {
+		t.Error("resumed serving run differs from original")
+	}
+}
+
+// TestClosedLoopUntouched: a closed-loop run on a serving-capable build must
+// produce a nil Serving report and no serving gauges.
+func TestClosedLoopUntouched(t *testing.T) {
+	sys, err := New(testCfg(config.DesignO))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := sys.Run(&pingPong{hops: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Serving != nil {
+		t.Fatal("closed-loop run grew a serving report")
+	}
+}

@@ -107,6 +107,10 @@ type System struct {
 	// Invariant auditor (see audit.go).
 	aud *auditor
 
+	// Open-loop serving wiring (see serving.go). Nil for closed-loop runs,
+	// which keeps every closed-loop code path and output byte-identical.
+	serve *servingState
+
 	// Fault injection and recovery (all nil/zero without AttachFaults).
 	inj              *fault.Injector
 	injPlan          *fault.Plan
@@ -231,6 +235,12 @@ func (s *System) checkAdvance() {
 		return
 	}
 	if s.outstanding[s.epoch] != 0 || s.inflight != 0 {
+		return
+	}
+	if s.serve != nil {
+		// Open-loop serving: barriers are paced, termination is decided by
+		// the traffic source, and epochs never re-seed (see serving.go).
+		s.servingAdvance()
 		return
 	}
 	delete(s.outstanding, s.epoch)
@@ -566,6 +576,9 @@ func (s *System) collect(appName string) *stats.Result {
 	if s.met != nil {
 		r.TaskLatency = latencySummary(s.met.FindHistogram("task_latency_cycles"))
 		r.MsgLatency = latencySummary(s.met.FindHistogram("msg_latency_cycles"))
+	}
+	if s.serve != nil {
+		r.Serving = s.serve.src.Report(uint64(s.eng.Now()))
 	}
 	ec := energy.Counters{Makespan: s.eng.Now(), Units: s.cfg.Geometry.Units()}
 

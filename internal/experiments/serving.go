@@ -1,0 +1,199 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ndpbridge/internal/core"
+	"ndpbridge/internal/fault"
+	"ndpbridge/internal/stats"
+	"ndpbridge/internal/traffic"
+)
+
+// Open-loop serving experiments: the saturation sweep (offered load vs
+// goodput and tail latency, with knee detection) and the graceful-degradation
+// curve (windowed goodput/shedding under a rank-dark fault). Serving runs
+// bypass the campaign checkpoint cache on purpose — its key is (config, app,
+// scale) and does not include the traffic spec — and instead build their
+// systems directly, still routing through runSystem for metrics, flow
+// tracing, cancellation, and the events/sec counters.
+
+// servingFaultSeed seeds the injector for degradation runs. Stall-only plans
+// draw nothing from it, but a fixed value keeps the label honest if the plan
+// ever grows probabilistic faults.
+const servingFaultSeed = 7
+
+// perUnitRates is the saturation sweep's offered-load axis in requests per
+// kilocycle per unit. One unit serves at most 1000/serveLookupCost ≈ 8.3
+// requests per kilocycle, and the Zipfian skew concentrates load on the
+// hot-shard unit well before the aggregate bound, so the axis crosses the
+// knee inside this range at every scale.
+var perUnitRates = []float64{0.25, 0.5, 1, 2, 3, 4, 6, 8}
+
+// servingSpec is the baseline spec for sc's system: the package default
+// sized so the shard table fits every scale's banks.
+func servingSpec(sc Scale) traffic.Spec {
+	sp := traffic.DefaultSpec()
+	if sc == Small {
+		sp.Shards = 512 // 8 units × 64 shards × 16 KB = 1 MB/unit
+	}
+	return sp
+}
+
+// servingRun executes one open-loop serving simulation.
+func servingRun(sc Scale, sp traffic.Spec, plan *fault.Plan) (*stats.Result, error) {
+	cfg := baseConfig(sc)
+	sys, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	src, err := traffic.NewSource(sp, 64)
+	if err != nil {
+		return nil, err
+	}
+	sys.AttachTraffic(src)
+	if plan != nil {
+		if err := sys.AttachFaults(plan, servingFaultSeed); err != nil {
+			return nil, err
+		}
+	}
+	return runSystem(sys, core.ServingApp{})
+}
+
+// servingKnee locates the saturation knee on a monotone offered-load axis:
+// the first point whose marginal goodput per unit of additional offered load
+// falls below half, or that sheds more than 1% of its offered requests —
+// whichever comes first. Returns -1 when the swept range never saturates.
+func servingKnee(rs []*stats.Result) int {
+	for i, r := range rs {
+		v := r.Serving
+		if v.Offered > 0 && float64(v.ShedTotal()) > 0.01*float64(v.Offered) {
+			return i
+		}
+		if i == 0 {
+			continue
+		}
+		p := rs[i-1].Serving
+		dOff := v.OfferedKC - p.OfferedKC
+		if dOff > 0 && (v.GoodputKC-p.GoodputKC)/dOff < 0.5 {
+			return i
+		}
+	}
+	return -1
+}
+
+// ServingSweep runs the saturation sweep: one serving simulation per offered
+// rate, reporting goodput, tail latency, shed fraction, and SLO attainment
+// per point, with the detected knee marked in the last column.
+func ServingSweep(sc Scale) (*stats.Table, error) {
+	units := baseConfig(sc).Geometry.Units()
+	rs, err := parMap(len(perUnitRates), func(i int) (*stats.Result, error) {
+		sp := servingSpec(sc)
+		sp.Rate = perUnitRates[i] * float64(units)
+		// Fixed ~150 kcycle offered horizon so every point sweeps the same
+		// wall of simulated time regardless of rate.
+		sp.Requests = uint64(sp.Rate * 150)
+		r, err := servingRun(sc, sp, nil)
+		if err != nil {
+			return nil, fmt.Errorf("serving rate %.3g/kc: %w", sp.Rate, err)
+		}
+		return r, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := 1; i < len(rs); i++ {
+		if rs[i].Serving.OfferedKC < rs[i-1].Serving.OfferedKC {
+			return nil, fmt.Errorf("serving sweep: offered axis not monotone at point %d (%.3f < %.3f)",
+				i, rs[i].Serving.OfferedKC, rs[i-1].Serving.OfferedKC)
+		}
+	}
+	knee := servingKnee(rs)
+	t := &stats.Table{
+		Title:  "Serving saturation sweep — offered load vs goodput and tail latency",
+		Header: []string{"rate/kc", "offered/kc", "goodput/kc", "p50", "p99", "shed", "slo", "knee"},
+	}
+	for i, r := range rs {
+		v := r.Serving
+		slo := "meet"
+		if !v.SLOMet {
+			slo = "miss"
+		}
+		mark := ""
+		if i == knee {
+			mark = "<-- knee"
+		}
+		t.Rows = append(t.Rows, []string{
+			f2(perUnitRates[i] * float64(units)),
+			f2(v.OfferedKC),
+			f2(v.GoodputKC),
+			fmt.Sprintf("%d", v.P50),
+			fmt.Sprintf("%d", v.P99),
+			pct(float64(v.ShedTotal()) / float64(v.Offered)),
+			slo,
+			mark,
+		})
+	}
+	return t, nil
+}
+
+// Degradation-run phase geometry, in cycles. Windows are 16 kcycles; the
+// first rank goes dark at window 6 for 5 windows, leaving a pre-fault
+// plateau, a dark valley, and a recovery tail on every curve.
+const (
+	servingWindow  = 1 << 14
+	servingDarkAt  = 6 * servingWindow
+	servingDarkLen = 5 * servingWindow
+	servingHorizon = 22 * servingWindow
+)
+
+// ServingDegrade runs the graceful-degradation experiment: a moderate
+// fixed-rate serving run in which every unit of rank 0 stalls dark for a
+// multi-window stretch, reported as the per-window offered/goodput/shed/p99
+// curve. The admission queue sheds through the dark window and goodput
+// recovers once the rank heals.
+func ServingDegrade(sc Scale) (*stats.Table, error) {
+	cfg := baseConfig(sc)
+	units, perRank := cfg.Geometry.Units(), cfg.Geometry.UnitsPerRank()
+	sp := servingSpec(sc)
+	sp.Rate = 0.75 * float64(units) // below the knee: shedding means the fault, not overload
+	sp.Requests = uint64(sp.Rate * servingHorizon / 1000)
+	sp.Window = servingWindow
+	sp.Warmup = servingWindow
+	sp.QueueCap = 32
+	plan := &fault.Plan{}
+	for u := 0; u < perRank; u++ {
+		plan.Faults = append(plan.Faults, fault.Spec{
+			Kind: fault.KindStall, Unit: u, At: servingDarkAt, Cycles: servingDarkLen, Rank: -1,
+		})
+	}
+	r, err := servingRun(sc, sp, plan)
+	if err != nil {
+		return nil, err
+	}
+	v := r.Serving
+	t := &stats.Table{
+		Title: fmt.Sprintf("Serving degradation — rank 0 dark cycles %d..%d, rate %s/kc",
+			servingDarkAt, servingDarkAt+servingDarkLen, f2(sp.Rate)),
+		Header: []string{"window", "phase", "offered", "completed", "shed", "p99"},
+	}
+	for _, w := range v.Windows {
+		phase := "pre"
+		switch {
+		case w.Start >= servingDarkAt+servingDarkLen:
+			phase = "heal"
+		case w.Start+servingWindow > servingDarkAt && w.Start < servingDarkAt+servingDarkLen:
+			phase = "dark"
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", w.Start/servingWindow),
+			phase,
+			fmt.Sprintf("%d", w.Offered),
+			fmt.Sprintf("%d", w.Completed),
+			fmt.Sprintf("%d", w.Shed),
+			fmt.Sprintf("%d", w.P99),
+		})
+	}
+	t.Rows = append(t.Rows, []string{"total", "", fmt.Sprintf("%d", v.Offered),
+		fmt.Sprintf("%d", v.Completed), fmt.Sprintf("%d", v.ShedTotal()), fmt.Sprintf("%d", v.P99)})
+	return t, nil
+}

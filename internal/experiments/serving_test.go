@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestServingSweepKneeAndJobsDeterminism runs the saturation sweep twice —
+// sequentially and with a wide worker pool — and requires byte-identical
+// tables (the -j flag must never change results), a monotone offered axis
+// (enforced inside ServingSweep), and a detected knee.
+func TestServingSweepKneeAndJobsDeterminism(t *testing.T) {
+	SetJobs(1)
+	seq, err := ServingSweep(Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetJobs(4)
+	par, err := ServingSweep(Small)
+	SetJobs(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Render() != par.Render() {
+		t.Fatalf("sweep differs between -j 1 and -j 4:\n%s\n%s", seq.Render(), par.Render())
+	}
+	if !strings.Contains(seq.Render(), "knee") || len(seq.Rows) != len(perUnitRates) {
+		t.Fatalf("sweep table malformed:\n%s", seq.Render())
+	}
+	knee := -1
+	for i, row := range seq.Rows {
+		if row[len(row)-1] != "" {
+			knee = i
+		}
+	}
+	if knee <= 0 {
+		t.Fatalf("no saturation knee detected:\n%s", seq.Render())
+	}
+}
+
+// goldenServingPath is the committed degradation curve of the fixed-seed
+// Small rank-dark run. Regenerate with -update and justify drift in review.
+const goldenServingPath = "../../results/golden/serving-degrade.txt"
+
+func TestGoldenServingDegrade(t *testing.T) {
+	SetJobs(1)
+	defer SetJobs(0)
+	tab, err := ServingDegrade(Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := tab.Render()
+
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenServingPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenServingPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden file rewritten: %s", goldenServingPath)
+		return
+	}
+	want, err := os.ReadFile(goldenServingPath)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("serving degradation curve drifted (run with -update if intentional):\n got:\n%s\nwant:\n%s", got, want)
+	}
+
+	// Structural checks on the curve itself: the dark window sheds, and
+	// the healed tail's goodput recovers to ≥95% of the pre-fault level.
+	var preSum, preN, healSum, healN, darkShed int
+	for _, row := range tab.Rows {
+		if row[0] == "total" {
+			continue
+		}
+		completed, shed := atoi(t, row[3]), atoi(t, row[4])
+		switch row[1] {
+		case "pre":
+			if row[0] != "0" { // warm-up window excluded
+				preSum += completed
+				preN++
+			}
+		case "dark":
+			darkShed += shed
+		case "heal":
+			if offered := atoi(t, row[2]); offered > 0 {
+				healSum += completed
+				healN++
+			}
+		}
+	}
+	if preN == 0 || healN == 0 {
+		t.Fatalf("curve missed a phase:\n%s", got)
+	}
+	if darkShed == 0 {
+		t.Fatalf("rank-dark window shed nothing:\n%s", got)
+	}
+	pre, heal := float64(preSum)/float64(preN), float64(healSum)/float64(healN)
+	if heal < 0.95*pre {
+		t.Fatalf("goodput did not recover: pre %.1f/window, heal %.1f/window", pre, heal)
+	}
+}
+
+func atoi(t *testing.T, s string) int {
+	t.Helper()
+	n := 0
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			t.Fatalf("non-numeric cell %q", s)
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n
+}

@@ -201,11 +201,15 @@ type hostCtx struct {
 	span uint32
 }
 
-var _ task.Ctx = (*hostCtx)(nil)
+var (
+	_ task.Ctx    = (*hostCtx)(nil)
+	_ task.EndCtx = (*hostCtx)(nil)
+)
 
-func (c *hostCtx) Unit() int       { return -1 }
-func (c *hostCtx) Now() sim.Cycles { return c.start }
-func (c *hostCtx) Rand() *sim.RNG  { return c.e.rng }
+func (c *hostCtx) Unit() int          { return -1 }
+func (c *hostCtx) Now() sim.Cycles    { return c.start }
+func (c *hostCtx) Cursor() sim.Cycles { return c.cursor }
+func (c *hostCtx) Rand() *sim.RNG     { return c.e.rng }
 
 func (c *hostCtx) Compute(cycles sim.Cycles) {
 	f := c.e.cfg.Host.IPCFactor

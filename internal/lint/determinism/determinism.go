@@ -47,7 +47,7 @@ var Analyzer = &analysis.Analyzer{
 var simPackages = map[string]bool{
 	"sim": true, "core": true, "ndpunit": true, "bridge": true,
 	"mailbox": true, "msg": true, "sched": true, "metadata": true,
-	"sketch": true, "task": true, "fault": true,
+	"sketch": true, "task": true, "fault": true, "traffic": true,
 }
 
 func run(pass *analysis.Pass) error {

@@ -48,6 +48,13 @@ type Retrans struct {
 	armed   bool //ndplint:nosnap deliberately not encoded; RestoreFrom re-arms the sweep
 	st      RetransStats
 
+	// jrng, when set via SetJitter, randomizes backed-off deadlines so that
+	// hops which lost messages to the same fault (e.g. every child of a dark
+	// rank) do not retransmit in lockstep. Seeded per hop from stable
+	// identity, so runs stay deterministic; nil means no jitter (the default,
+	// preserved for directly-constructed buffers in tests).
+	jrng *sim.RNG
+
 	// Causal-trace wiring, set by SetTrace: trc is consulted at each
 	// retransmission for the current recorder (late-bound — recorders attach
 	// to a system after its components are built) and trcActor labels the
@@ -63,6 +70,24 @@ func (r *Retrans) SetTrace(src func() *trace.Recorder, actor int) {
 	r.trc = src
 	r.trcActor = actor
 }
+
+// JitterSeed derives a stable jitter seed from a hop-class tag and an
+// identity index (unit, child, or rank), so every retry endpoint in the
+// system draws from a distinct — but run-to-run reproducible — stream.
+func JitterSeed(hop, id uint64) uint64 {
+	x := (hop+1)*0x9e3779b97f4a7c15 ^ (id+1)*0x2545f4914f6cdd1d
+	x ^= x >> 29
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 32
+	return x
+}
+
+// SetJitter enables deterministic backoff jitter, seeded from the hop's
+// stable identity. Each retransmission's backed-off deadline is stretched by
+// a pseudo-random 0..rto/4 cycles drawn from the per-hop stream, which
+// de-synchronizes the retry storms that follow a shared fault without
+// affecting retry counts or byte accounting.
+func (r *Retrans) SetJitter(seed uint64) { r.jrng = sim.NewRNG(seed) }
 
 // NewRetrans builds a retransmit buffer. send is invoked for every
 // retransmission with a fresh Clone of the stored message (the stored copy
@@ -144,6 +169,9 @@ func (r *Retrans) resend(i int) {
 		e.rto = r.rtoCap
 	}
 	e.deadline = r.eng.Now() + e.rto
+	if r.jrng != nil {
+		e.deadline += sim.Cycles(r.jrng.Uint64n(uint64(e.rto/4) + 1))
+	}
 	r.st.Retries++
 	m := e.m.Clone()
 	// One cycle, not zero: a nack-triggered resend that stayed at the current

@@ -3,6 +3,7 @@ package msg
 import (
 	"testing"
 
+	"ndpbridge/internal/checkpoint"
 	"ndpbridge/internal/sim"
 	"ndpbridge/internal/task"
 )
@@ -56,6 +57,94 @@ func TestRetransTimeoutAndBackoff(t *testing.T) {
 	st := r.Stats()
 	if st.Retries != 4 || st.Tracked != 1 {
 		t.Fatalf("stats = %+v, want retries=4 tracked=1", st)
+	}
+}
+
+// resendTimes tracks one unacked message on a jittered buffer and records
+// the cycle of every retransmission until horizon.
+func resendTimes(seed uint64, horizon sim.Cycles) []sim.Cycles {
+	eng := sim.NewEngine()
+	var times []sim.Cycles
+	r := NewRetrans(eng, 10, 1<<10, 1<<20, nil)
+	r.send = func(m *Message) { times = append(times, eng.Now()) }
+	r.SetJitter(seed)
+	r.Track(taskMsg(1))
+	eng.RunUntil(horizon)
+	return times
+}
+
+func TestRetransJitterDesynchronizesStorms(t *testing.T) {
+	// Simulate the aftermath of a shared fault: many hops lose a message at
+	// the same instant. Without jitter every buffer retransmits at identical
+	// cycles (a lockstep storm); with per-hop seeds the schedules diverge
+	// while each individual schedule stays deterministic.
+	const hops = 8
+	const horizon = 5000
+	schedules := make([][]sim.Cycles, hops)
+	for h := 0; h < hops; h++ {
+		schedules[h] = resendTimes(JitterSeed(1, uint64(h)), horizon)
+		if len(schedules[h]) == 0 {
+			t.Fatalf("hop %d never retransmitted", h)
+		}
+	}
+	// Count, per retransmission round, how many distinct fire cycles the
+	// fleet uses. Lockstep would give exactly 1 for every round.
+	distinctRounds := 0
+	for round := 1; round < 4; round++ { // round 0 fires at rto0 before any jitter applies
+		seen := map[sim.Cycles]bool{}
+		for h := 0; h < hops; h++ {
+			if round < len(schedules[h]) {
+				seen[schedules[h][round]] = true
+			}
+		}
+		if len(seen) > hops/2 {
+			distinctRounds++
+		}
+	}
+	if distinctRounds < 2 {
+		t.Fatalf("retry storm stayed synchronized: %v", schedules)
+	}
+	// Same seed → identical schedule (jitter is deterministic).
+	again := resendTimes(JitterSeed(1, 3), horizon)
+	if len(again) != len(schedules[3]) {
+		t.Fatalf("jitter not deterministic: %v vs %v", again, schedules[3])
+	}
+	for i := range again {
+		if again[i] != schedules[3][i] {
+			t.Fatalf("jitter not deterministic at round %d: %v vs %v", i, again, schedules[3])
+		}
+	}
+}
+
+func TestRetransJitterSnapshotRoundTrip(t *testing.T) {
+	// The jitter stream position must survive a snapshot/restore cycle so a
+	// restored run retransmits at the same jittered deadlines.
+	eng := sim.NewEngine()
+	r := NewRetrans(eng, 10, 1<<10, 1<<20, func(m *Message) {})
+	r.SetJitter(JitterSeed(2, 7))
+	r.Track(taskMsg(1))
+	eng.RunUntil(100) // advance the jitter stream through a few resends
+	enc := checkpoint.NewEnc(nil)
+	r.SnapshotTo(enc)
+	r2 := NewRetrans(sim.NewEngine(), 10, 1<<10, 1<<20, func(m *Message) {})
+	if err := r2.RestoreFrom(checkpoint.NewDec(enc.Data())); err != nil {
+		t.Fatal(err)
+	}
+	if r2.jrng == nil || r2.jrng.State() != r.jrng.State() {
+		t.Fatalf("jitter state not restored: %+v vs %+v", r2.jrng, r.jrng)
+	}
+	// A buffer without jitter round-trips to a buffer without jitter.
+	r3 := NewRetrans(sim.NewEngine(), 10, 1<<10, 1<<20, func(m *Message) {})
+	r3.Track(taskMsg(2))
+	enc2 := checkpoint.NewEnc(nil)
+	r3.SnapshotTo(enc2)
+	r4 := NewRetrans(sim.NewEngine(), 10, 1<<10, 1<<20, func(m *Message) {})
+	r4.SetJitter(1) // restore must clear it
+	if err := r4.RestoreFrom(checkpoint.NewDec(enc2.Data())); err != nil {
+		t.Fatal(err)
+	}
+	if r4.jrng != nil {
+		t.Fatal("restore of jitter-free snapshot left jitter enabled")
 	}
 }
 

@@ -95,6 +95,13 @@ func (r *Retrans) SnapshotTo(e *checkpoint.Enc) {
 	e.U64(r.st.Acked)
 	e.U64(r.st.Nacked)
 	e.U64(r.st.Retries)
+	// Jitter stream position. A xorshift64* state is never zero, so zero
+	// doubles as the "jitter disabled" marker.
+	if r.jrng != nil {
+		e.U64(r.jrng.State())
+	} else {
+		e.U64(0)
+	}
 }
 
 // RestoreFrom rebuilds the buffer from a SnapshotTo stream, replacing the
@@ -118,6 +125,14 @@ func (r *Retrans) RestoreFrom(d *checkpoint.Dec) error {
 	r.st.Acked = d.U64()
 	r.st.Nacked = d.U64()
 	r.st.Retries = d.U64()
+	if js := d.U64(); js != 0 {
+		if r.jrng == nil {
+			r.jrng = sim.NewRNG(js)
+		}
+		r.jrng.SetState(js)
+	} else {
+		r.jrng = nil
+	}
 	if err := d.Err(); err != nil {
 		return err
 	}

@@ -22,11 +22,15 @@ type execCtx struct {
 	span uint32
 }
 
-var _ task.Ctx = (*execCtx)(nil)
+var (
+	_ task.Ctx    = (*execCtx)(nil)
+	_ task.EndCtx = (*execCtx)(nil)
+)
 
-func (c *execCtx) Unit() int       { return c.u.id }
-func (c *execCtx) Now() sim.Cycles { return c.start }
-func (c *execCtx) Rand() *sim.RNG  { return c.u.rng }
+func (c *execCtx) Unit() int          { return c.u.id }
+func (c *execCtx) Now() sim.Cycles    { return c.start }
+func (c *execCtx) Cursor() sim.Cycles { return c.cursor }
+func (c *execCtx) Rand() *sim.RNG     { return c.u.rng }
 
 func (c *execCtx) Compute(cycles sim.Cycles) { c.cursor += cycles }
 

@@ -71,6 +71,7 @@ func (u *Unit) EnableRetry(parent Parent) {
 	u.ft.gatherRet = msg.NewRetrans(u.eng, cfg.Retry.Timeout, cfg.Retry.BackoffCap,
 		cfg.Retry.BufBytes, func(m *msg.Message) { parent.GatherIn(u.id, m) })
 	u.ft.gatherRet.SetTrace(u.env.Trace, u.id)
+	u.ft.gatherRet.SetJitter(msg.JitterSeed(1, uint64(u.id)))
 }
 
 // SetLostHook installs the terminal-loss callback invoked for every message

@@ -112,6 +112,66 @@ type Result struct {
 	// Nil when the run carried no flow tracing; omitted from JSON then so
 	// untraced output stays byte-identical.
 	Crit *Crit `json:",omitempty"`
+
+	// Serving summarizes the open-loop serving layer (admission, shedding,
+	// SLO percentiles). Nil for closed-loop runs, so batch output stays
+	// byte-identical.
+	Serving *Serving `json:",omitempty"`
+}
+
+// Serving is the SLO report of one open-loop serving run. Counters cover
+// the whole run; the latency percentiles exclude warm-up arrivals.
+type Serving struct {
+	// Offered is every generated arrival; Admitted the ones that entered
+	// the fabric; Completed the ones whose handler finished. Shed* break
+	// down rejections by policy cause.
+	Offered      uint64
+	Admitted     uint64
+	Completed    uint64
+	ShedNewest   uint64
+	ShedOldest   uint64
+	ShedDeadline uint64
+
+	// End-to-end latency (arrival to handler completion) percentiles in
+	// cycles, post-warm-up.
+	P50, P90, P99, P999, MaxLat uint64
+	// SLOTarget is the configured p99 target; SLOMet whether P99 is within
+	// it.
+	SLOTarget uint64
+	SLOMet    bool
+
+	// GoodputKC is completed requests per kilocycle over the whole run, and
+	// OfferedKC the corresponding offered rate — the saturation-sweep axes.
+	GoodputKC float64
+	OfferedKC float64
+
+	// Windows, when windowed accounting was on, holds the degradation
+	// curve: per-window offered/completed/shed counts and p99.
+	Windows []ServingWindow `json:",omitempty"`
+}
+
+// ServingWindow is one fixed-size cycle window of the degradation curve.
+type ServingWindow struct {
+	Start     uint64
+	Offered   uint64
+	Completed uint64
+	Shed      uint64
+	P99       uint64
+}
+
+// ShedTotal returns all shed requests.
+func (v *Serving) ShedTotal() uint64 { return v.ShedNewest + v.ShedOldest + v.ShedDeadline }
+
+// String renders the serving summary compactly.
+func (v *Serving) String() string {
+	slo := "met"
+	if !v.SLOMet {
+		slo = "MISSED"
+	}
+	return fmt.Sprintf("offered=%d admitted=%d completed=%d shed=%d (newest=%d oldest=%d deadline=%d) "+
+		"lat p50/p90/p99/p999/max=%d/%d/%d/%d/%d slo[p99<=%d]=%s goodput=%.3f/kc offered=%.3f/kc",
+		v.Offered, v.Admitted, v.Completed, v.ShedTotal(), v.ShedNewest, v.ShedOldest, v.ShedDeadline,
+		v.P50, v.P90, v.P99, v.P999, v.MaxLat, v.SLOTarget, slo, v.GoodputKC, v.OfferedKC)
 }
 
 // Crit is the critical-path makespan attribution of one traced run: every
@@ -247,6 +307,9 @@ func (r *Result) String() string {
 		r.App, r.Design, r.Makespan, 100*r.WaitFrac(), 100*r.AvgFrac(), r.TasksExecuted, r.Energy.Total())
 	if r.Faults != nil {
 		s += "\nfaults: " + r.Faults.String()
+	}
+	if r.Serving != nil {
+		s += "\nserving: " + r.Serving.String()
 	}
 	return s
 }

@@ -100,6 +100,14 @@ type Ctx interface {
 	Rand() *sim.RNG
 }
 
+// EndCtx is optionally implemented by execution contexts that expose the
+// running task's private time cursor — the exact cycle the task will
+// complete at, as charged so far. The serving layer uses it to measure
+// per-request end-to-end latency without waiting for the completion event.
+type EndCtx interface {
+	Cursor() sim.Cycles
+}
+
 // Handler is the body of a task. It must be a pure function of the task and
 // the application state: it runs once per task at simulation level.
 type Handler func(ctx Ctx, t Task)

@@ -1,0 +1,132 @@
+package traffic
+
+import (
+	"math"
+
+	"ndpbridge/internal/sim"
+)
+
+// Request is one keyed serving request. Arrive is its offered (generation)
+// cycle; Shard/Rec name the record it reads, drawn Zipfian-hot so the
+// admission point sees the paper-style skewed keyspace.
+type Request struct {
+	Arrive sim.Cycles
+	Shard  uint32
+	Rec    uint32
+}
+
+// zipf is an inverted-CDF Zipfian sampler (same technique as the workloads
+// package, which cannot be imported here without a cycle through core).
+type zipf struct {
+	cdf []float64
+	rng *sim.RNG
+}
+
+func newZipf(rng *sim.RNG, n int, theta float64) *zipf {
+	cdf := make([]float64, n)
+	sum := 0.0
+	for k := 0; k < n; k++ {
+		sum += 1 / math.Pow(float64(k+1), theta)
+		cdf[k] = sum
+	}
+	for k := range cdf {
+		cdf[k] /= sum
+	}
+	return &zipf{cdf: cdf, rng: rng}
+}
+
+func (z *zipf) next() int {
+	u := z.rng.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// arrivals generates the request stream by thinning: candidate arrivals are
+// drawn from a homogeneous Poisson process at the modulation envelope's peak
+// rate, then accepted with probability rate(t)/peak. This yields an exact
+// non-homogeneous Poisson process for the burst and diurnal shapes while
+// keeping every draw a pure function of the seed.
+type arrivals struct {
+	spec Spec     //ndplint:nosnap config constant from construction
+	rng  *sim.RNG // inter-arrival stream
+	krng *sim.RNG // key stream (independent so rate changes don't move keys)
+	z    *zipf    //ndplint:nosnap static CDF; its rng is krng, encoded above
+
+	clock     float64 // candidate-process time, in cycles
+	generated uint64  // arrivals emitted so far
+	recsPer   uint32  //ndplint:nosnap config constant (records per shard)
+}
+
+func newArrivals(sp Spec, recsPerShard uint32) *arrivals {
+	rng := sim.NewRNG(sp.Seed)
+	krng := rng.Split()
+	return &arrivals{
+		spec:    sp,
+		rng:     rng,
+		krng:    krng,
+		z:       newZipf(krng, int(sp.Shards), sp.Theta),
+		recsPer: recsPerShard,
+	}
+}
+
+// peakFactor returns the modulation envelope's peak relative to the mean
+// rate. Burst packs the whole period's load into its first quarter; diurnal
+// swings ±80% around the mean.
+func (a *arrivals) peakFactor() float64 {
+	switch a.spec.Arrival {
+	case ArrivalBurst:
+		return 4
+	case ArrivalDiurnal:
+		return 1.8
+	default:
+		return 1
+	}
+}
+
+// relRate returns rate(t)/peak in [0,1] for the thinning accept test.
+func (a *arrivals) relRate(t float64) float64 {
+	switch a.spec.Arrival {
+	case ArrivalBurst:
+		p := float64(a.spec.BurstPeriod)
+		if math.Mod(t, p) < p/4 {
+			return 1
+		}
+		return 0
+	case ArrivalDiurnal:
+		p := float64(a.spec.BurstPeriod)
+		return (1 + 0.8*math.Sin(2*math.Pi*t/p)) / 1.8
+	default:
+		return 1
+	}
+}
+
+// next returns the next request, or ok=false when the configured request
+// count is exhausted.
+func (a *arrivals) next() (Request, bool) {
+	if a.generated >= a.spec.Requests {
+		return Request{}, false
+	}
+	meanGap := 1000 / (a.spec.Rate * a.peakFactor())
+	for {
+		u := a.rng.Float64()
+		a.clock += -math.Log(1-u) * meanGap
+		if a.rng.Float64() >= a.relRate(a.clock) {
+			continue // thinned candidate
+		}
+		a.generated++
+		shard := uint32(a.z.next())
+		rec := uint32(0)
+		if a.recsPer > 1 {
+			rec = uint32(a.krng.Uint64n(uint64(a.recsPer)))
+		}
+		return Request{Arrive: sim.Cycles(a.clock), Shard: shard, Rec: rec}, true
+	}
+}

@@ -1,0 +1,126 @@
+package traffic
+
+import "ndpbridge/internal/sim"
+
+// ShedStats counts admission-control decisions by cause.
+type ShedStats struct {
+	Newest   uint64 // arrivals rejected at a full queue (drop-newest)
+	Oldest   uint64 // queue heads evicted to admit an arrival (drop-oldest)
+	Deadline uint64 // queue heads dropped for persistent sojourn overrun (codel)
+}
+
+// Total returns all shed requests.
+func (s ShedStats) Total() uint64 { return s.Newest + s.Oldest + s.Deadline }
+
+// admitQueue is the bounded admission queue: a fixed-capacity ring of
+// requests plus the deterministic shedding policy applied at its two edges
+// (Offer on arrival, Pop on drain). It never allocates after construction —
+// boundedness is the whole point.
+type admitQueue struct {
+	spec Spec //ndplint:nosnap config constant from construction
+	buf  []Request
+	head int
+	n    int
+	shed ShedStats
+
+	// CoDel state (codel policy only): the start of the current
+	// above-target excursion (0 = none) and the next scheduled head drop
+	// with its in-excursion drop count, per the sqrt control law.
+	firstAbove sim.Cycles
+	dropNext   sim.Cycles
+	dropCount  uint64
+}
+
+func newAdmitQueue(sp Spec) *admitQueue {
+	return &admitQueue{spec: sp, buf: make([]Request, sp.QueueCap)}
+}
+
+func (q *admitQueue) len() int { return q.n }
+
+func (q *admitQueue) push(r Request) {
+	q.buf[(q.head+q.n)%len(q.buf)] = r
+	q.n++
+}
+
+func (q *admitQueue) popHead() Request {
+	r := q.buf[q.head]
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	return r
+}
+
+// offer admits r or sheds per policy. It returns the number of requests shed
+// by this offer (0 or 1).
+func (q *admitQueue) offer(r Request) uint64 {
+	if q.n < len(q.buf) {
+		q.push(r)
+		return 0
+	}
+	if q.spec.Policy == PolicyDropOldest {
+		q.popHead()
+		q.shed.Oldest++
+		q.push(r)
+		return 1
+	}
+	// drop-newest is also codel's full-queue behaviour: codel sheds by
+	// sojourn at the head, and a full queue rejects at the tail.
+	q.shed.Newest++
+	return 1
+}
+
+// pop removes and returns the next admissible request. Under codel it first
+// sheds heads whose sojourn has stayed above target for a full interval,
+// following the classic control law: once above-target persists for
+// CoDelInterval, drop the head and halve the next drop spacing (interval /
+// sqrt(count)) until sojourn recovers. Returns shed, the number of requests
+// dropped by this call, and ok=false when the queue emptied without an
+// admissible request.
+func (q *admitQueue) pop(now sim.Cycles) (r Request, shed uint64, ok bool) {
+	if q.spec.Policy != PolicyCoDel {
+		if q.n == 0 {
+			return Request{}, 0, false
+		}
+		return q.popHead(), 0, true
+	}
+	target := sim.Cycles(q.spec.CoDelTarget)
+	interval := sim.Cycles(q.spec.CoDelInterval)
+	for q.n > 0 {
+		sojourn := now - q.buf[q.head].Arrive
+		if sojourn < target {
+			q.firstAbove, q.dropNext, q.dropCount = 0, 0, 0
+			return q.popHead(), shed, true
+		}
+		if q.firstAbove == 0 {
+			q.firstAbove = now + interval
+		}
+		drop := false
+		if q.dropNext != 0 {
+			drop = now >= q.dropNext // dropping state: sqrt-spaced drops
+		} else {
+			drop = now >= q.firstAbove // waiting out the persistence window
+		}
+		if !drop {
+			return q.popHead(), shed, true
+		}
+		q.popHead()
+		q.shed.Deadline++
+		shed++
+		q.dropCount++
+		q.dropNext = now + interval/sim.Cycles(isqrt(q.dropCount))
+	}
+	return Request{}, shed, false
+}
+
+// isqrt returns the integer square root, min 1.
+func isqrt(v uint64) uint64 {
+	if v < 2 {
+		return 1
+	}
+	x := v
+	y := (x + 1) / 2
+	for y < x {
+		x = y
+		y = (x + v/x) / 2
+	}
+	return x
+}

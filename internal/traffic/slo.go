@@ -1,0 +1,85 @@
+package traffic
+
+import "math/bits"
+
+// latMinors is the number of linear sub-buckets per power-of-two major
+// bucket: 5 mantissa bits bound the relative quantile error at ~3%, tight
+// enough to judge a p99/p999 SLO without storing raw samples.
+const latMinors = 32
+
+// latBuckets spans values up to 2^63 with exact small values: indices
+// 0..latMinors-1 hold v == index exactly; above that, each major octave
+// [2^k, 2^(k+1)) splits into latMinors linear minors.
+const latBuckets = latMinors * 60
+
+// LatHist is a fixed-size log-linear latency histogram, the serving
+// layer's percentile accumulator. The metrics package's Histogram uses
+// pure power-of-two buckets — too coarse for "is p99 within 20 kcycles" —
+// so the SLO path keeps its own 5-mantissa-bit variant.
+type LatHist struct {
+	n   uint64
+	max uint64
+	b   [latBuckets]uint64
+}
+
+func latIndex(v uint64) int {
+	if v < latMinors {
+		return int(v)
+	}
+	hi := bits.Len64(v) - 1 // >= 5
+	minor := (v >> uint(hi-5)) & (latMinors - 1)
+	return (hi-4)*latMinors + int(minor)
+}
+
+// latUpper returns the largest value mapping to bucket idx — quantiles
+// report this conservative (upper) edge.
+func latUpper(idx int) uint64 {
+	if idx < latMinors {
+		return uint64(idx)
+	}
+	hi := idx/latMinors + 4
+	minor := uint64(idx % latMinors)
+	return ((latMinors+minor+1)<<uint(hi-5) - 1)
+}
+
+// Observe records one latency sample.
+func (h *LatHist) Observe(v uint64) {
+	h.n++
+	if v > h.max {
+		h.max = v
+	}
+	h.b[latIndex(v)]++
+}
+
+// Count returns the number of samples.
+func (h *LatHist) Count() uint64 { return h.n }
+
+// Max returns the largest sample.
+func (h *LatHist) Max() uint64 { return h.max }
+
+// Quantile returns an upper bound on the q-quantile (0 < q <= 1), within
+// one bucket (~3% relative error). Zero samples yield zero.
+func (h *LatHist) Quantile(q float64) uint64 {
+	if h.n == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(h.n))
+	if rank == 0 {
+		rank = 1
+	}
+	if rank > h.n {
+		rank = h.n
+	}
+	var cum uint64
+	for i := 0; i < latBuckets; i++ {
+		cum += h.b[i]
+		if cum >= rank {
+			u := latUpper(i)
+			if u > h.max {
+				u = h.max
+			}
+			return u
+		}
+	}
+	return h.max
+}

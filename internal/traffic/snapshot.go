@@ -1,0 +1,88 @@
+package traffic
+
+import (
+	"math"
+
+	"ndpbridge/internal/checkpoint"
+)
+
+// SnapshotTo encodes the source's full serving state for the core state
+// digest. Resume is replay-with-verification, so this is encode-only: the
+// replayed run regenerates the identical source state and the digests must
+// match byte for byte.
+func (s *Source) SnapshotTo(e *checkpoint.Enc) {
+	s.arr.snapshotTo(e)
+	s.q.snapshotTo(e)
+	e.Bool(s.hasPending)
+	if s.hasPending {
+		encodeRequest(e, s.pending)
+	}
+	e.Bool(s.exhausted)
+	e.U64(s.offered)
+	e.U64(s.admitted)
+	e.U64(s.completed)
+	e.U64(s.inflight)
+	e.U64(s.work)
+	s.lat.snapshotTo(e)
+	e.U32(uint32(len(s.windows)))
+	for _, w := range s.windows {
+		e.U64(w.start)
+		e.U64(w.offered)
+		e.U64(w.completed)
+		e.U64(w.shed)
+		e.Bool(w.lat != nil)
+		if w.lat != nil {
+			w.lat.snapshotTo(e)
+		}
+	}
+}
+
+func encodeRequest(e *checkpoint.Enc, r Request) {
+	e.U64(r.Arrive)
+	e.U32(r.Shard)
+	e.U32(r.Rec)
+}
+
+// snapshotTo encodes the arrival process's mutable cursor. The spec and the
+// Zipf CDF are construction-time constants.
+func (a *arrivals) snapshotTo(e *checkpoint.Enc) {
+	e.U64(a.rng.State())
+	e.U64(a.krng.State())
+	e.U64(math.Float64bits(a.clock))
+	e.U64(a.generated)
+}
+
+// snapshotTo encodes the admission queue: live entries in FIFO order, the
+// shed counters, and the CoDel control state.
+func (q *admitQueue) snapshotTo(e *checkpoint.Enc) {
+	e.U32(uint32(q.n))
+	for i := 0; i < q.n; i++ {
+		encodeRequest(e, q.buf[(q.head+i)%len(q.buf)])
+	}
+	e.U64(q.shed.Newest)
+	e.U64(q.shed.Oldest)
+	e.U64(q.shed.Deadline)
+	e.U64(q.firstAbove)
+	e.U64(q.dropNext)
+	e.U64(q.dropCount)
+}
+
+// snapshotTo encodes the histogram sparsely: count, max, and each non-zero
+// bucket as an (index, count) pair.
+func (h *LatHist) snapshotTo(e *checkpoint.Enc) {
+	e.U64(h.n)
+	e.U64(h.max)
+	nz := uint32(0)
+	for i := range h.b {
+		if h.b[i] != 0 {
+			nz++
+		}
+	}
+	e.U32(nz)
+	for i := range h.b {
+		if h.b[i] != 0 {
+			e.U32(uint32(i))
+			e.U64(h.b[i])
+		}
+	}
+}

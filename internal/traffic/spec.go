@@ -1,0 +1,174 @@
+// Package traffic implements the open-loop serving workload: seeded arrival
+// processes (Poisson, bursty, diurnal) generating Zipfian keyed requests, a
+// bounded admission queue with deterministic load-shedding policies
+// (drop-newest, drop-oldest, deadline-based CoDel), and SLO percentile
+// accounting with warm-up exclusion. Unlike the closed-loop workloads, which
+// seed a fixed batch per epoch and can never overload the fabric, an
+// open-loop source keeps offering work at its configured rate regardless of
+// completion — the regime where admission control and shedding decide
+// whether the system degrades gracefully or queues without bound.
+//
+// The package is pure model state: it schedules no events and holds no
+// engine reference. The core runtime drives it (generate arrivals up to
+// "now", pop admitted requests, record completions), which keeps every draw
+// on the single simulation goroutine and the whole request stream a pure
+// function of (Spec, seed).
+package traffic
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Arrival process names.
+const (
+	ArrivalPoisson = "poisson"
+	ArrivalBurst   = "burst"
+	ArrivalDiurnal = "diurnal"
+)
+
+// Shedding policy names.
+const (
+	PolicyDropNewest = "drop-newest"
+	PolicyDropOldest = "drop-oldest"
+	PolicyCoDel      = "codel"
+)
+
+// Spec configures one open-loop serving run. The zero value is not usable;
+// start from DefaultSpec. The JSON encoding doubles as the checkpoint app
+// label, so a resumed run rebuilds the identical request stream.
+type Spec struct {
+	// Arrival selects the arrival process: poisson, burst, or diurnal.
+	Arrival string `json:"arrival"`
+	// Rate is the mean offered load in requests per 1000 cycles.
+	Rate float64 `json:"rate"`
+	// Requests is the total number of arrivals to generate.
+	Requests uint64 `json:"requests"`
+	// Seed drives the arrival and key streams (independent of the system
+	// seed so load and platform can be varied separately).
+	Seed uint64 `json:"seed"`
+
+	// Shards is the keyed address space (kvstore-style shard count) and
+	// Theta its Zipfian skew (0 = uniform).
+	Shards uint64  `json:"shards"`
+	Theta  float64 `json:"theta"`
+
+	// QueueCap bounds the admission queue in requests; Policy picks what is
+	// shed when it is exceeded (or, for codel, when sojourn exceeds the
+	// target persistently).
+	QueueCap int    `json:"queue_cap"`
+	Policy   string `json:"policy"`
+
+	// CoDelTarget is the acceptable head sojourn and CoDelInterval the
+	// persistence window before head-dropping begins (codel policy only).
+	CoDelTarget   uint64 `json:"codel_target,omitempty"`
+	CoDelInterval uint64 `json:"codel_interval,omitempty"`
+
+	// SLOP99 is the p99 latency target in cycles that reports compare
+	// against. Warmup excludes requests arriving before that cycle from the
+	// SLO accounting (shed/offered counters still include them).
+	SLOP99 uint64 `json:"slo_p99"`
+	Warmup uint64 `json:"warmup"`
+
+	// Window, when non-zero, buckets offered/shed/completed/p99 into
+	// fixed-size cycle windows — the degradation-curve raw data.
+	Window uint64 `json:"window,omitempty"`
+
+	// BurstPeriod is the modulation period for burst and diurnal arrivals.
+	// Burst concentrates the whole period's load into the first quarter;
+	// diurnal modulates the rate sinusoidally over the period.
+	BurstPeriod uint64 `json:"burst_period,omitempty"`
+
+	// MaxInFlight caps admitted-but-uncompleted requests (admission
+	// credits); 0 means uncapped — which makes the fabric's task queues an
+	// unbounded buffer, so the default keeps it on. CreditBytes pauses
+	// injection while the bridge fabric's buffered bytes (backup + up +
+	// scatter backlog) exceed it; 0 disables occupancy backpressure. Both
+	// are always present in the JSON label: an explicit zero must survive
+	// the round trip, not be resurrected as the default.
+	MaxInFlight int    `json:"max_inflight"`
+	CreditBytes uint64 `json:"credit_bytes"`
+
+	// Barrier is the minimum quiet-epoch length: the runtime takes a
+	// bulk-sync barrier (checkpoint/audit point) at the first full drain
+	// after this many cycles.
+	Barrier uint64 `json:"barrier,omitempty"`
+}
+
+// DefaultSpec returns a small, serviceable baseline: Poisson arrivals at 2
+// requests per kcycle over a 2048-shard Zipfian keyspace, a 64-deep
+// drop-newest admission queue, and a 20 kcycle p99 target.
+func DefaultSpec() Spec {
+	return Spec{
+		Arrival:       ArrivalPoisson,
+		Rate:          2,
+		Requests:      2000,
+		Seed:          1,
+		Shards:        2048,
+		Theta:         0.99,
+		QueueCap:      64,
+		Policy:        PolicyDropNewest,
+		CoDelTarget:   5000,
+		CoDelInterval: 2000,
+		SLOP99:        20000,
+		Warmup:        10000,
+		BurstPeriod:   1 << 15,
+		MaxInFlight:   64,
+		Barrier:       1 << 14,
+	}
+}
+
+// Validate reports the first configuration error.
+func (sp *Spec) Validate() error {
+	switch sp.Arrival {
+	case ArrivalPoisson, ArrivalBurst, ArrivalDiurnal:
+	default:
+		return fmt.Errorf("traffic: unknown arrival process %q", sp.Arrival)
+	}
+	switch sp.Policy {
+	case PolicyDropNewest, PolicyDropOldest, PolicyCoDel:
+	default:
+		return fmt.Errorf("traffic: unknown shed policy %q", sp.Policy)
+	}
+	if sp.Rate <= 0 {
+		return fmt.Errorf("traffic: rate must be positive, got %g", sp.Rate)
+	}
+	if sp.Requests == 0 {
+		return fmt.Errorf("traffic: zero requests")
+	}
+	if sp.Shards == 0 {
+		return fmt.Errorf("traffic: zero shards")
+	}
+	if sp.QueueCap <= 0 {
+		return fmt.Errorf("traffic: queue cap must be positive, got %d", sp.QueueCap)
+	}
+	if sp.Policy == PolicyCoDel && (sp.CoDelTarget == 0 || sp.CoDelInterval == 0) {
+		return fmt.Errorf("traffic: codel policy needs codel_target and codel_interval")
+	}
+	if (sp.Arrival == ArrivalBurst || sp.Arrival == ArrivalDiurnal) && sp.BurstPeriod == 0 {
+		return fmt.Errorf("traffic: %s arrivals need burst_period", sp.Arrival)
+	}
+	return nil
+}
+
+// Label renders the spec as its canonical JSON form — used as the
+// checkpoint app label so resume rebuilds the identical stream.
+func (sp Spec) Label() string {
+	b, err := json.Marshal(sp)
+	if err != nil {
+		panic("traffic: spec marshal: " + err.Error())
+	}
+	return string(b)
+}
+
+// ParseSpec decodes a Label-produced JSON spec and validates it.
+func ParseSpec(s string) (Spec, error) {
+	sp := DefaultSpec()
+	if err := json.Unmarshal([]byte(s), &sp); err != nil {
+		return Spec{}, fmt.Errorf("traffic: parse spec: %w", err)
+	}
+	if err := sp.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return sp, nil
+}

@@ -1,0 +1,294 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+
+	"ndpbridge/internal/checkpoint"
+	"ndpbridge/internal/sim"
+)
+
+func testSpec() Spec {
+	sp := DefaultSpec()
+	sp.Shards = 512
+	sp.Requests = 5000
+	return sp
+}
+
+// drainStream pulls the full arrival stream from a fresh source.
+func drainStream(t *testing.T, sp Spec) []Request {
+	t.Helper()
+	src, err := NewSource(sp, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []Request
+	for {
+		at, ok := src.NextArrival()
+		if !ok {
+			break
+		}
+		src.GenerateUpTo(at)
+		for {
+			r, ok := src.Pop(at)
+			if !ok {
+				break
+			}
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// TestArrivalStreamDeterministic: identical request streams (cycles, keys,
+// records) for a fixed seed, and different streams for different seeds.
+func TestArrivalStreamDeterministic(t *testing.T) {
+	for _, arrival := range []string{ArrivalPoisson, ArrivalBurst, ArrivalDiurnal} {
+		sp := testSpec()
+		sp.Arrival = arrival
+		sp.QueueCap = int(sp.Requests) // no shedding: compare raw streams
+		a := drainStream(t, sp)
+		b := drainStream(t, sp)
+		if len(a) != int(sp.Requests) {
+			t.Fatalf("%s: got %d requests, want %d", arrival, len(a), sp.Requests)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: stream diverged at %d: %+v vs %+v", arrival, i, a[i], b[i])
+			}
+		}
+		sp.Seed++
+		c := drainStream(t, sp)
+		same := 0
+		for i := range a {
+			if a[i] == c[i] {
+				same++
+			}
+		}
+		if same == len(a) {
+			t.Fatalf("%s: different seeds produced identical streams", arrival)
+		}
+	}
+}
+
+// TestArrivalsMonotone: offered cycles never decrease (the saturation
+// sweep's offered-load axis depends on it).
+func TestArrivalsMonotone(t *testing.T) {
+	for _, arrival := range []string{ArrivalPoisson, ArrivalBurst, ArrivalDiurnal} {
+		sp := testSpec()
+		sp.Arrival = arrival
+		sp.QueueCap = int(sp.Requests)
+		rs := drainStream(t, sp)
+		for i := 1; i < len(rs); i++ {
+			if rs[i].Arrive < rs[i-1].Arrive {
+				t.Fatalf("%s: arrivals went backwards at %d: %d < %d", arrival, i, rs[i].Arrive, rs[i-1].Arrive)
+			}
+		}
+	}
+}
+
+// TestPoissonRate: the empirical rate must be within a few percent of the
+// configured rate, and the inter-arrival CV² near 1 (exponential gaps).
+func TestPoissonRate(t *testing.T) {
+	sp := testSpec()
+	sp.Requests = 20000
+	sp.QueueCap = int(sp.Requests)
+	rs := drainStream(t, sp)
+	span := float64(rs[len(rs)-1].Arrive - rs[0].Arrive)
+	rate := 1000 * float64(len(rs)-1) / span
+	if math.Abs(rate-sp.Rate)/sp.Rate > 0.05 {
+		t.Fatalf("empirical rate %.3f/kc, want %.3f/kc ±5%%", rate, sp.Rate)
+	}
+	mean := span / float64(len(rs)-1)
+	var varsum float64
+	for i := 1; i < len(rs); i++ {
+		d := float64(rs[i].Arrive-rs[i-1].Arrive) - mean
+		varsum += d * d
+	}
+	cv2 := varsum / float64(len(rs)-1) / (mean * mean)
+	if cv2 < 0.8 || cv2 > 1.2 {
+		t.Fatalf("inter-arrival CV² = %.3f, want ≈1 for Poisson", cv2)
+	}
+}
+
+// TestZipfSkew: with theta≈1 the hottest shard must take far more than its
+// uniform share, and all draws must stay in range.
+func TestZipfSkew(t *testing.T) {
+	sp := testSpec()
+	sp.Requests = 20000
+	sp.QueueCap = int(sp.Requests)
+	counts := make([]uint64, sp.Shards)
+	for _, r := range drainStream(t, sp) {
+		if uint64(r.Shard) >= sp.Shards {
+			t.Fatalf("shard %d out of range", r.Shard)
+		}
+		counts[r.Shard]++
+	}
+	uniform := float64(sp.Requests) / float64(sp.Shards)
+	if hot := float64(counts[0]); hot < 20*uniform {
+		t.Fatalf("shard 0 drew %.0f, want ≥ 20× uniform share %.1f under theta=%.2f", hot, uniform, sp.Theta)
+	}
+	// Uniform (theta=0) must not be skewed.
+	sp.Theta = 0
+	counts = make([]uint64, sp.Shards)
+	for _, r := range drainStream(t, sp) {
+		counts[r.Shard]++
+	}
+	if hot := float64(counts[0]); hot > 5*uniform {
+		t.Fatalf("theta=0 shard 0 drew %.0f, want ≈ uniform share %.1f", hot, uniform)
+	}
+}
+
+// TestBurstConcentration: burst arrivals must land only in the first
+// quarter of each period.
+func TestBurstConcentration(t *testing.T) {
+	sp := testSpec()
+	sp.Arrival = ArrivalBurst
+	sp.QueueCap = int(sp.Requests)
+	for _, r := range drainStream(t, sp) {
+		if phase := uint64(r.Arrive) % sp.BurstPeriod; phase >= sp.BurstPeriod/4+1 {
+			t.Fatalf("burst arrival at phase %d of period %d (on-window is the first quarter)", phase, sp.BurstPeriod)
+		}
+	}
+}
+
+// TestShedPolicies: a full queue sheds the configured end.
+func TestShedPolicies(t *testing.T) {
+	mk := func(policy string) *admitQueue {
+		sp := testSpec()
+		sp.Policy = policy
+		sp.QueueCap = 2
+		return newAdmitQueue(sp)
+	}
+	q := mk(PolicyDropNewest)
+	for i := 0; i < 4; i++ {
+		q.offer(Request{Arrive: sim.Cycles(i)})
+	}
+	if q.shed.Newest != 2 || q.len() != 2 {
+		t.Fatalf("drop-newest: shed=%+v len=%d", q.shed, q.len())
+	}
+	if r, _, _ := q.pop(10); r.Arrive != 0 {
+		t.Fatalf("drop-newest kept wrong head: %+v", r)
+	}
+
+	q = mk(PolicyDropOldest)
+	for i := 0; i < 4; i++ {
+		q.offer(Request{Arrive: sim.Cycles(i)})
+	}
+	if q.shed.Oldest != 2 || q.len() != 2 {
+		t.Fatalf("drop-oldest: shed=%+v len=%d", q.shed, q.len())
+	}
+	if r, _, _ := q.pop(10); r.Arrive != 2 {
+		t.Fatalf("drop-oldest kept wrong head: %+v", r)
+	}
+}
+
+// TestCoDelDeadlineShedding: heads that persistently exceed the sojourn
+// target are dropped; fresh heads are served untouched.
+func TestCoDelDeadlineShedding(t *testing.T) {
+	sp := testSpec()
+	sp.Policy = PolicyCoDel
+	sp.QueueCap = 64
+	sp.CoDelTarget = 100
+	sp.CoDelInterval = 50
+	q := newAdmitQueue(sp)
+	for i := 0; i < 10; i++ {
+		q.offer(Request{Arrive: sim.Cycles(i)})
+	}
+	// Fresh pop: below target, served.
+	if _, shed, ok := q.pop(50); !ok || shed != 0 {
+		t.Fatalf("fresh head shed (shed=%d ok=%v)", shed, ok)
+	}
+	// First above-target pop starts the persistence window and serves.
+	if _, shed, ok := q.pop(200); !ok || shed != 0 {
+		t.Fatalf("persistence window must serve first (shed=%d ok=%v)", shed, ok)
+	}
+	// Past the window, stale heads are dropped before serving.
+	_, shed, ok := q.pop(300)
+	if !ok || shed == 0 {
+		t.Fatalf("persistent overrun did not shed (shed=%d ok=%v)", shed, ok)
+	}
+	if q.shed.Deadline != shed {
+		t.Fatalf("deadline counter %d != shed %d", q.shed.Deadline, shed)
+	}
+}
+
+// TestLatHistQuantiles: quantiles of a known uniform population land within
+// the histogram's ~3% bucket error.
+func TestLatHistQuantiles(t *testing.T) {
+	var h LatHist
+	for v := uint64(1); v <= 100000; v++ {
+		h.Observe(v)
+	}
+	for _, c := range []struct {
+		q    float64
+		want uint64
+	}{{0.5, 50000}, {0.9, 90000}, {0.99, 99000}, {0.999, 99900}} {
+		got := h.Quantile(c.q)
+		if lo, hi := float64(c.want)*0.97, float64(c.want)*1.04; float64(got) < lo || float64(got) > hi {
+			t.Fatalf("q%.3f = %d, want ≈%d", c.q, got, c.want)
+		}
+	}
+	if h.Quantile(1) != h.Max() || h.Max() != 100000 {
+		t.Fatalf("max quantile %d, max %d", h.Quantile(1), h.Max())
+	}
+	// Exact small values.
+	var h2 LatHist
+	h2.Observe(7)
+	if h2.Quantile(0.5) != 7 {
+		t.Fatalf("small value bucket inexact: %d", h2.Quantile(0.5))
+	}
+}
+
+// TestSourceSnapshotDeterministic: two sources driven identically encode
+// byte-identical snapshots, and the snapshot reflects queue/counter state.
+func TestSourceSnapshotDeterministic(t *testing.T) {
+	drive := func() *Source {
+		sp := testSpec()
+		sp.QueueCap = 8
+		sp.Window = 1 << 14
+		src, err := NewSource(sp, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src.GenerateUpTo(50000)
+		for i := 0; i < 3; i++ {
+			if r, ok := src.Pop(50000); ok {
+				src.Complete(r.Arrive, 50000+sim.Cycles(i)*100)
+			}
+		}
+		return src
+	}
+	a, b := drive(), drive()
+	ea, eb := checkpoint.NewEnc(nil), checkpoint.NewEnc(nil)
+	a.SnapshotTo(ea)
+	b.SnapshotTo(eb)
+	if string(ea.Data()) != string(eb.Data()) {
+		t.Fatal("identical drives produced different snapshots")
+	}
+	if a.Shed().Total() == 0 {
+		t.Fatal("overloaded 8-deep queue shed nothing")
+	}
+	if a.Work() == 0 || a.QueueLen() == 0 {
+		t.Fatalf("work=%d queuelen=%d", a.Work(), a.QueueLen())
+	}
+}
+
+// TestSpecLabelRoundTrip: the JSON label reparses to the identical spec
+// (the checkpoint-resume path depends on it).
+func TestSpecLabelRoundTrip(t *testing.T) {
+	sp := testSpec()
+	sp.Arrival = ArrivalDiurnal
+	sp.MaxInFlight = 32
+	sp.CreditBytes = 1 << 20
+	got, err := ParseSpec(sp.Label())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != sp {
+		t.Fatalf("round trip changed spec:\n  in  %+v\n  out %+v", sp, got)
+	}
+	if _, err := ParseSpec(`{"arrival":"bogus"}`); err == nil {
+		t.Fatal("bogus arrival accepted")
+	}
+}
