@@ -8,6 +8,7 @@
 //	ndpbench -benchjson results/bench.json
 //	ndpbench -metrics results/  # per-experiment instrument metrics JSON
 //	ndpbench -pprof-cpu cpu.out -exp fig10
+//	ndpbench chaos -chaos-runs 64 -chaos-seed 1   # fault-plan fuzzing + crash torture
 //
 // Experiments: fig2, fig10, fig11, fig12, fig13, fig14a, fig14b, fig15,
 // fig16a, fig16b, fig16cd, splitdb, l2variants, latency, tab1, tab2,
@@ -109,6 +110,9 @@ type benchFile struct {
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "chaos" {
+		os.Exit(chaosMain(os.Args[2:]))
+	}
 	var (
 		exp       = flag.String("exp", "", "comma-separated experiments to run (default: all)")
 		small     = flag.Bool("small", false, "run test-sized systems and workloads")

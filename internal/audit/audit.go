@@ -91,3 +91,58 @@ func (l *Log) Err() error {
 	}
 	return &Error{Violations: l.vs}
 }
+
+// Violations returns the recorded violations (nil when clean). The slice is
+// the log's own storage; callers must not modify it.
+func (l *Log) Violations() []Violation {
+	if l == nil {
+		return nil
+	}
+	return l.vs
+}
+
+// Backoff paces an expensive periodic check with exponential spacing: the
+// first probe fires at the initial gap, and every fired probe multiplies the
+// gap by Factor. The auditor uses it for the snapshot-determinism check —
+// encoding multi-megabyte system state at every barrier would dominate long
+// runs, and the property it guards is structural, so a handful of probes
+// spread across the run's lifetime suffices (dense early while state is
+// small and cheap, sparse late).
+type Backoff struct {
+	next   uint64
+	gap    uint64
+	factor uint64
+}
+
+// NewBackoff returns a schedule with the given initial gap and growth
+// factor. A zero gap fires on every probe with no growth; a factor below 2
+// is raised to 2 so the schedule always thins out.
+func NewBackoff(gap, factor uint64) *Backoff {
+	if factor < 2 {
+		factor = 2
+	}
+	return &Backoff{gap: gap, factor: factor}
+}
+
+// Due reports whether a probe should fire at time now, and if so advances
+// the schedule: next fires at now+gap, and the gap grows by the factor
+// (saturating instead of overflowing, so a long run ends up with the check
+// effectively off rather than suddenly dense again).
+func (b *Backoff) Due(now uint64) bool {
+	if now < b.next {
+		return false
+	}
+	b.next = now + b.gap
+	if b.next < now { // overflow: push past any reachable time
+		b.next = ^uint64(0)
+	}
+	if g := b.gap * b.factor; g/b.factor == b.gap {
+		b.gap = g
+	} else {
+		b.gap = ^uint64(0)
+	}
+	return true
+}
+
+// Gap returns the current spacing (the distance the next firing will add).
+func (b *Backoff) Gap() uint64 { return b.gap }

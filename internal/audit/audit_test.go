@@ -43,7 +43,112 @@ func TestLogCapAndNilSafety(t *testing.T) {
 	}
 	var nl *Log
 	nl.Add(Violation{Rule: "r"}) // must not panic
-	if nl.Count() != 0 || nl.Err() != nil {
+	if nl.Count() != 0 || nl.Err() != nil || nl.Violations() != nil {
 		t.Fatal("nil log not inert")
+	}
+}
+
+func TestViolationStringFormat(t *testing.T) {
+	cases := []struct {
+		v    Violation
+		want string
+	}{
+		{
+			Violation{Rule: "seq-monotonic", Where: "bridge 1", Cycle: 4096, Expected: 9, Actual: 3, Detail: "up hop"},
+			"[seq-monotonic] bridge 1 at cycle 4096: expected 9, got 3 (up hop)",
+		},
+		{
+			Violation{Rule: "msg-conservation", Where: "system", Cycle: 0, Expected: 0, Actual: 1},
+			"[msg-conservation] system at cycle 0: expected 0, got 1",
+		},
+		{
+			// Detail-free violations must not carry empty parens.
+			Violation{Rule: "lent-borrowed", Where: "unit 0", Cycle: 7, Expected: 2, Actual: 2, Detail: ""},
+			"[lent-borrowed] unit 0 at cycle 7: expected 2, got 2",
+		},
+	}
+	for i, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("case %d:\n got %q\nwant %q", i, got, c.want)
+		}
+	}
+}
+
+func TestLogViolationsAccessor(t *testing.T) {
+	var l Log
+	l.Add(Violation{Rule: "a", Cycle: 1})
+	l.Add(Violation{Rule: "b", Cycle: 2})
+	vs := l.Violations()
+	if len(vs) != 2 || vs[0].Rule != "a" || vs[1].Rule != "b" {
+		t.Fatalf("Violations() = %v", vs)
+	}
+}
+
+func TestBackoffSchedule(t *testing.T) {
+	// gap 16, factor 256: fires at 0, then not again until 16 cycles later,
+	// then the gap widens to 4096, then 1<<20, ...
+	b := NewBackoff(16, 256)
+	if !b.Due(0) {
+		t.Fatal("first probe must fire immediately")
+	}
+	if b.Due(8) {
+		t.Fatal("probe fired inside the first gap")
+	}
+	if !b.Due(16) {
+		t.Fatal("probe at the gap boundary must fire")
+	}
+	if b.Gap() != 16*256*256 {
+		t.Fatalf("gap after two firings = %d, want %d", b.Gap(), 16*256*256)
+	}
+	if b.Due(16 + 4095) {
+		t.Fatal("probe fired inside the widened gap")
+	}
+	if !b.Due(16 + 4096) {
+		t.Fatal("probe at the widened boundary must fire")
+	}
+}
+
+func TestBackoffFiringTimesThinOut(t *testing.T) {
+	// Walk a long run in fixed steps and collect firing times; consecutive
+	// firing distances must be non-decreasing (the whole point of backoff).
+	b := NewBackoff(1, 4)
+	var fired []uint64
+	for now := uint64(0); now < 1<<20; now += 7 {
+		if b.Due(now) {
+			fired = append(fired, now)
+		}
+	}
+	if len(fired) < 3 {
+		t.Fatalf("only %d firings in 1M cycles", len(fired))
+	}
+	if len(fired) > 32 {
+		t.Fatalf("%d firings in 1M cycles — backoff not thinning", len(fired))
+	}
+	for i := 2; i < len(fired); i++ {
+		if fired[i]-fired[i-1] < fired[i-1]-fired[i-2] {
+			t.Fatalf("firing gaps shrank: %v", fired)
+		}
+	}
+}
+
+func TestBackoffSaturatesInsteadOfOverflowing(t *testing.T) {
+	b := NewBackoff(1<<40, 1<<30)
+	for i := 0; i < 10; i++ {
+		b.Due(^uint64(0) - 1) // repeatedly probe near the end of time
+	}
+	if b.Gap() == 0 {
+		t.Fatal("gap overflowed to zero — schedule would go dense again")
+	}
+	// After saturation the schedule must be effectively off, not wrapping.
+	if b.Due(^uint64(0) - 1) {
+		t.Fatal("saturated schedule fired again at the same instant")
+	}
+}
+
+func TestBackoffFactorFloor(t *testing.T) {
+	b := NewBackoff(8, 0) // degenerate factor is raised to 2
+	b.Due(0)
+	if b.Gap() != 16 {
+		t.Fatalf("gap = %d, want 16 (factor floored to 2)", b.Gap())
 	}
 }

@@ -1,0 +1,381 @@
+// Package chaos is the simulator's adversarial test harness: a seeded,
+// deterministic chaos-campaign engine that fuzzes fault plans against the
+// core runtime, plus crash-point torture for the checkpoint stack.
+//
+// The campaign turns the repo's determinism guarantee into a testing weapon.
+// Every simulation is a pure function of (config, seed, plan), so the
+// campaign can use strong oracles — the invariant auditor, the progress
+// watchdog, golden-result comparison against a fault-free baseline, and
+// byte-identity replay — and any failing input is a perfectly reproducible
+// one-line repro. Plans are generated and mutated by fault.Generate /
+// fault.Mutate, coverage is a cheap signature over the fault/recovery
+// counter vector (AFL-style: new signature → corpus entry → future mutation
+// parent), and failures are automatically shrunk to a minimal plan written
+// as a ready-to-run repro JSON with the exact CLI line.
+//
+// The whole campaign is deterministic at any worker-pool width: plan
+// generation is sequential from one seeded RNG, evaluation fans out over
+// experiments.ParMap (index-addressed results), and corpus/coverage state is
+// folded in index order after each fixed-size batch.
+package chaos
+
+import (
+	"fmt"
+	"io"
+	"path/filepath"
+	"sort"
+
+	"ndpbridge/internal/config"
+	"ndpbridge/internal/core"
+	"ndpbridge/internal/experiments"
+	"ndpbridge/internal/fault"
+	"ndpbridge/internal/sim"
+)
+
+// batchSize is the number of plans generated ahead and evaluated in
+// parallel per round. It is a fixed constant — NOT the worker-pool width —
+// because corpus evolution depends on fold order: a batch size that varied
+// with -j would make the campaign's trajectory depend on the machine.
+const batchSize = 8
+
+// Options configures a chaos campaign.
+type Options struct {
+	// Runs is the evaluation budget: the number of plans evaluated,
+	// including re-evaluated corpus entries. Default 32.
+	Runs int
+	// Seed drives plan generation and every injected fault schedule; the
+	// same seed reproduces the campaign bit-for-bit. Default 1.
+	Seed uint64
+	// CorpusDir persists interesting plans across campaigns. Plans found
+	// there are re-evaluated first (counting against Runs) and new corpus
+	// entries are written back. Empty = in-memory only.
+	CorpusDir string
+	// ReproDir receives shrunk failing plans as repro-*.json plus a
+	// repro-*.cli companion holding the exact reproduction command.
+	// Empty = repros are only reported, not written.
+	ReproDir string
+	// App is the workload (small-sized variant). Default "tree".
+	App string
+	// Units overrides the unit count (multiple of 64). Default 128 — two
+	// ranks, so the cross-rank hops and rank filters are exercised.
+	Units int
+	// Log receives progress lines. Nil = silent.
+	Log io.Writer
+	// Hook runs on every built system right before Run, after faults and
+	// the auditor are attached. It is the campaign's sabotage seam: tests
+	// plant a known bug here and assert the campaign finds and shrinks it.
+	Hook func(*core.System, *fault.Plan)
+	// ShrinkBudget bounds the evaluations spent shrinking one failure.
+	// Default 120.
+	ShrinkBudget int
+	// MaxShrinks bounds how many distinct failures are shrunk. Default 3.
+	MaxShrinks int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Runs <= 0 {
+		o.Runs = 32
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.App == "" {
+		o.App = "tree"
+	}
+	if o.Units <= 0 {
+		o.Units = 128
+	}
+	if o.ShrinkBudget <= 0 {
+		o.ShrinkBudget = 120
+	}
+	if o.MaxShrinks <= 0 {
+		o.MaxShrinks = 3
+	}
+	return o
+}
+
+// Failure is one oracle breach: the plan that tripped it, the shrunk
+// minimal repro, and how to reproduce it outside the campaign.
+type Failure struct {
+	Verdict     Verdict
+	Rules       []string // audit rules broken (FailAudit only)
+	Err         string   // the run error, if any
+	Plan        *fault.Plan
+	Shrunk      *fault.Plan
+	ShrinkEvals int
+	ReproPath   string // written repro plan ("" when ReproDir is unset)
+	CLI         string // exact reproduction command line
+}
+
+// Report is the outcome of one campaign.
+type Report struct {
+	Seed             uint64
+	Evals            int // evaluations performed (fuzzing only, not shrinking)
+	Counts           [verdictCount]int
+	BaselineTasks    uint64
+	BaselineMakespan uint64
+	CorpusLoaded     int // corpus entries re-evaluated from CorpusDir
+	CorpusSize       int // corpus entries at campaign end
+	NewCoverage      int // evaluations that produced an unseen signature
+	CovDims          int // coverage vector dimensions
+	Failures         []*Failure
+}
+
+// Failed reports whether any oracle tripped.
+func (r *Report) Failed() bool { return len(r.Failures) > 0 }
+
+// Summary renders the corpus/coverage trajectory and the verdict table —
+// the block ndpbench prints at campaign end.
+func (r *Report) Summary() string {
+	s := fmt.Sprintf("chaos: seed=%d evals=%d corpus=%d (loaded %d) coverage-dims=%d new-coverage=%d (%.0f%%)\n",
+		r.Seed, r.Evals, r.CorpusSize, r.CorpusLoaded, r.CovDims, r.NewCoverage,
+		100*float64(r.NewCoverage)/float64(max(r.Evals, 1)))
+	s += fmt.Sprintf("chaos: baseline tasks=%d makespan=%d\n", r.BaselineTasks, r.BaselineMakespan)
+	s += "chaos: verdicts:"
+	for v := Verdict(0); v < verdictCount; v++ {
+		if r.Counts[v] > 0 {
+			s += fmt.Sprintf(" %s=%d", v, r.Counts[v])
+		}
+	}
+	s += "\n"
+	for _, f := range r.Failures {
+		s += fmt.Sprintf("chaos: FAILURE %s", f.Verdict)
+		for _, rule := range f.Rules {
+			s += " [" + rule + "]"
+		}
+		if f.ReproPath != "" {
+			s += " repro=" + f.ReproPath
+		}
+		s += fmt.Sprintf(" (shrunk %d→%d specs in %d evals)\n",
+			len(f.Plan.Faults), len(f.Shrunk.Faults), f.ShrinkEvals)
+		s += "chaos:   run: " + f.CLI + "\n"
+	}
+	return s
+}
+
+// campaign is the run state of one Run call.
+type campaign struct {
+	opts Options
+	cfg  config.Config
+	topo fault.Topology
+
+	baseTasks    uint64
+	baseMakespan uint64
+	baseJSON     []byte
+
+	corpus []corpusEntry
+	seen   map[string]bool // coverage signatures observed
+	hashes map[uint64]bool // plan hashes in the corpus
+}
+
+type corpusEntry struct {
+	plan *fault.Plan
+	sig  string
+	hash uint64
+}
+
+// Run executes a chaos campaign and returns its report. The returned error
+// covers campaign-level problems (bad options, unusable baseline,
+// cancellation); oracle failures are data, reported in Report.Failures.
+func Run(opts Options) (*Report, error) {
+	opts = opts.withDefaults()
+	c := &campaign{
+		opts:   opts,
+		seen:   make(map[string]bool),
+		hashes: make(map[uint64]bool),
+	}
+
+	cfg := config.Default().WithDesign(config.DesignO)
+	cfg, err := cfg.WithUnits(opts.Units)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: %w", err)
+	}
+	c.cfg = cfg
+
+	// The baseline run is the golden oracle: every faulted run must execute
+	// exactly this many tasks (faults may slow the system down, never lose
+	// or duplicate work), and its makespan scales the coverage buckets and
+	// the fault-schedule horizon.
+	base, err := c.runPlan(nil)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: baseline run failed: %w", err)
+	}
+	c.baseTasks = base.TasksExecuted
+	c.baseMakespan = base.Makespan
+	c.baseJSON, err = resultJSON(base)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: %w", err)
+	}
+	c.topo = fault.Topology{
+		Units:   cfg.Geometry.Units(),
+		Ranks:   cfg.Geometry.Ranks(),
+		Horizon: base.Makespan,
+	}
+
+	rep := &Report{
+		Seed:             opts.Seed,
+		BaselineTasks:    c.baseTasks,
+		BaselineMakespan: c.baseMakespan,
+		CovDims:          covDims,
+	}
+
+	// Phase 1: re-evaluate the persisted corpus — stale entries (from an
+	// older topology or binary) refresh their signatures; entries whose
+	// coverage is still unique re-enter the corpus as mutation parents.
+	seedPlans, err := loadCorpus(opts.CorpusDir, c.topo)
+	if err != nil {
+		return nil, err
+	}
+	rep.CorpusLoaded = len(seedPlans)
+	budget := opts.Runs
+	for len(seedPlans) > 0 && budget > 0 && !experiments.Canceled() {
+		n := min(min(batchSize, len(seedPlans)), budget)
+		if err := c.evalBatch(seedPlans[:n], rep); err != nil {
+			return nil, err
+		}
+		seedPlans = seedPlans[n:]
+		budget -= n
+	}
+
+	// Phase 2: coverage-guided fuzzing. Generation is sequential from the
+	// campaign RNG; evaluation is parallel; folding is in index order.
+	rng := sim.NewRNG(opts.Seed)
+	for budget > 0 && !experiments.Canceled() {
+		n := min(batchSize, budget)
+		plans := make([]*fault.Plan, n)
+		for i := range plans {
+			plans[i] = c.nextPlan(rng)
+		}
+		if err := c.evalBatch(plans, rep); err != nil {
+			return nil, err
+		}
+		budget -= n
+		c.logf("chaos: %d/%d evals, corpus %d, %d failures\n",
+			rep.Evals, opts.Runs, len(c.corpus), len(rep.Failures))
+	}
+	if experiments.Canceled() {
+		return nil, experiments.ErrCanceled
+	}
+
+	// Phase 3: shrink failures to minimal repros (sequential, bounded).
+	for i, f := range rep.Failures {
+		if i >= opts.MaxShrinks {
+			f.Shrunk = f.Plan // unshrunk, but still a valid repro
+			continue
+		}
+		f.Shrunk, f.ShrinkEvals = c.shrink(f)
+		c.logf("chaos: shrunk %s failure: %d → %d specs (%d evals)\n",
+			f.Verdict, len(f.Plan.Faults), len(f.Shrunk.Faults), f.ShrinkEvals)
+	}
+	if err := c.writeRepros(rep); err != nil {
+		return nil, err
+	}
+	if err := saveCorpus(opts.CorpusDir, c.corpus); err != nil {
+		return nil, err
+	}
+	rep.CorpusSize = len(c.corpus)
+	return rep, nil
+}
+
+// evalBatch evaluates plans in parallel and folds outcomes in index order.
+func (c *campaign) evalBatch(plans []*fault.Plan, rep *Report) error {
+	outs, err := experiments.ParMap(len(plans), func(i int) (outcome, error) {
+		return c.eval(plans[i]), nil
+	})
+	if err != nil {
+		return err
+	}
+	for i, out := range outs {
+		rep.Evals++
+		rep.Counts[out.verdict]++
+		if !c.seen[out.sig] {
+			c.seen[out.sig] = true
+			rep.NewCoverage++
+			if h := fault.Hash(plans[i]); !c.hashes[h] {
+				c.hashes[h] = true
+				c.corpus = append(c.corpus, corpusEntry{plan: plans[i], sig: out.sig, hash: h})
+			}
+		}
+		if out.verdict.Failed() {
+			rep.Failures = append(rep.Failures, &Failure{
+				Verdict: out.verdict,
+				Rules:   out.rules,
+				Err:     out.err,
+				Plan:    plans[i],
+			})
+		}
+	}
+	return nil
+}
+
+// nextPlan picks the next input: usually a mutation of a corpus entry,
+// sometimes a fresh plan so the fuzzer keeps exploring from scratch.
+func (c *campaign) nextPlan(rng *sim.RNG) *fault.Plan {
+	if len(c.corpus) == 0 || rng.Intn(4) == 0 {
+		return fault.Generate(rng, c.topo)
+	}
+	parent := c.corpus[rng.Intn(len(c.corpus))]
+	return fault.Mutate(rng, parent.plan, c.topo)
+}
+
+// writeRepros persists every failure's shrunk plan and CLI line.
+func (c *campaign) writeRepros(rep *Report) error {
+	for _, f := range rep.Failures {
+		plan := f.Shrunk
+		if plan == nil {
+			plan = f.Plan
+			f.Shrunk = plan
+		}
+		f.CLI = c.cli(f)
+		if c.opts.ReproDir == "" {
+			continue
+		}
+		name := fmt.Sprintf("repro-%s-%08x", f.Verdict.slug(), fault.Hash(plan)&0xffffffff)
+		path := filepath.Join(c.opts.ReproDir, name+".json")
+		if err := writeFileAtomic(path, fault.Canonical(plan)); err != nil {
+			return fmt.Errorf("chaos: write repro: %w", err)
+		}
+		f.ReproPath = path
+		f.CLI = c.cliFor(path)
+		cli := filepath.Join(c.opts.ReproDir, name+".cli")
+		body := "# " + f.Verdict.String() + ": " + f.Err + "\n" + f.CLI + "\n"
+		if err := writeFileAtomic(cli, []byte(body)); err != nil {
+			return fmt.Errorf("chaos: write repro CLI: %w", err)
+		}
+	}
+	return nil
+}
+
+// cli renders the reproduction command for a failure whose plan is not (or
+// not yet) on disk.
+func (c *campaign) cli(f *Failure) string {
+	return c.cliFor("<plan.json>")
+}
+
+// cliFor renders the exact single-run reproduction command: the same config,
+// seed, fault seed, and auditor the campaign used.
+func (c *campaign) cliFor(planPath string) string {
+	return fmt.Sprintf("ndpsim -app %s -design O -units %d -small -seed %d -faults %s -fault-seed %d -audit",
+		c.opts.App, c.opts.Units, c.cfg.Seed, planPath, c.opts.Seed)
+}
+
+func (c *campaign) logf(format string, args ...any) {
+	if c.opts.Log != nil {
+		fmt.Fprintf(c.opts.Log, format, args...)
+	}
+}
+
+// sortedRules returns the audit rule names of an audit error, deduplicated
+// and sorted for deterministic reporting.
+func sortedRules(vs []string) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, v := range vs {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,321 @@
+package chaos
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ndpbridge/internal/core"
+	"ndpbridge/internal/experiments"
+	"ndpbridge/internal/fault"
+	"ndpbridge/internal/stats"
+)
+
+// readDirBytes snapshots a directory as name→content for byte-level
+// comparison between campaigns.
+func readDirBytes(t *testing.T, dir string) map[string][]byte {
+	t.Helper()
+	out := make(map[string][]byte)
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return out
+	}
+	if err != nil {
+		t.Fatalf("read %s: %v", dir, err)
+	}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatalf("read %s: %v", e.Name(), err)
+		}
+		out[e.Name()] = data
+	}
+	return out
+}
+
+// TestCampaignCleanAndDeterministic runs the same bounded campaign at two
+// worker-pool widths and demands bit-identical trajectories: same summary,
+// same corpus files, no oracle failures on the healthy runtime.
+func TestCampaignCleanAndDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign runs full simulations")
+	}
+	defer experiments.SetJobs(experiments.Jobs())
+
+	run := func(jobs int, corpusDir string) *Report {
+		experiments.SetJobs(jobs)
+		rep, err := Run(Options{Runs: 12, Seed: 7, CorpusDir: corpusDir})
+		if err != nil {
+			t.Fatalf("campaign (jobs=%d): %v", jobs, err)
+		}
+		return rep
+	}
+
+	dir1, dir4 := t.TempDir(), t.TempDir()
+	rep1 := run(1, dir1)
+	rep4 := run(4, dir4)
+
+	if rep1.Failed() {
+		t.Fatalf("clean campaign reported failures:\n%s", rep1.Summary())
+	}
+	if s1, s4 := rep1.Summary(), rep4.Summary(); s1 != s4 {
+		t.Errorf("summary depends on -j:\njobs=1:\n%s\njobs=4:\n%s", s1, s4)
+	}
+	c1, c4 := readDirBytes(t, dir1), readDirBytes(t, dir4)
+	if len(c1) == 0 {
+		t.Error("campaign produced an empty corpus")
+	}
+	if len(c1) != len(c4) {
+		t.Fatalf("corpus size depends on -j: %d vs %d", len(c1), len(c4))
+	}
+	for name, data := range c1 {
+		if !bytes.Equal(data, c4[name]) {
+			t.Errorf("corpus entry %s differs between -j runs", name)
+		}
+	}
+	if rep1.Evals != 12 {
+		t.Errorf("Evals = %d, want 12", rep1.Evals)
+	}
+	if rep1.NewCoverage == 0 {
+		t.Error("no new coverage in a fresh campaign — signature is dead")
+	}
+	if rep1.CovDims != covDims {
+		t.Errorf("CovDims = %d, want %d", rep1.CovDims, covDims)
+	}
+}
+
+// TestCampaignReloadsCorpus verifies that a second campaign over the same
+// corpus directory re-evaluates the persisted plans.
+func TestCampaignReloadsCorpus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign runs full simulations")
+	}
+	dir := t.TempDir()
+	rep1, err := Run(Options{Runs: 6, Seed: 3, CorpusDir: dir})
+	if err != nil {
+		t.Fatalf("first campaign: %v", err)
+	}
+	if rep1.CorpusSize == 0 {
+		t.Fatal("first campaign saved no corpus")
+	}
+	rep2, err := Run(Options{Runs: 6, Seed: 3, CorpusDir: dir})
+	if err != nil {
+		t.Fatalf("second campaign: %v", err)
+	}
+	if rep2.CorpusLoaded != rep1.CorpusSize {
+		t.Errorf("second campaign loaded %d entries, first saved %d",
+			rep2.CorpusLoaded, rep1.CorpusSize)
+	}
+	if rep2.Failed() {
+		t.Fatalf("corpus replay reported failures:\n%s", rep2.Summary())
+	}
+}
+
+// hasStall reports whether the plan contains a stall spec — the trigger for
+// the planted bug below.
+func hasStall(p *fault.Plan) bool {
+	if p == nil {
+		return false
+	}
+	for _, s := range p.Faults {
+		if s.Kind == fault.KindStall {
+			return true
+		}
+	}
+	return false
+}
+
+// TestCampaignFindsAndShrinksPlantedBug is the end-to-end proof the engine
+// works: a bug is planted behind the sabotage hook (any plan with a stall
+// spec leaks a phantom in-flight message, so the epoch never drains), and
+// the campaign must find it, classify it as a hang, shrink the triggering
+// plan to a single stall spec, and emit a ready-to-run repro.
+func TestCampaignFindsAndShrinksPlantedBug(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign runs full simulations")
+	}
+	reproDir := t.TempDir()
+	rep, err := Run(Options{
+		Runs:         16,
+		Seed:         5,
+		ReproDir:     reproDir,
+		ShrinkBudget: 80,
+		MaxShrinks:   1,
+		Hook: func(sys *core.System, plan *fault.Plan) {
+			// Planted bug: stall handling "loses" a message. Restricted to
+			// plans not already entitled to hang so the oracle breach is
+			// unambiguous.
+			if hasStall(plan) && !planCanHang(plan) {
+				sys.MsgStaged()
+			}
+		},
+	})
+	if err != nil {
+		t.Fatalf("campaign: %v", err)
+	}
+	if !rep.Failed() {
+		t.Fatalf("campaign missed the planted bug:\n%s", rep.Summary())
+	}
+
+	f := rep.Failures[0]
+	if f.Verdict != FailHang {
+		t.Fatalf("verdict = %s, want %s (err: %s)", f.Verdict, FailHang, f.Err)
+	}
+	if f.Shrunk == nil || len(f.Shrunk.Faults) != 1 {
+		t.Fatalf("shrunk plan has %d specs, want 1:\n%s",
+			len(f.Shrunk.Faults), fault.Canonical(f.Shrunk))
+	}
+	if f.Shrunk.Faults[0].Kind != fault.KindStall {
+		t.Errorf("shrunk to %q spec, want stall", f.Shrunk.Faults[0].Kind)
+	}
+	if f.ShrinkEvals == 0 {
+		t.Error("shrinker spent zero evaluations")
+	}
+
+	// The repro must be on disk, valid, and named in the CLI line.
+	if f.ReproPath == "" {
+		t.Fatal("no repro written")
+	}
+	data, err := os.ReadFile(f.ReproPath)
+	if err != nil {
+		t.Fatalf("read repro: %v", err)
+	}
+	p, err := fault.Parse(data)
+	if err != nil {
+		t.Fatalf("repro does not parse: %v", err)
+	}
+	if fault.Hash(p) != fault.Hash(f.Shrunk) {
+		t.Error("repro file does not match the shrunk plan")
+	}
+	if !strings.Contains(f.CLI, "-faults "+f.ReproPath) {
+		t.Errorf("CLI %q does not reference the repro path", f.CLI)
+	}
+	if !strings.Contains(f.CLI, "-audit") {
+		t.Errorf("CLI %q does not re-arm the auditor", f.CLI)
+	}
+	if !strings.Contains(rep.Summary(), "FAILURE FAIL-hang") {
+		t.Errorf("summary does not surface the failure:\n%s", rep.Summary())
+	}
+
+	// The .cli companion must carry the same command.
+	cliFile := strings.TrimSuffix(f.ReproPath, ".json") + ".cli"
+	body, err := os.ReadFile(cliFile)
+	if err != nil {
+		t.Fatalf("read CLI companion: %v", err)
+	}
+	if !strings.Contains(string(body), f.CLI) {
+		t.Errorf("CLI companion %q does not contain %q", body, f.CLI)
+	}
+}
+
+func TestPlanCanHang(t *testing.T) {
+	cases := []struct {
+		name string
+		plan *fault.Plan
+		want bool
+	}{
+		{"nil", nil, false},
+		{"empty", &fault.Plan{}, false},
+		{"stall", &fault.Plan{Faults: []fault.Spec{
+			{Kind: fault.KindStall, Unit: 3, At: 10, Cycles: 50, Rank: -1},
+		}}, false},
+		{"kill", &fault.Plan{Faults: []fault.Spec{
+			{Kind: fault.KindKill, Unit: 3, At: 10, Rank: -1},
+		}}, true},
+		{"lossy drop", &fault.Plan{Faults: []fault.Spec{
+			{Kind: fault.KindDrop, Scope: fault.ScopeL1Gather, Prob: 0.5, Rank: -1},
+		}}, false},
+		{"permanent blackout", &fault.Plan{Faults: []fault.Spec{
+			{Kind: fault.KindDrop, Scope: fault.ScopeL1Gather, Prob: 1, Rank: -1},
+		}}, true},
+		{"windowed blackout", &fault.Plan{Faults: []fault.Spec{
+			{Kind: fault.KindDrop, Scope: fault.ScopeL1Gather, Prob: 1, Until: 500, Rank: -1},
+		}}, false},
+		{"count-capped blackout", &fault.Plan{Faults: []fault.Spec{
+			{Kind: fault.KindCorrupt, Scope: fault.ScopeL2Down, Prob: 1, Count: 3, Rank: -1},
+		}}, false},
+	}
+	for _, tc := range cases {
+		if got := planCanHang(tc.plan); got != tc.want {
+			t.Errorf("%s: planCanHang = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestSignatureSeparatesBehaviors(t *testing.T) {
+	base := uint64(10000)
+	quiet := &stats.Result{Makespan: base, Faults: &stats.FaultStats{}}
+	noisy := &stats.Result{Makespan: 2 * base, Faults: &stats.FaultStats{Drops: 100, Retries: 100}}
+	if signature(VerdictOK, quiet, base) == signature(VerdictOK, noisy, base) {
+		t.Error("signature cannot tell a quiet run from a fault-heavy run")
+	}
+	if signature(VerdictOK, quiet, base) == signature(FailAudit, quiet, base) {
+		t.Error("signature ignores the verdict")
+	}
+	// Same order of magnitude folds together — that's the point of bucketing.
+	a := &stats.Result{Makespan: base, Faults: &stats.FaultStats{Drops: 100}}
+	b := &stats.Result{Makespan: base, Faults: &stats.FaultStats{Drops: 120}}
+	if signature(VerdictOK, a, base) != signature(VerdictOK, b, base) {
+		t.Error("bucketing failed: 100 vs 120 drops should share a signature")
+	}
+	if len(signature(VerdictOK, nil, base)) != 2*covDims {
+		t.Errorf("signature length = %d, want %d hex chars",
+			len(signature(VerdictOK, nil, base)), 2*covDims)
+	}
+}
+
+func TestVerdictStringsAndOrdering(t *testing.T) {
+	for v := Verdict(0); v < verdictCount; v++ {
+		if strings.HasPrefix(v.String(), "verdict(") {
+			t.Errorf("verdict %d has no name", int(v))
+		}
+		wantFail := v >= FailAudit
+		if v.Failed() != wantFail {
+			t.Errorf("%s: Failed() = %v, want %v", v, v.Failed(), wantFail)
+		}
+	}
+	if VerdictOK.Failed() || VerdictDegraded.Failed() {
+		t.Error("non-failure verdicts classified as failed")
+	}
+}
+
+func TestLoadCorpusSkipsInvalid(t *testing.T) {
+	dir := t.TempDir()
+	topo := fault.Topology{Units: 64, Ranks: 1, Horizon: 1 << 14}
+
+	good := &fault.Plan{Faults: []fault.Spec{
+		{Kind: fault.KindStall, Unit: 3, At: 10, Cycles: 50, Rank: -1},
+	}}
+	if err := os.WriteFile(filepath.Join(dir, "a-good.json"), fault.Canonical(good), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Stale: valid JSON for a bigger topology (unit 100 of 64).
+	stale := &fault.Plan{Faults: []fault.Spec{
+		{Kind: fault.KindKill, Unit: 100, At: 10, Rank: -1},
+	}}
+	if err := os.WriteFile(filepath.Join(dir, "b-stale.json"), fault.Canonical(stale), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "c-junk.json"), []byte("{nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "README.txt"), []byte("not a plan"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	plans, err := loadCorpus(dir, topo)
+	if err != nil {
+		t.Fatalf("loadCorpus: %v", err)
+	}
+	if len(plans) != 1 {
+		t.Fatalf("loaded %d plans, want 1 (only the valid one)", len(plans))
+	}
+	if plans[0].Faults[0].Kind != fault.KindStall {
+		t.Errorf("loaded wrong plan: %s", fault.Canonical(plans[0]))
+	}
+	if _, err := loadCorpus(filepath.Join(dir, "missing"), topo); err != nil {
+		t.Errorf("missing corpus dir should be empty, not an error: %v", err)
+	}
+}

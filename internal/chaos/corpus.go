@@ -1,0 +1,81 @@
+package chaos
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"ndpbridge/internal/checkpoint"
+	"ndpbridge/internal/fault"
+)
+
+// Corpus persistence: each interesting plan is one canonical-JSON file,
+// named by its content hash (plan-<16 hex>.json), so re-saving is
+// idempotent and two campaigns can share a directory without colliding.
+// Loading is sorted by filename, which — because names are content hashes
+// of canonical encodings — gives every campaign the same deterministic
+// seed order regardless of directory enumeration order.
+
+// loadCorpus reads persisted plans from dir (nil when dir is empty).
+// Entries that no longer parse or validate against the current topology are
+// skipped, not fatal: the corpus is a cache of interesting inputs, and a
+// stale entry from an old binary must not brick the campaign.
+func loadCorpus(dir string, topo fault.Topology) ([]*fault.Plan, error) {
+	if dir == "" {
+		return nil, nil
+	}
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("chaos: read corpus: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".json" {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	var plans []*fault.Plan
+	for _, name := range names {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, fmt.Errorf("chaos: read corpus entry: %w", err)
+		}
+		p, err := fault.Parse(data)
+		if err != nil {
+			continue // stale format — skip
+		}
+		if p.Empty() || p.Validate(topo.Units, topo.Ranks) != nil {
+			continue // wrong topology — skip
+		}
+		plans = append(plans, p)
+	}
+	return plans, nil
+}
+
+// saveCorpus writes every corpus entry to dir (no-op when dir is empty).
+// Files are written crash-consistently; existing files are content-hashed
+// names, so rewriting an entry writes identical bytes.
+func saveCorpus(dir string, corpus []corpusEntry) error {
+	if dir == "" {
+		return nil
+	}
+	for _, e := range corpus {
+		path := filepath.Join(dir, fmt.Sprintf("plan-%016x.json", e.hash))
+		if err := writeFileAtomic(path, fault.Canonical(e.plan)); err != nil {
+			return fmt.Errorf("chaos: save corpus: %w", err)
+		}
+	}
+	return nil
+}
+
+// writeFileAtomic is the repo-wide crash-consistent writer. Routed through
+// package checkpoint so the chaos engine's own outputs are covered by the
+// same injectable-FS machinery it tortures.
+func writeFileAtomic(path string, data []byte) error {
+	return checkpoint.WriteFileAtomic(path, data)
+}

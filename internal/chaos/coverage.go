@@ -1,0 +1,58 @@
+package chaos
+
+import (
+	"encoding/hex"
+	"math/bits"
+
+	"ndpbridge/internal/stats"
+)
+
+// The coverage signal is deliberately cheap: a fixed-order vector of
+// log2-bucketed counters from the run's fault/recovery statistics, plus the
+// verdict class and a makespan-dilation bucket. Two runs with the same
+// signature exercised the machinery "the same amount at the same order of
+// magnitude"; a new signature means the plan reached behavior no corpus
+// entry reached — retries where there were none, a first quarantine, a
+// watchdog trip, an order-of-magnitude more duplicate filtering — and
+// becomes a mutation parent (AFL's insight, ported to simulation counters).
+
+// covDims is the coverage vector length: verdict, makespan bucket, watchdog
+// flag, 7 injection counters, 6 recovery counters.
+const covDims = 16
+
+// bucket compresses a counter to its order of magnitude.
+func bucket(x uint64) byte { return byte(bits.Len64(x)) }
+
+// signature renders the coverage vector of one evaluation. r may be nil
+// (the run returned no result); the verdict still contributes, so distinct
+// failure classes occupy distinct corpus niches.
+func signature(v Verdict, r *stats.Result, baseMakespan uint64) string {
+	var vec [covDims]byte
+	vec[0] = byte(v)
+	if r != nil {
+		// Makespan dilation relative to the fault-free baseline, in
+		// quarter-doublings: how much the plan actually slowed the run.
+		if baseMakespan > 0 {
+			vec[1] = bucket(r.Makespan * 4 / baseMakespan)
+		}
+		if f := r.Faults; f != nil {
+			if f.WatchdogTripped {
+				vec[2] = 1
+			}
+			vec[3] = bucket(f.Drops)
+			vec[4] = bucket(f.Corrupts)
+			vec[5] = bucket(f.Duplicates)
+			vec[6] = bucket(f.Delays)
+			vec[7] = bucket(f.Stalls)
+			vec[8] = bucket(f.Kills)
+			vec[9] = bucket(f.Overflows)
+			vec[10] = bucket(f.Retries)
+			vec[11] = bucket(f.Nacks)
+			vec[12] = bucket(f.DupsFiltered)
+			vec[13] = bucket(f.MsgsLost)
+			vec[14] = bucket(f.TasksRespawned)
+			vec[15] = bucket(f.BlocksRecovered)
+		}
+	}
+	return hex.EncodeToString(vec[:])
+}

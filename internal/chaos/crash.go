@@ -1,0 +1,432 @@
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"ndpbridge/internal/checkpoint"
+	"ndpbridge/internal/config"
+	"ndpbridge/internal/core"
+	"ndpbridge/internal/sim"
+	"ndpbridge/internal/stats"
+	"ndpbridge/internal/workloads"
+)
+
+// Crash-point torture for the checkpoint stack. A checkpointed run is
+// replayed once per filesystem operation, cutting it at exactly that
+// operation — as a power cut would — and the harness then plays the
+// recovery a user would: look for the checkpoint file and resume. The
+// contract under test is binary: after a crash at ANY step of the atomic
+// write protocol, the visible checkpoint path holds either a complete
+// snapshot that resumes to a byte-identical final result, or nothing; and a
+// snapshot torn by a silently-truncated write is rejected by the checksums.
+// There is no third outcome — no half-state is ever acted on.
+//
+// The instrument is crashFS, plugged under checkpoint.WriteFileAtomic via
+// checkpoint.SwapFS. It has three modes: count (record the op trace of a
+// healthy run — its length is the cut-point space), fail-stop (ops before
+// the cut succeed, the cut and everything after fail: the process is dead),
+// and torn (the cut write silently persists only half its bytes, the
+// protocol completes, and the machine dies right after the rename lands —
+// the worst case fsync discipline must catch).
+
+// errCrash marks an injected cut; everything the dead process attempts
+// afterwards fails with it too.
+var errCrash = errors.New("chaos: injected crash")
+
+// crashFS modes.
+const (
+	modeCount = iota
+	modeFailStop
+	modeTorn
+)
+
+// crashFS wraps the real filesystem with an op counter and a cut point.
+type crashFS struct {
+	real checkpoint.FS
+
+	mu      sync.Mutex
+	mode    int
+	cutAt   int
+	ops     []string // op kinds in execution order
+	armKill bool     // torn write landed; die after the next rename
+	dead    bool
+}
+
+func newCrashFS(mode, cutAt int) *crashFS {
+	return &crashFS{real: osRealFS(), mode: mode, cutAt: cutAt}
+}
+
+// osRealFS fetches the true filesystem even if another FS is installed.
+func osRealFS() checkpoint.FS {
+	prev := checkpoint.SwapFS(nil) // nil restores the OS filesystem...
+	fs := checkpoint.SwapFS(prev)  // ...which we grab and put prev back.
+	return fs
+}
+
+// gate records one op and decides whether the dead machine rejects it.
+func (c *crashFS) gate(kind string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	idx := len(c.ops)
+	c.ops = append(c.ops, kind)
+	if c.dead {
+		return errCrash
+	}
+	if c.mode == modeFailStop && idx >= c.cutAt {
+		c.dead = true
+		return errCrash
+	}
+	return nil
+}
+
+func (c *crashFS) opCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.ops)
+}
+
+func (c *crashFS) opTrace() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]string(nil), c.ops...)
+}
+
+func (c *crashFS) MkdirAll(dir string, perm os.FileMode) error {
+	if err := c.gate("mkdir"); err != nil {
+		return err
+	}
+	return c.real.MkdirAll(dir, perm)
+}
+
+func (c *crashFS) CreateTemp(dir, pattern string) (checkpoint.FileHandle, error) {
+	if err := c.gate("create"); err != nil {
+		return nil, err
+	}
+	h, err := c.real.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &crashFile{fs: c, h: h}, nil
+}
+
+func (c *crashFS) Chmod(name string, mode os.FileMode) error {
+	if err := c.gate("chmod"); err != nil {
+		return err
+	}
+	return c.real.Chmod(name, mode)
+}
+
+func (c *crashFS) Rename(oldpath, newpath string) error {
+	if err := c.gate("rename"); err != nil {
+		return err
+	}
+	return c.real.Rename(oldpath, newpath)
+}
+
+func (c *crashFS) Remove(name string) error {
+	if err := c.gate("remove"); err != nil {
+		return err
+	}
+	return c.real.Remove(name)
+}
+
+func (c *crashFS) SyncDir(dir string) error {
+	if err := c.gate("syncdir"); err != nil {
+		return err
+	}
+	err := c.real.SyncDir(dir)
+	c.mu.Lock()
+	if err == nil && c.armKill {
+		// The rename of the torn snapshot is durable now. Power off.
+		c.dead = true
+	}
+	c.mu.Unlock()
+	return err
+}
+
+// crashFile gates the write/sync/close surface of one temp file.
+type crashFile struct {
+	fs *crashFS
+	h  checkpoint.FileHandle
+}
+
+func (f *crashFile) Write(p []byte) (int, error) {
+	c := f.fs
+	c.mu.Lock()
+	idx := len(c.ops)
+	c.ops = append(c.ops, "write")
+	dead, torn := c.dead, c.mode == modeTorn && idx == c.cutAt
+	if torn {
+		c.armKill = true
+	}
+	if !dead && c.mode == modeFailStop && idx >= c.cutAt {
+		c.dead = true
+		dead = true
+	}
+	c.mu.Unlock()
+	if dead {
+		return 0, errCrash
+	}
+	if torn {
+		// Persist only half the bytes but report full success — the
+		// truncation a lost page-cache flush produces.
+		if _, err := f.h.Write(p[:len(p)/2]); err != nil {
+			return 0, err
+		}
+		return len(p), nil
+	}
+	return f.h.Write(p)
+}
+
+func (f *crashFile) Sync() error {
+	if err := f.fs.gate("sync"); err != nil {
+		return err
+	}
+	return f.h.Sync()
+}
+
+func (f *crashFile) Close() error {
+	if err := f.fs.gate("close"); err != nil {
+		return err
+	}
+	return f.h.Close()
+}
+
+func (f *crashFile) Name() string { return f.h.Name() }
+
+// TortureOptions configures a crash-point torture pass.
+type TortureOptions struct {
+	// App is the workload (small variant). Default "bfs" — several barriers,
+	// so checkpoints land mid-run and resume crosses real state.
+	App string
+	// Units overrides the unit count. Default 64.
+	Units int
+	// Every is the checkpoint cadence in cycles. Default 1 (every barrier).
+	Every sim.Cycles
+	// MaxCuts caps the fail-stop cut points (evenly sampled when the op
+	// trace is larger). 0 = exhaustive: every op is a cut point.
+	MaxCuts int
+	// Dir is the scratch directory for checkpoint files. Empty = a fresh
+	// temp directory, removed afterwards.
+	Dir string
+	// Log receives progress lines. Nil = silent.
+	Log io.Writer
+}
+
+func (o TortureOptions) withDefaults() TortureOptions {
+	if o.App == "" {
+		o.App = "bfs"
+	}
+	if o.Units <= 0 {
+		o.Units = 64
+	}
+	if o.Every <= 0 {
+		o.Every = 1
+	}
+	return o
+}
+
+// TortureReport is the outcome of one torture pass. The pass as a whole
+// either proves the contract (returned with nil error) or names the first
+// cut that broke it (non-nil error from Torture).
+type TortureReport struct {
+	Ops          int // filesystem ops per healthy run = cut-point space
+	Checkpoints  int // snapshots the healthy run writes
+	Cuts         int // fail-stop cuts exercised
+	NoCheckpoint int // cuts that left no visible checkpoint (clean absence)
+	Resumed      int // cuts whose surviving snapshot resumed byte-identically
+	TornCuts     int // torn-write cuts exercised
+	Rejected     int // torn snapshots cleanly rejected by the checksums
+}
+
+// Summary renders the torture tally.
+func (r *TortureReport) Summary() string {
+	return fmt.Sprintf(
+		"torture: %d ops/run over %d checkpoints; %d fail-stop cuts (%d no-checkpoint, %d resumed byte-identical), %d torn writes (%d rejected by checksum)\n",
+		r.Ops, r.Checkpoints, r.Cuts, r.NoCheckpoint, r.Resumed, r.TornCuts, r.Rejected)
+}
+
+// torture is the run state of one Torture call.
+type torture struct {
+	opts     TortureOptions
+	cfg      config.Config
+	baseJSON []byte
+}
+
+// Torture runs the crash-point campaign. A nil error means every cut
+// produced one of the two allowed outcomes; the error otherwise pinpoints
+// the violating cut.
+func Torture(opts TortureOptions) (*TortureReport, error) {
+	opts = opts.withDefaults()
+	dir := opts.Dir
+	if dir == "" {
+		var err error
+		dir, err = os.MkdirTemp("", "chaos-torture-")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+	}
+
+	cfg := config.Default().WithDesign(config.DesignO)
+	cfg, err := cfg.WithUnits(opts.Units)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: %w", err)
+	}
+	tt := &torture{opts: opts, cfg: cfg}
+
+	// Reference pass doubles as the op-trace recording: a counting crashFS
+	// never fails, so the run is healthy and its trace enumerates every
+	// possible cut point.
+	counter := newCrashFS(modeCount, 0)
+	basePath := filepath.Join(dir, "base.ckpt")
+	baseRes, ckpts, err := tt.runCheckpointed(basePath, counter)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: torture baseline failed: %w", err)
+	}
+	if ckpts == 0 {
+		return nil, fmt.Errorf("chaos: torture baseline wrote no checkpoints — nothing to torture")
+	}
+	tt.baseJSON, err = resultJSON(baseRes)
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &TortureReport{Ops: counter.opCount(), Checkpoints: ckpts}
+
+	// Fail-stop cuts: every op index, evenly thinned only if capped.
+	cuts := make([]int, 0, rep.Ops)
+	if opts.MaxCuts > 0 && rep.Ops > opts.MaxCuts {
+		for i := 0; i < opts.MaxCuts; i++ {
+			cuts = append(cuts, i*rep.Ops/opts.MaxCuts)
+		}
+		tt.logf("torture: sampling %d of %d cut points (MaxCuts)\n", len(cuts), rep.Ops)
+	} else {
+		for k := 0; k < rep.Ops; k++ {
+			cuts = append(cuts, k)
+		}
+	}
+	for _, k := range cuts {
+		rep.Cuts++
+		if err := tt.cutFailStop(dir, k, rep); err != nil {
+			return rep, err
+		}
+	}
+	tt.logf("torture: %d fail-stop cuts clean (%d no-checkpoint, %d resumed)\n",
+		rep.Cuts, rep.NoCheckpoint, rep.Resumed)
+
+	// Torn cuts: every write op in the trace.
+	for k, kind := range counter.opTrace() {
+		if kind != "write" {
+			continue
+		}
+		rep.TornCuts++
+		if err := tt.cutTorn(dir, k, rep); err != nil {
+			return rep, err
+		}
+	}
+	tt.logf("torture: %d torn writes rejected cleanly\n", rep.Rejected)
+	return rep, nil
+}
+
+// runCheckpointed executes one checkpointed run under fs (nil = real FS).
+func (tt *torture) runCheckpointed(path string, fs checkpoint.FS) (*stats.Result, int, error) {
+	if fs != nil {
+		defer checkpoint.SwapFS(checkpoint.SwapFS(fs))
+	}
+	app, err := workloads.NewSmall(tt.opts.App)
+	if err != nil {
+		return nil, 0, err
+	}
+	sys, err := core.New(tt.cfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	sys.EnableCheckpoints(path, tt.opts.Every)
+	r, err := sys.Run(app)
+	return r, sys.CheckpointsWritten(), err
+}
+
+// cutFailStop crashes one run at op k and asserts the recovery contract.
+func (tt *torture) cutFailStop(dir string, k int, rep *TortureReport) error {
+	path := filepath.Join(dir, fmt.Sprintf("cut-%04d.ckpt", k))
+	_, _, err := tt.runCheckpointed(path, newCrashFS(modeFailStop, k))
+	if err == nil {
+		return fmt.Errorf("chaos: cut %d: run survived an injected crash", k)
+	}
+
+	// What does a recovering user see at the checkpoint path?
+	if _, err := os.Stat(path); os.IsNotExist(err) {
+		rep.NoCheckpoint++ // clean absence — the crash predates the first rename
+		return nil
+	}
+	ck, err := core.ReadCheckpoint(path)
+	if err != nil {
+		// Fail-stop never tears bytes: the visible file is always a fully
+		// renamed snapshot. A read failure here IS a half-state.
+		return fmt.Errorf("chaos: cut %d: visible checkpoint unreadable after fail-stop crash: %w", k, err)
+	}
+	if err := tt.resume(ck); err != nil {
+		return fmt.Errorf("chaos: cut %d: %w", k, err)
+	}
+	rep.Resumed++
+	return nil
+}
+
+// cutTorn truncates the write at op k, lets the rename land, and asserts
+// the checksums reject the torn snapshot.
+func (tt *torture) cutTorn(dir string, k int, rep *TortureReport) error {
+	path := filepath.Join(dir, fmt.Sprintf("torn-%04d.ckpt", k))
+	// The run may or may not finish (the machine dies after the rename);
+	// either way only the visible file matters.
+	_, _, _ = tt.runCheckpointed(path, newCrashFS(modeTorn, k))
+	if _, err := os.Stat(path); os.IsNotExist(err) {
+		return fmt.Errorf("chaos: torn cut %d: rename never landed — cut was not a checkpoint write", k)
+	}
+	if _, err := core.ReadCheckpoint(path); err == nil {
+		return fmt.Errorf("chaos: torn cut %d: truncated snapshot accepted by ReadCheckpoint", k)
+	}
+	rep.Rejected++
+	return nil
+}
+
+// resume rebuilds the run from a surviving snapshot, replays with marker
+// verification armed, and demands the byte-identical baseline result.
+func (tt *torture) resume(ck *core.Checkpoint) error {
+	app, err := workloads.NewSmall(tt.opts.App)
+	if err != nil {
+		return err
+	}
+	sys, err := core.New(tt.cfg)
+	if err != nil {
+		return err
+	}
+	sys.VerifyResume(ck)
+	r, err := sys.Run(app)
+	if err != nil {
+		return fmt.Errorf("resume run failed: %w", err)
+	}
+	if !sys.ResumeVerified() {
+		return errors.New("resume replay never matched the checkpoint marker")
+	}
+	j, err := resultJSON(r)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(j, tt.baseJSON) {
+		return errors.New("resume result differs from baseline: " + firstDiff(j, tt.baseJSON))
+	}
+	return nil
+}
+
+func (tt *torture) logf(format string, args ...any) {
+	if tt.opts.Log != nil {
+		fmt.Fprintf(tt.opts.Log, format, args...)
+	}
+}

@@ -1,0 +1,115 @@
+package chaos
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ndpbridge/internal/checkpoint"
+)
+
+// TestTortureExhaustive is the headline guarantee: cut a checkpointed run
+// at EVERY filesystem operation and a recovering user always sees either a
+// resumable snapshot (byte-identical completion) or a clean absence — and
+// every torn write is rejected by the checksums. No sampling: MaxCuts 0.
+func TestTortureExhaustive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("torture replays the run once per FS op")
+	}
+	rep, err := Torture(TortureOptions{})
+	if err != nil {
+		t.Fatalf("torture: %v\n%s", err, rep.Summary())
+	}
+	if rep.Cuts != rep.Ops {
+		t.Errorf("exercised %d cuts for %d ops — not exhaustive", rep.Cuts, rep.Ops)
+	}
+	if rep.NoCheckpoint+rep.Resumed != rep.Cuts {
+		t.Errorf("outcome accounting broken: %d no-checkpoint + %d resumed != %d cuts",
+			rep.NoCheckpoint, rep.Resumed, rep.Cuts)
+	}
+	// Both outcomes must actually occur: cuts before the first rename leave
+	// nothing, cuts after it leave a resumable snapshot.
+	if rep.NoCheckpoint == 0 {
+		t.Error("no cut left a clean absence — early cut points unexercised")
+	}
+	if rep.Resumed == 0 {
+		t.Error("no cut resumed — late cut points unexercised")
+	}
+	if rep.TornCuts != rep.Checkpoints {
+		t.Errorf("torn %d writes, run performs %d checkpoint writes", rep.TornCuts, rep.Checkpoints)
+	}
+	if rep.Rejected != rep.TornCuts {
+		t.Errorf("only %d of %d torn snapshots rejected", rep.Rejected, rep.TornCuts)
+	}
+	if !strings.Contains(rep.Summary(), "resumed byte-identical") {
+		t.Errorf("summary lost its tally: %s", rep.Summary())
+	}
+}
+
+// TestTortureSampling verifies the MaxCuts cap thins the fail-stop cuts but
+// still covers the full range.
+func TestTortureSampling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("torture replays the run once per FS op")
+	}
+	rep, err := Torture(TortureOptions{MaxCuts: 5})
+	if err != nil {
+		t.Fatalf("torture: %v", err)
+	}
+	if rep.Cuts != 5 {
+		t.Errorf("Cuts = %d, want 5", rep.Cuts)
+	}
+	if rep.NoCheckpoint == 0 || rep.Resumed == 0 {
+		t.Errorf("sampling lost an outcome class: %s", rep.Summary())
+	}
+}
+
+// TestCrashFSFailStop pins the cut semantics at the FS level: ops before
+// the cut succeed, the cut op and everything after fail.
+func TestCrashFSFailStop(t *testing.T) {
+	dir := t.TempDir()
+	cfs := newCrashFS(modeFailStop, 2) // mkdir(0) create(1) ok, write(2) dies
+	defer checkpoint.SwapFS(checkpoint.SwapFS(cfs))
+
+	path := filepath.Join(dir, "sub", "x.bin")
+	err := checkpoint.WriteFileAtomic(path, []byte("payload"))
+	if !errors.Is(err, errCrash) {
+		t.Fatalf("err = %v, want errCrash", err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Error("visible file exists although the write was cut")
+	}
+	// The dead machine also cannot clean up: crash litter is allowed (and
+	// ignored by recovery), but only under the temp pattern.
+	if err := checkpoint.WriteFileAtomic(path, []byte("payload")); !errors.Is(err, errCrash) {
+		t.Fatalf("dead FS accepted another write: %v", err)
+	}
+}
+
+// TestCrashFSTorn pins the torn-write semantics: the cut write persists
+// half its bytes while reporting success, the rename lands, then the
+// machine dies.
+func TestCrashFSTorn(t *testing.T) {
+	dir := t.TempDir()
+	cfs := newCrashFS(modeTorn, 2) // mkdir(0) create(1), write(2) torn
+	defer checkpoint.SwapFS(checkpoint.SwapFS(cfs))
+
+	path := filepath.Join(dir, "x.bin")
+	payload := []byte("0123456789abcdef")
+	if err := checkpoint.WriteFileAtomic(path, payload); err != nil {
+		t.Fatalf("torn write should report success end-to-end, got %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("renamed file unreadable: %v", err)
+	}
+	if len(data) != len(payload)/2 {
+		t.Errorf("visible file has %d bytes, want the torn %d", len(data), len(payload)/2)
+	}
+	// The machine died after the rename: the next write must fail.
+	if err := checkpoint.WriteFileAtomic(filepath.Join(dir, "y.bin"), payload); !errors.Is(err, errCrash) {
+		t.Fatalf("FS survived past the post-rename kill: %v", err)
+	}
+}

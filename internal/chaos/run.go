@@ -1,0 +1,266 @@
+package chaos
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"ndpbridge/internal/audit"
+	"ndpbridge/internal/core"
+	"ndpbridge/internal/experiments"
+	"ndpbridge/internal/fault"
+	"ndpbridge/internal/stats"
+	"ndpbridge/internal/workloads"
+)
+
+// Verdict classifies one plan evaluation against the campaign's oracles.
+type Verdict int
+
+const (
+	// VerdictOK: the run converged, executed exactly the baseline's task
+	// count, and replayed byte-identically.
+	VerdictOK Verdict = iota
+	// VerdictDegraded: the run did not complete, but the plan is allowed
+	// to prevent progress (it kills units or permanently blacks out a
+	// hop), so the watchdog/deadlock diagnostic is the correct outcome.
+	VerdictDegraded
+	// FailAudit: the invariant auditor observed a broken conservation law.
+	FailAudit
+	// FailHang: the run hung although every fault in the plan is
+	// recoverable — the recovery protocol lost work.
+	FailHang
+	// FailTaskLoss: the run converged but executed a different number of
+	// tasks than the fault-free baseline (lost or double-executed work).
+	FailTaskLoss
+	// FailNondet: re-running the identical (config, seed, plan) produced a
+	// different result — determinism is broken.
+	FailNondet
+	// FailPanic: the runtime panicked.
+	FailPanic
+	// FailOther: any other run error.
+	FailOther
+
+	verdictCount Verdict = iota
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case VerdictOK:
+		return "ok"
+	case VerdictDegraded:
+		return "degraded"
+	case FailAudit:
+		return "FAIL-audit"
+	case FailHang:
+		return "FAIL-hang"
+	case FailTaskLoss:
+		return "FAIL-taskloss"
+	case FailNondet:
+		return "FAIL-nondet"
+	case FailPanic:
+		return "FAIL-panic"
+	case FailOther:
+		return "FAIL-other"
+	}
+	return fmt.Sprintf("verdict(%d)", int(v))
+}
+
+// slug returns the verdict's repro-filename fragment.
+func (v Verdict) slug() string {
+	switch v {
+	case FailAudit:
+		return "audit"
+	case FailHang:
+		return "hang"
+	case FailTaskLoss:
+		return "taskloss"
+	case FailNondet:
+		return "nondet"
+	case FailPanic:
+		return "panic"
+	}
+	return "other"
+}
+
+// Failed reports whether the verdict is an oracle breach.
+func (v Verdict) Failed() bool { return v >= FailAudit }
+
+// outcome is one plan's evaluation.
+type outcome struct {
+	verdict Verdict
+	sig     string
+	rules   []string
+	err     string
+}
+
+// panicError marks a recovered panic so classification can tell it apart
+// from an ordinary run error.
+type panicError struct{ val any }
+
+func (p *panicError) Error() string { return fmt.Sprintf("panic: %v", p.val) }
+
+// runPlan builds a fresh system, attaches plan (nil = fault-free baseline)
+// and the auditor, and runs the campaign workload to completion. Each call
+// is an independent simulation: determinism demands that nothing leak
+// between runs except the plan itself.
+func (c *campaign) runPlan(plan *fault.Plan) (r *stats.Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			r, err = nil, &panicError{p}
+		}
+	}()
+	app, err := workloads.NewSmall(c.opts.App)
+	if err != nil {
+		return nil, err
+	}
+	sys, err := core.New(c.cfg)
+	if err != nil {
+		return nil, err
+	}
+	if plan != nil {
+		if err := sys.AttachFaults(plan, c.opts.Seed); err != nil {
+			return nil, err
+		}
+	}
+	if err := sys.AttachAudit(0); err != nil {
+		return nil, err
+	}
+	if c.opts.Hook != nil {
+		c.opts.Hook(sys, plan)
+	}
+	// Cancellation checkpoint: a Ctrl-C stops in-flight engines within 64K
+	// events instead of waiting out a long simulation.
+	eng := sys.Engine()
+	eng.SetProgress(1<<16, func(_, _ uint64) {
+		if experiments.Canceled() {
+			eng.Stop()
+		}
+	})
+	return sys.Run(app)
+}
+
+// eval runs every oracle against one plan.
+func (c *campaign) eval(plan *fault.Plan) outcome {
+	r1, err := c.runPlan(plan)
+	if err != nil {
+		return c.classifyError(plan, err)
+	}
+
+	// Golden-result oracle: faults may slow the run down, never change the
+	// amount of work performed. Lost tasks mean the recovery protocol
+	// dropped work; extra tasks mean it re-executed something twice.
+	if r1.TasksExecuted != c.baseTasks {
+		return outcome{
+			verdict: FailTaskLoss,
+			sig:     signature(FailTaskLoss, r1, c.baseMakespan),
+			err: fmt.Sprintf("executed %d tasks, baseline executed %d",
+				r1.TasksExecuted, c.baseTasks),
+		}
+	}
+
+	// Replay oracle: the identical (config, seed, plan) must reproduce the
+	// identical result, byte for byte.
+	r2, err := c.runPlan(plan)
+	if err != nil {
+		return outcome{
+			verdict: FailNondet,
+			sig:     signature(FailNondet, r1, c.baseMakespan),
+			err:     fmt.Sprintf("first run converged, replay failed: %v", err),
+		}
+	}
+	j1, err1 := resultJSON(r1)
+	j2, err2 := resultJSON(r2)
+	if err1 != nil || err2 != nil {
+		return outcome{verdict: FailOther, sig: signature(FailOther, r1, c.baseMakespan),
+			err: fmt.Sprintf("marshal results: %v, %v", err1, err2)}
+	}
+	if !bytes.Equal(j1, j2) {
+		return outcome{
+			verdict: FailNondet,
+			sig:     signature(FailNondet, r1, c.baseMakespan),
+			err:     "replay produced a different result: " + firstDiff(j1, j2),
+		}
+	}
+	return outcome{verdict: VerdictOK, sig: signature(VerdictOK, r1, c.baseMakespan)}
+}
+
+// classifyError maps a run error to a verdict.
+func (c *campaign) classifyError(plan *fault.Plan, err error) outcome {
+	var ae *audit.Error
+	if errors.As(err, &ae) {
+		var rules []string
+		for _, v := range ae.Violations {
+			rules = append(rules, v.Rule)
+		}
+		return outcome{
+			verdict: FailAudit,
+			sig:     signature(FailAudit, nil, c.baseMakespan),
+			rules:   sortedRules(rules),
+			err:     err.Error(),
+		}
+	}
+	if errors.Is(err, core.ErrWatchdog) || errors.Is(err, core.ErrDeadlock) || errors.Is(err, core.ErrNotConverged) {
+		v := FailHang
+		if planCanHang(plan) {
+			// The plan is entitled to stop the run: killed units can
+			// partition the system, and a permanent total blackout on a
+			// hop makes progress impossible by construction. The
+			// watchdog diagnosing that IS the designed behavior.
+			v = VerdictDegraded
+		}
+		return outcome{verdict: v, sig: signature(v, nil, c.baseMakespan), err: err.Error()}
+	}
+	var pe *panicError
+	if errors.As(err, &pe) {
+		return outcome{verdict: FailPanic, sig: signature(FailPanic, nil, c.baseMakespan), err: err.Error()}
+	}
+	return outcome{verdict: FailOther, sig: signature(FailOther, nil, c.baseMakespan), err: err.Error()}
+}
+
+// planCanHang reports whether the plan is allowed to prevent convergence:
+// it kills units, or it contains a permanent total blackout — a drop or
+// corrupt spec with probability 1 and neither a window nor a firing cap, so
+// no retransmission on that hop can ever succeed.
+func planCanHang(p *fault.Plan) bool {
+	if p == nil {
+		return false
+	}
+	for _, s := range p.Faults {
+		if s.Kind == fault.KindKill {
+			return true
+		}
+		if (s.Kind == fault.KindDrop || s.Kind == fault.KindCorrupt) &&
+			s.Prob >= 1 && s.Until == 0 && s.Count == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// resultJSON renders a result canonically for byte-identity comparison.
+func resultJSON(r *stats.Result) ([]byte, error) {
+	return json.Marshal(r)
+}
+
+// firstDiff locates the first differing byte of two renderings, with a
+// little context — enough to name the diverging field in a diagnostic.
+func firstDiff(a, b []byte) string {
+	n := min(len(a), len(b))
+	i := 0
+	for i < n && a[i] == b[i] {
+		i++
+	}
+	lo := max(i-24, 0)
+	return fmt.Sprintf("byte %d: %q vs %q", i, clip(a, lo, i+24), clip(b, lo, i+24))
+}
+
+func clip(b []byte, lo, hi int) string {
+	if hi > len(b) {
+		hi = len(b)
+	}
+	if lo > len(b) {
+		lo = len(b)
+	}
+	return string(b[lo:hi])
+}

@@ -1,0 +1,155 @@
+package chaos
+
+import (
+	"ndpbridge/internal/fault"
+)
+
+// The shrinker reduces a failing plan to a minimal repro that still trips
+// the same oracle. Two phases, repeated to fixpoint under an evaluation
+// budget:
+//
+//  1. Spec-level ddmin: drop whole specs (first in halves, then one at a
+//     time) while the verdict class survives.
+//  2. Field-level reduction: within each surviving spec, walk every numeric
+//     field toward its trivial value (halve windows and durations, halve
+//     probabilities, cap firing counts at one) and keep each step that
+//     still reproduces.
+//
+// Every probe is a full oracle evaluation of a candidate plan — expensive,
+// so the budget bounds total probes and the shrinker simply returns its
+// best-so-far when the budget runs out. Determinism: the probe order is a
+// pure function of the failing plan, so the same failure always shrinks to
+// the same repro.
+
+// shrink returns the minimal plan still producing f.Verdict, and the number
+// of evaluations spent.
+func (c *campaign) shrink(f *Failure) (*fault.Plan, int) {
+	evals := 0
+	same := func(p *fault.Plan) bool {
+		if evals >= c.opts.ShrinkBudget {
+			return false
+		}
+		evals++
+		return c.eval(p).verdict == f.Verdict
+	}
+
+	cur := fault.Clone(f.Plan)
+
+	// Phase 1: spec-level ddmin. Try dropping the first/second half, then
+	// individual specs, back to front so indices stay stable.
+	for changed := true; changed && evals < c.opts.ShrinkBudget; {
+		changed = false
+		if n := len(cur.Faults); n > 1 {
+			for _, cand := range []*fault.Plan{
+				{Faults: append([]fault.Spec(nil), cur.Faults[n/2:]...)}, // drop first half
+				{Faults: append([]fault.Spec(nil), cur.Faults[:n/2]...)}, // drop second half
+			} {
+				if same(cand) {
+					cur = cand
+					changed = true
+					break
+				}
+			}
+			if changed {
+				continue
+			}
+		}
+		for i := len(cur.Faults) - 1; i >= 0 && len(cur.Faults) > 1; i-- {
+			cand := &fault.Plan{Faults: make([]fault.Spec, 0, len(cur.Faults)-1)}
+			cand.Faults = append(cand.Faults, cur.Faults[:i]...)
+			cand.Faults = append(cand.Faults, cur.Faults[i+1:]...)
+			if same(cand) {
+				cur = cand
+				changed = true
+			}
+		}
+	}
+
+	// Phase 2: field-level reductions within each surviving spec.
+	for changed := true; changed && evals < c.opts.ShrinkBudget; {
+		changed = false
+		for i := range cur.Faults {
+			for _, red := range reductions(cur.Faults[i]) {
+				cand := fault.Clone(cur)
+				cand.Faults[i] = red
+				if same(cand) {
+					cur = cand
+					changed = true
+				}
+			}
+		}
+	}
+	return cur, evals
+}
+
+// reductions enumerates the one-step simplifications of a spec, each still
+// valid for any topology the spec was valid for.
+func reductions(s fault.Spec) []fault.Spec {
+	var out []fault.Spec
+	step := func(f func(*fault.Spec) bool) {
+		c := s
+		if f(&c) {
+			out = append(out, c)
+		}
+	}
+	// Halve the probability (smaller probabilities are simpler: the fault
+	// fires less, so a repro that survives is tighter evidence).
+	step(func(c *fault.Spec) bool {
+		if c.Prob > 0.01 {
+			c.Prob = c.Prob / 2
+			return true
+		}
+		return false
+	})
+	// Cap the firing budget at one.
+	step(func(c *fault.Spec) bool {
+		if c.Count != 1 && (c.Kind == fault.KindDrop || c.Kind == fault.KindCorrupt ||
+			c.Kind == fault.KindDup || c.Kind == fault.KindDelay) {
+			c.Count = 1
+			return true
+		}
+		return false
+	})
+	// Halve the activity window.
+	step(func(c *fault.Spec) bool {
+		if c.Until > c.After+1 {
+			c.Until = c.After + (c.Until-c.After)/2
+			return true
+		}
+		return false
+	})
+	// Halve durations and schedule times.
+	step(func(c *fault.Spec) bool {
+		if c.Cycles > 1 {
+			c.Cycles /= 2
+			return true
+		}
+		return false
+	})
+	step(func(c *fault.Spec) bool {
+		if c.At > 0 {
+			c.At /= 2
+			return true
+		}
+		return false
+	})
+	step(func(c *fault.Spec) bool {
+		if c.Bytes > 1 {
+			c.Bytes /= 2
+			return true
+		}
+		return false
+	})
+	step(func(c *fault.Spec) bool {
+		if c.After > 0 {
+			w := c.Until - c.After
+			c.After /= 2
+			if c.Until != 0 {
+				c.Until = c.After + w
+			}
+			return true
+		}
+		return false
+	})
+	return out
+}

@@ -21,8 +21,10 @@ package checkpoint
 import (
 	"encoding/binary"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 )
 
 // Magic identifies a checkpoint file.
@@ -330,22 +332,100 @@ func Decode(data []byte) (*File, error) {
 
 // --- crash-consistent file I/O -------------------------------------------
 
+// FS is the filesystem surface WriteFileAtomic runs on. The default is the
+// real OS; tests and the chaos engine's crash-point torture swap in shims
+// (via SwapFS) that fail or cut the sequence at chosen steps, so the
+// crash-consistency claim below is checkable rather than assumed.
+type FS interface {
+	MkdirAll(dir string, perm os.FileMode) error
+	CreateTemp(dir, pattern string) (FileHandle, error)
+	Chmod(name string, mode os.FileMode) error
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	// SyncDir fsyncs a directory so a completed rename survives a crash.
+	SyncDir(dir string) error
+}
+
+// FileHandle is the open-temp-file surface of FS.
+type FileHandle interface {
+	io.Writer
+	Sync() error
+	Close() error
+	Name() string
+}
+
+// osFS is the real filesystem.
+type osFS struct{}
+
+func (osFS) MkdirAll(dir string, perm os.FileMode) error { return os.MkdirAll(dir, perm) }
+func (osFS) CreateTemp(dir, pattern string) (FileHandle, error) {
+	f, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+func (osFS) Chmod(name string, mode os.FileMode) error { return os.Chmod(name, mode) }
+func (osFS) Rename(oldpath, newpath string) error      { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error                  { return os.Remove(name) }
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	syncErr := d.Sync()
+	if err := d.Close(); err != nil {
+		return err
+	}
+	return syncErr
+}
+
+// activeFS holds the FS every writer in the package goes through. It is an
+// atomic.Value because experiment workers write checkpoints concurrently;
+// swapping is still a whole-process affair, so tests that swap must not run
+// parallel to other writers (the chaos harness serializes its torture runs).
+// The box keeps the stored concrete type constant across swaps, which
+// atomic.Value requires.
+type fsBox struct{ fs FS }
+
+var activeFS atomic.Value
+
+func init() { activeFS.Store(fsBox{osFS{}}) }
+
+// SwapFS installs fs as the filesystem behind WriteFileAtomic and returns
+// the previous one. Pass nil to restore the real OS. Callers must restore
+// the previous FS when done (defer SwapFS(prev)).
+func SwapFS(fs FS) FS {
+	if fs == nil {
+		fs = osFS{}
+	}
+	return activeFS.Swap(fsBox{fs}).(fsBox).fs
+}
+
+func fs() FS { return activeFS.Load().(fsBox).fs }
+
 // WriteFileAtomic writes data to path crash-consistently: the bytes go to a
 // unique temp file in the same directory, are fsynced, and the temp file is
 // renamed over path; the directory is fsynced afterwards so the rename
 // itself survives a crash. Readers therefore see either the old complete
 // file or the new complete file, never a truncated mix.
+//
+// Every error path removes the temp file, so a failed write leaves no
+// *.tmp* litter; and every error — including a failed directory fsync,
+// which would let a completed rename vanish in a power cut — reaches the
+// caller, because the caller asked for crash consistency.
 func WriteFileAtomic(path string, data []byte) error {
+	fsys := fs()
 	dir := filepath.Dir(path)
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	tmp, err := fsys.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
 		return err
 	}
 	tmpName := tmp.Name()
-	cleanup := func() { os.Remove(tmpName) }
+	cleanup := func() { fsys.Remove(tmpName) }
 	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
 		cleanup()
@@ -362,26 +442,15 @@ func WriteFileAtomic(path string, data []byte) error {
 	}
 	// CreateTemp uses 0600; match the permissions a plain os.Create would
 	// have given the final file (modulo umask).
-	if err := os.Chmod(tmpName, 0o644); err != nil {
+	if err := fsys.Chmod(tmpName, 0o644); err != nil {
 		cleanup()
 		return err
 	}
-	if err := os.Rename(tmpName, path); err != nil {
+	if err := fsys.Rename(tmpName, path); err != nil {
 		cleanup()
 		return err
 	}
-	// Fsync the directory so the rename is durable. Failure here is not
-	// fatal to correctness of the file contents, but report it: the caller
-	// is asking for crash consistency.
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	syncErr := d.Sync()
-	if err := d.Close(); err != nil {
-		return err
-	}
-	return syncErr
+	return fsys.SyncDir(dir)
 }
 
 // WriteFile encodes f and writes it crash-consistently to path.

@@ -1,0 +1,134 @@
+package checkpoint
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// faultFS wraps the real FS and fails chosen operations.
+type faultFS struct {
+	real       FS
+	failRename error
+	failSync   error
+	failChmod  error
+	removes    []string
+}
+
+func (f *faultFS) MkdirAll(dir string, perm os.FileMode) error { return f.real.MkdirAll(dir, perm) }
+func (f *faultFS) CreateTemp(dir, pattern string) (FileHandle, error) {
+	return f.real.CreateTemp(dir, pattern)
+}
+func (f *faultFS) Chmod(name string, mode os.FileMode) error {
+	if f.failChmod != nil {
+		return f.failChmod
+	}
+	return f.real.Chmod(name, mode)
+}
+func (f *faultFS) Rename(oldpath, newpath string) error {
+	if f.failRename != nil {
+		return f.failRename
+	}
+	return f.real.Rename(oldpath, newpath)
+}
+func (f *faultFS) Remove(name string) error {
+	f.removes = append(f.removes, name)
+	return f.real.Remove(name)
+}
+func (f *faultFS) SyncDir(dir string) error {
+	if f.failSync != nil {
+		return f.failSync
+	}
+	return f.real.SyncDir(dir)
+}
+
+// tmpLitter returns the *.tmp* files left in dir.
+func tmpLitter(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var litter []string
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp") {
+			litter = append(litter, e.Name())
+		}
+	}
+	return litter
+}
+
+func TestWriteFileAtomicRenameFailureLeavesNoLitter(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.ckpt")
+	wantErr := errors.New("injected rename failure")
+	ffs := &faultFS{real: osFS{}, failRename: wantErr}
+	defer SwapFS(SwapFS(ffs))
+
+	err := WriteFileAtomic(path, []byte("payload"))
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v, want the injected rename failure", err)
+	}
+	if litter := tmpLitter(t, dir); len(litter) != 0 {
+		t.Fatalf("failed rename left temp litter: %v", litter)
+	}
+	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("destination exists after failed rename: %v", err)
+	}
+	if len(ffs.removes) == 0 {
+		t.Fatal("cleanup did not go through the injected FS")
+	}
+}
+
+func TestWriteFileAtomicChmodFailureLeavesNoLitter(t *testing.T) {
+	dir := t.TempDir()
+	wantErr := errors.New("injected chmod failure")
+	defer SwapFS(SwapFS(&faultFS{real: osFS{}, failChmod: wantErr}))
+
+	err := WriteFileAtomic(filepath.Join(dir, "out.ckpt"), []byte("payload"))
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v, want the injected chmod failure", err)
+	}
+	if litter := tmpLitter(t, dir); len(litter) != 0 {
+		t.Fatalf("failed chmod left temp litter: %v", litter)
+	}
+}
+
+func TestWriteFileAtomicPropagatesDirSyncFailure(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.ckpt")
+	wantErr := errors.New("injected dir-fsync failure")
+	defer SwapFS(SwapFS(&faultFS{real: osFS{}, failSync: wantErr}))
+
+	err := WriteFileAtomic(path, []byte("payload"))
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v, want the injected dir-fsync failure", err)
+	}
+	// The rename completed before the fsync failed: the file content is
+	// whole even though durability of the rename is unconfirmed.
+	data, rerr := os.ReadFile(path)
+	if rerr != nil || string(data) != "payload" {
+		t.Fatalf("file after failed dir fsync: %q, %v", data, rerr)
+	}
+}
+
+func TestSwapFSRestores(t *testing.T) {
+	ffs := &faultFS{real: osFS{}}
+	prev := SwapFS(ffs)
+	if _, ok := prev.(osFS); !ok {
+		t.Fatalf("default FS = %T, want osFS", prev)
+	}
+	got := SwapFS(nil) // nil restores the real OS
+	if got != FS(ffs) {
+		t.Fatalf("SwapFS returned %T, want the shim", got)
+	}
+	if _, ok := fs().(osFS); !ok {
+		t.Fatalf("after SwapFS(nil), active FS = %T, want osFS", fs())
+	}
+	path := filepath.Join(t.TempDir(), "real.ckpt")
+	if err := WriteFileAtomic(path, []byte("x")); err != nil {
+		t.Fatalf("write on restored real FS: %v", err)
+	}
+}

@@ -36,14 +36,18 @@ type auditor struct {
 	bridgeUp   []uint32
 	bridgeScat [][]uint32
 
-	// digestGap paces the expensive snapshot-determinism check with
-	// exponential backoff: encoding the full system state at every barrier
-	// (or even every audit period) would dominate long runs, and the
-	// property it guards — encoder determinism — is structural, so a
-	// handful of probes per run spread across its lifetime suffices.
+	// digestPace spaces the expensive snapshot-determinism check with
+	// exponential backoff (see audit.Backoff): encoding the full system
+	// state at every barrier (or even every audit period) would dominate
+	// long runs, and the property it guards — encoder determinism — is
+	// structural, so a handful of probes per run spread across its
+	// lifetime suffices.
 	every      sim.Cycles
-	digestGap  sim.Cycles
-	digestNext sim.Cycles
+	digestPace *audit.Backoff
+	// stateDigest is the snapshot encoder probed by the determinism check.
+	// It is a field (defaulting to System.StateDigest) so tests can swap in
+	// a misbehaving encoder and prove the check fires.
+	stateDigest func() uint64
 
 	checks uint64 // weak checks run, for overhead accounting
 }
@@ -68,8 +72,9 @@ func (s *System) AttachAudit(every sim.Cycles) error {
 		bridgeUp:   make([]uint32, len(s.bridges)),
 		bridgeScat: make([][]uint32, len(s.bridges)),
 		every:      every,
-		digestGap:  every,
+		digestPace: audit.NewBackoff(uint64(every), 256),
 	}
+	a.stateDigest = s.StateDigest
 	s.aud = a
 	s.eng.SetAudit(every, a.weak)
 	s.addEpochHook(a.strong)
@@ -233,11 +238,9 @@ func (a *auditor) strong(completed uint32) {
 	// the whole system is the auditor's one expensive check, so it backs
 	// off exponentially: early barriers are probed densely (small state,
 	// cheap), later ones ever more sparsely.
-	if now := s.eng.Now(); now >= a.digestNext {
-		a.digestNext = now + a.digestGap
-		a.digestGap *= 256
-		d1 := s.StateDigest()
-		d2 := s.StateDigest()
+	if a.digestPace.Due(uint64(s.eng.Now())) {
+		d1 := a.stateDigest()
+		d2 := a.stateDigest()
 		if d1 != d2 {
 			a.violate(audit.Violation{
 				Rule: "snapshot-determinism", Where: "system",

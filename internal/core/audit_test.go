@@ -137,6 +137,125 @@ func TestAuditDetectsConservationBreach(t *testing.T) {
 	}
 }
 
+// TestAuditChecksFireOnCorruption corrupts one piece of system state per row
+// — through the same surfaces a real bug would use — and asserts the named
+// audit rule catches it. Together the rows cover every strong check
+// (barrier-residue, lent-borrowed, snapshot-determinism) and every weak
+// check (task-conservation, msg-conservation, seq-monotonic).
+func TestAuditChecksFireOnCorruption(t *testing.T) {
+	cases := []struct {
+		name string
+		rule string
+		// corrupt runs inside an epoch hook installed before the auditor's,
+		// so the damage is visible to the strong checks at the same barrier
+		// and to the weak checks afterwards. It returns false to retry at a
+		// later barrier (e.g. when no block is borrowed yet).
+		corrupt func(s *System) bool
+	}{
+		{
+			name: "phantom inflight message",
+			rule: "barrier-residue",
+			corrupt: func(s *System) bool {
+				s.inflight++
+				return true
+			},
+		},
+		{
+			name: "lost isLent bit",
+			rule: "lent-borrowed",
+			corrupt: func(s *System) bool {
+				// Clear the home-side lent bit for a block some unit still
+				// holds borrowed — the desync a botched recovery would leave.
+				for _, u := range s.units {
+					for _, blk := range u.BorrowedBlocks() {
+						home := s.amap.Home(blk)
+						if s.units[home].RecoverLent(blk) {
+							return true
+						}
+					}
+				}
+				return false
+			},
+		},
+		{
+			name: "nondeterministic state encoder",
+			rule: "snapshot-determinism",
+			corrupt: func(s *System) bool {
+				var n uint64
+				s.aud.stateDigest = func() uint64 { n++; return n }
+				return true
+			},
+		},
+		{
+			name: "task counter corruption",
+			rule: "task-conservation",
+			corrupt: func(s *System) bool {
+				s.tasksSpawnedTotal += 3
+				return true
+			},
+		},
+		{
+			name: "msg counter corruption",
+			rule: "msg-conservation",
+			corrupt: func(s *System) bool {
+				s.msgsStagedTotal += 5
+				return true
+			},
+		},
+		{
+			name: "sequence regression",
+			rule: "seq-monotonic",
+			corrupt: func(s *System) bool {
+				// Push the auditor's watermark above the live counter —
+				// equivalent to the unit's gather seq moving backwards.
+				s.aud.unitSeq[0] = 1 << 30
+				return true
+			},
+		},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			sys, err := New(testCfg(config.DesignO))
+			if err != nil {
+				t.Fatal(err)
+			}
+			corrupted := false
+			sys.addEpochHook(func(completed uint32) {
+				if !corrupted {
+					corrupted = c.corrupt(sys)
+				}
+			})
+			if err := sys.AttachAudit(64); err != nil {
+				t.Fatal(err)
+			}
+			// stress borrows blocks across units (needed by the
+			// lent-borrowed row) and runs two epochs, so corruption at the
+			// first barrier is observed well before the run would end.
+			_, err = sys.Run(&stress{tasks: 300, chain: 4})
+			if !corrupted {
+				t.Fatal("corruption hook never found a target")
+			}
+			if err == nil {
+				t.Fatalf("corrupted run passed the audit")
+			}
+			var ae *audit.Error
+			if !errors.As(err, &ae) {
+				t.Fatalf("err = %v, want *audit.Error", err)
+			}
+			found := false
+			for _, v := range ae.Violations {
+				if v.Rule == c.rule {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("no %s violation in: %v", c.rule, ae)
+			}
+		})
+	}
+}
+
 func TestAuditWithCheckpointing(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "a.ckpt")
 	sys, err := New(testCfg(config.DesignO))

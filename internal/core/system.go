@@ -5,6 +5,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sync/atomic"
 
@@ -434,6 +435,20 @@ func (s *System) Metrics() *metrics.Registry { return s.met }
 
 // --- Run ------------------------------------------------------------------
 
+// Sentinel errors wrapped into Run's failure diagnostics so callers (the
+// chaos campaign's oracles, scripts) can classify an outcome with errors.Is
+// instead of matching prose. The full message still carries the epoch /
+// backlog / fault evidence around the sentinel.
+var (
+	// ErrWatchdog: the progress watchdog observed no work for its full
+	// period — the run hung with the engine still scheduling events.
+	ErrWatchdog = errors.New("watchdog tripped")
+	// ErrDeadlock: the event queue drained with work still outstanding.
+	ErrDeadlock = errors.New("deadlocked")
+	// ErrNotConverged: the engine hit its event budget before completion.
+	ErrNotConverged = errors.New("did not converge")
+)
+
 // Run executes app to completion and returns the measured result.
 func (s *System) Run(app App) (*stats.Result, error) {
 	if s.ran {
@@ -491,16 +506,16 @@ func (s *System) Run(app App) (*stats.Result, error) {
 			s.epoch, s.resumeCk.Epoch)
 	}
 	if engErr != nil {
-		return nil, fmt.Errorf("core: %s/%s did not converge: %w (epoch %d, outstanding %d, inflight %d)%s%s",
-			app.Name(), s.cfg.Design, engErr, s.epoch, s.outstanding[s.epoch], s.inflight, s.diagnose(), s.faultDiagnose())
+		return nil, fmt.Errorf("core: %s/%s %w: %w (epoch %d, outstanding %d, inflight %d)%s%s",
+			app.Name(), s.cfg.Design, ErrNotConverged, engErr, s.epoch, s.outstanding[s.epoch], s.inflight, s.diagnose(), s.faultDiagnose())
 	}
 	if s.wd != nil && s.wd.Tripped() {
-		return nil, fmt.Errorf("core: %s/%s watchdog tripped at %d cycles: no progress (epoch %d, outstanding %d, inflight %d, backlog %d units)%s%s",
-			app.Name(), s.cfg.Design, s.eng.Now(), s.epoch, s.outstanding[s.epoch], s.inflight, s.backlogUnits(), s.diagnose(), s.faultDiagnose())
+		return nil, fmt.Errorf("core: %s/%s %w at %d cycles: no progress (epoch %d, outstanding %d, inflight %d, backlog %d units)%s%s",
+			app.Name(), s.cfg.Design, ErrWatchdog, s.eng.Now(), s.epoch, s.outstanding[s.epoch], s.inflight, s.backlogUnits(), s.diagnose(), s.faultDiagnose())
 	}
 	if !s.done {
-		return nil, fmt.Errorf("core: %s/%s deadlocked at %d cycles (epoch %d, outstanding %d, inflight %d, backlog %d units)%s",
-			app.Name(), s.cfg.Design, s.eng.Now(), s.epoch, s.outstanding[s.epoch], s.inflight, s.backlogUnits(), s.faultDiagnose())
+		return nil, fmt.Errorf("core: %s/%s %w at %d cycles (epoch %d, outstanding %d, inflight %d, backlog %d units)%s",
+			app.Name(), s.cfg.Design, ErrDeadlock, s.eng.Now(), s.epoch, s.outstanding[s.epoch], s.inflight, s.backlogUnits(), s.faultDiagnose())
 	}
 	return s.collect(app.Name()), nil
 }

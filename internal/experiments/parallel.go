@@ -126,6 +126,16 @@ func parMap[T any](n int, fn func(i int) (T, error)) ([]T, error) {
 	return out, nil
 }
 
+// ParMap runs fn for every index in [0, n) on the experiment worker pool
+// (width Jobs()) and returns the results in index order, with deterministic
+// first-error semantics and cancellation via Cancel. It is the parallelism
+// primitive shared with other campaign drivers (the chaos engine): results
+// are index-addressed, so output built by folding them in order is
+// byte-identical at any pool width.
+func ParMap[T any](n int, fn func(i int) (T, error)) ([]T, error) {
+	return parMap(n, fn)
+}
+
 // parByApp runs fn once per app on the worker pool and returns a name-keyed
 // map of the results. The map is assembled after the barrier on one
 // goroutine, so reads never race.

@@ -1,0 +1,331 @@
+package fault
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"ndpbridge/internal/sim"
+)
+
+// Topology describes the run a generated plan must be valid for: the unit
+// and rank counts bound fault targets, and Horizon bounds every cycle field
+// (event times, activity windows) so scheduled faults land while the run is
+// still doing work.
+type Topology struct {
+	Units   int
+	Ranks   int
+	Horizon uint64 // upper bound for At/After/Until; 0 means 1<<16
+}
+
+func (t Topology) horizon() uint64 {
+	if t.Horizon == 0 {
+		return 1 << 16
+	}
+	return t.Horizon
+}
+
+// allScopes is the fixed generation order for hop scopes.
+var allScopes = [...]Scope{ScopeL1Gather, ScopeL1Scatter, ScopeL1Up, ScopeL2Down}
+
+// allKinds is the fixed generation order for fault kinds. Message kinds are
+// listed twice, weighting generation toward the hop faults that exercise the
+// retry fabric; stall appears twice so rank-dark-style windows (several
+// concurrent stalls) are common.
+var allKinds = [...]Kind{
+	KindDrop, KindCorrupt, KindDup, KindDelay,
+	KindDrop, KindCorrupt, KindDup, KindDelay,
+	KindStall, KindStall, KindKill, KindOverflow,
+}
+
+// probSteps quantizes generated probabilities. A coarse grid keeps mutated
+// plans canonical (no float drift across mutate/serialize round trips) and
+// spans the interesting range from "rare" to "every message".
+var probSteps = [...]float64{0.01, 0.02, 0.05, 0.1, 0.2, 0.3, 0.5, 0.75, 1.0}
+
+// Generate draws a fresh random plan valid for topo: 1–6 specs, each built
+// by genSpec. Determinism contract: the result is a pure function of the
+// RNG stream position, so callers that share one seeded RNG across a
+// campaign get the same plan sequence on every run.
+func Generate(rng *sim.RNG, topo Topology) *Plan {
+	n := 1 + rng.Intn(6)
+	p := &Plan{Faults: make([]Spec, 0, n)}
+	for i := 0; i < n; i++ {
+		p.Faults = append(p.Faults, genSpec(rng, topo))
+	}
+	return p
+}
+
+// genSpec draws one valid spec for topo.
+func genSpec(rng *sim.RNG, topo Topology) Spec {
+	kind := allKinds[rng.Intn(len(allKinds))]
+	h := topo.horizon()
+	s := Spec{Kind: kind, Rank: -1, Unit: -1}
+	switch {
+	case messageKind(kind):
+		s.Scope = allScopes[rng.Intn(len(allScopes))]
+		s.Prob = probSteps[rng.Intn(len(probSteps))]
+		// Half the specs target one rank, half all ranks.
+		if rng.Intn(2) == 0 && topo.Ranks > 0 {
+			s.Rank = rng.Intn(topo.Ranks)
+		}
+		// A third of the specs get an activity window inside the horizon.
+		if rng.Intn(3) == 0 {
+			s.After = rng.Uint64n(h / 2)
+			s.Until = s.After + 1 + rng.Uint64n(h/2)
+		}
+		// A third get a firing cap.
+		if rng.Intn(3) == 0 {
+			s.Count = 1 + rng.Uint64n(16)
+		}
+		if kind == KindDelay {
+			s.Cycles = 1 + rng.Uint64n(512)
+		}
+	case kind == KindStall:
+		s.Unit = rng.Intn(topo.Units)
+		s.At = rng.Uint64n(h)
+		s.Cycles = 1 + rng.Uint64n(h/2)
+	case kind == KindKill:
+		s.Unit = rng.Intn(topo.Units)
+		s.At = rng.Uint64n(h)
+	case kind == KindOverflow:
+		s.Rank = rng.Intn(topo.Ranks)
+		s.At = rng.Uint64n(h)
+		s.Cycles = 1 + rng.Uint64n(h/2)
+		s.Bytes = (1 + rng.Uint64n(64)) << 14 // 16 KiB .. 1 MiB
+	}
+	return s
+}
+
+// Clone returns a deep copy of p (specs are value types, so one slice copy).
+func Clone(p *Plan) *Plan {
+	if p == nil {
+		return nil
+	}
+	q := &Plan{Faults: make([]Spec, len(p.Faults))}
+	copy(q.Faults, p.Faults)
+	return q
+}
+
+// Mutate returns a mutated deep copy of p, valid for topo. One of a fixed
+// set of mutations is applied: add a spec, remove a spec, replace a spec,
+// or tweak one field of a spec (probability step, window shift, duration
+// scale, target move). The input plan is never modified. Mutating an empty
+// plan always adds a spec, so the fuzzer cannot get stuck on the empty plan.
+func Mutate(rng *sim.RNG, p *Plan, topo Topology) *Plan {
+	q := Clone(p)
+	if q == nil {
+		q = &Plan{}
+	}
+	if len(q.Faults) == 0 {
+		q.Faults = append(q.Faults, genSpec(rng, topo))
+		return q
+	}
+	switch rng.Intn(4) {
+	case 0: // add
+		q.Faults = append(q.Faults, genSpec(rng, topo))
+	case 1: // remove (keep at least one spec)
+		if len(q.Faults) > 1 {
+			i := rng.Intn(len(q.Faults))
+			q.Faults = append(q.Faults[:i], q.Faults[i+1:]...)
+		} else {
+			q.Faults[0] = genSpec(rng, topo)
+		}
+	case 2: // replace
+		q.Faults[rng.Intn(len(q.Faults))] = genSpec(rng, topo)
+	case 3: // tweak one field
+		i := rng.Intn(len(q.Faults))
+		q.Faults[i] = tweakSpec(rng, q.Faults[i], topo)
+	}
+	return q
+}
+
+// tweakSpec perturbs one field of s, staying valid for topo.
+func tweakSpec(rng *sim.RNG, s Spec, topo Topology) Spec {
+	h := topo.horizon()
+	switch {
+	case messageKind(s.Kind):
+		switch rng.Intn(4) {
+		case 0: // step probability up or down the grid
+			i := probIndex(s.Prob)
+			if rng.Intn(2) == 0 && i > 0 {
+				i--
+			} else if i < len(probSteps)-1 {
+				i++
+			}
+			s.Prob = probSteps[i]
+		case 1: // retarget hop
+			s.Scope = allScopes[rng.Intn(len(allScopes))]
+		case 2: // toggle/shift window
+			if s.Until == 0 {
+				s.After = rng.Uint64n(h / 2)
+				s.Until = s.After + 1 + rng.Uint64n(h/2)
+			} else {
+				s.After, s.Until = 0, 0
+			}
+		case 3: // retarget rank
+			if topo.Ranks > 1 && rng.Intn(2) == 0 {
+				s.Rank = rng.Intn(topo.Ranks)
+			} else {
+				s.Rank = -1
+			}
+		}
+	case s.Kind == KindStall || s.Kind == KindOverflow:
+		switch rng.Intn(3) {
+		case 0: // move in time
+			s.At = rng.Uint64n(h)
+		case 1: // rescale duration
+			if rng.Intn(2) == 0 {
+				s.Cycles = s.Cycles/2 + 1
+			} else {
+				s.Cycles = min(s.Cycles*2, h)
+			}
+		case 2: // retarget
+			if s.Kind == KindStall {
+				s.Unit = rng.Intn(topo.Units)
+			} else {
+				s.Rank = rng.Intn(topo.Ranks)
+			}
+		}
+	case s.Kind == KindKill:
+		if rng.Intn(2) == 0 {
+			s.At = rng.Uint64n(h)
+		} else {
+			s.Unit = rng.Intn(topo.Units)
+		}
+	}
+	return s
+}
+
+// probIndex returns the index of the closest probability step to p.
+func probIndex(p float64) int {
+	best, bd := 0, 2.0
+	for i, v := range probSteps {
+		d := v - p
+		if d < 0 {
+			d = -d
+		}
+		if d < bd {
+			best, bd = i, d
+		}
+	}
+	return best
+}
+
+// Canonical returns the plan's canonical JSON encoding: specs sorted by a
+// stable total order, zero-valued optional fields omitted (Spec's JSON tags
+// already do that; Rank/Unit are emitted only when set). Two plans that
+// differ only in spec order or field history hash identically, which is what
+// corpus dedup wants.
+func Canonical(p *Plan) []byte {
+	q := Clone(p)
+	if q == nil {
+		q = &Plan{}
+	}
+	sort.SliceStable(q.Faults, func(i, j int) bool { return specLess(q.Faults[i], q.Faults[j]) })
+	data, err := json.MarshalIndent(canonDTO(q), "", "  ")
+	if err != nil {
+		// Plan is plain data; marshal cannot fail. Keep the API unconditional.
+		panic(fmt.Sprintf("fault: canonical marshal: %v", err))
+	}
+	return append(data, '\n')
+}
+
+// canonDTO converts a plan to pointer-field DTOs so "absent" and "zero" are
+// encoded the way Parse expects them back: Rank -1 and Unit -1 are omitted,
+// everything else that is zero-valued is omitted by the marshal rules below.
+func canonDTO(p *Plan) map[string][]map[string]any {
+	out := make([]map[string]any, 0, len(p.Faults))
+	for _, s := range p.Faults {
+		m := map[string]any{"kind": s.Kind}
+		if s.Scope != "" {
+			m["scope"] = s.Scope
+		}
+		if s.Prob != 0 {
+			m["prob"] = s.Prob
+		}
+		if s.Rank != -1 {
+			m["rank"] = s.Rank
+		}
+		if s.Unit != -1 {
+			m["unit"] = s.Unit
+		}
+		if s.At != 0 {
+			m["at"] = s.At
+		}
+		if s.Cycles != 0 {
+			m["cycles"] = s.Cycles
+		}
+		if s.Bytes != 0 {
+			m["bytes"] = s.Bytes
+		}
+		if s.After != 0 {
+			m["after"] = s.After
+		}
+		if s.Until != 0 {
+			m["until"] = s.Until
+		}
+		if s.Count != 0 {
+			m["count"] = s.Count
+		}
+		out = append(out, m)
+	}
+	return map[string][]map[string]any{"faults": out}
+}
+
+// specLess is a stable total order over specs: by kind, scope, targets,
+// schedule, then the remaining numeric fields.
+func specLess(a, b Spec) bool {
+	if a.Kind != b.Kind {
+		return a.Kind < b.Kind
+	}
+	if a.Scope != b.Scope {
+		return a.Scope < b.Scope
+	}
+	if a.Rank != b.Rank {
+		return a.Rank < b.Rank
+	}
+	if a.Unit != b.Unit {
+		return a.Unit < b.Unit
+	}
+	if a.At != b.At {
+		return a.At < b.At
+	}
+	if a.After != b.After {
+		return a.After < b.After
+	}
+	if a.Until != b.Until {
+		return a.Until < b.Until
+	}
+	if a.Prob != b.Prob {
+		return a.Prob < b.Prob
+	}
+	if a.Cycles != b.Cycles {
+		return a.Cycles < b.Cycles
+	}
+	if a.Bytes != b.Bytes {
+		return a.Bytes < b.Bytes
+	}
+	return a.Count < b.Count
+}
+
+// Hash returns the 64-bit digest of the plan's canonical encoding — the
+// corpus identity of the plan.
+func Hash(p *Plan) uint64 {
+	return fnv64(Canonical(p))
+}
+
+// fnv64 is byte-wise FNV-1a (the canonical encoding is small; no need for
+// the word-wide variant in package checkpoint, and this avoids an import).
+func fnv64(data []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, b := range data {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	return h
+}

@@ -1,0 +1,135 @@
+package fault
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ndpbridge/internal/sim"
+)
+
+var genTopo = Topology{Units: 64, Ranks: 2, Horizon: 1 << 14}
+
+func TestGenerateAlwaysValid(t *testing.T) {
+	rng := sim.NewRNG(1)
+	for i := 0; i < 500; i++ {
+		p := Generate(rng, genTopo)
+		if p.Empty() {
+			t.Fatalf("iteration %d: generated empty plan", i)
+		}
+		if err := p.Validate(genTopo.Units, genTopo.Ranks); err != nil {
+			t.Fatalf("iteration %d: generated invalid plan: %v\n%s", i, err, Canonical(p))
+		}
+	}
+}
+
+func TestMutateAlwaysValid(t *testing.T) {
+	rng := sim.NewRNG(2)
+	p := Generate(rng, genTopo)
+	for i := 0; i < 500; i++ {
+		q := Mutate(rng, p, genTopo)
+		if q.Empty() {
+			t.Fatalf("iteration %d: mutation produced empty plan", i)
+		}
+		if err := q.Validate(genTopo.Units, genTopo.Ranks); err != nil {
+			t.Fatalf("iteration %d: mutated invalid plan: %v\n%s", i, err, Canonical(q))
+		}
+		p = q
+	}
+}
+
+func TestMutateDoesNotAliasInput(t *testing.T) {
+	rng := sim.NewRNG(3)
+	p := Generate(rng, genTopo)
+	before := string(Canonical(p))
+	for i := 0; i < 50; i++ {
+		Mutate(rng, p, genTopo)
+	}
+	if got := string(Canonical(p)); got != before {
+		t.Fatalf("Mutate modified its input:\nbefore: %s\nafter: %s", before, got)
+	}
+}
+
+func TestMutateEmptyPlanAddsSpec(t *testing.T) {
+	rng := sim.NewRNG(4)
+	for i := 0; i < 20; i++ {
+		q := Mutate(rng, &Plan{}, genTopo)
+		if len(q.Faults) != 1 {
+			t.Fatalf("mutating empty plan: got %d specs, want 1", len(q.Faults))
+		}
+	}
+	q := Mutate(sim.NewRNG(5), nil, genTopo)
+	if len(q.Faults) != 1 {
+		t.Fatalf("mutating nil plan: got %d specs, want 1", len(q.Faults))
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, b := sim.NewRNG(42), sim.NewRNG(42)
+	for i := 0; i < 100; i++ {
+		pa, pb := Generate(a, genTopo), Generate(b, genTopo)
+		if !bytes.Equal(Canonical(pa), Canonical(pb)) {
+			t.Fatalf("iteration %d: same seed, different plans", i)
+		}
+	}
+}
+
+func TestCanonicalOrderIndependent(t *testing.T) {
+	a := &Plan{Faults: []Spec{
+		{Kind: KindKill, Unit: 3, At: 100, Rank: -1},
+		{Kind: KindDrop, Scope: ScopeL1Up, Prob: 0.1, Rank: -1, Unit: -1},
+	}}
+	b := &Plan{Faults: []Spec{a.Faults[1], a.Faults[0]}}
+	if Hash(a) != Hash(b) {
+		t.Fatalf("spec order changed plan hash:\n%s\nvs\n%s", Canonical(a), Canonical(b))
+	}
+}
+
+func TestCanonicalRoundTrips(t *testing.T) {
+	rng := sim.NewRNG(6)
+	for i := 0; i < 200; i++ {
+		p := Generate(rng, genTopo)
+		data := Canonical(p)
+		q, err := Parse(data)
+		if err != nil {
+			t.Fatalf("iteration %d: canonical form does not re-parse: %v\n%s", i, err, data)
+		}
+		if !bytes.Equal(data, Canonical(q)) {
+			t.Fatalf("iteration %d: canonical form not a fixpoint:\n%s\nvs\n%s", i, data, Canonical(q))
+		}
+		if err := q.Validate(genTopo.Units, genTopo.Ranks); err != nil {
+			t.Fatalf("iteration %d: round-tripped plan invalid: %v", i, err)
+		}
+	}
+}
+
+func TestParseReportsEntryPath(t *testing.T) {
+	bad := `{"faults":[
+		{"kind":"drop","scope":"l1-up","prob":0.5},
+		{"kind":"corrupt","scope":"l1-gather","probb":0.1}
+	]}`
+	_, err := Parse([]byte(bad))
+	if err == nil {
+		t.Fatal("typo'd field in entry 1 accepted")
+	}
+	if !strings.Contains(err.Error(), "plan entry 1") {
+		t.Fatalf("error does not name the bad entry: %v", err)
+	}
+	if !strings.Contains(err.Error(), "probb") {
+		t.Fatalf("error does not name the bad field: %v", err)
+	}
+
+	// Stray top-level keys are rejected too.
+	if _, err := Parse([]byte(`{"faults":[],"fautls":[]}`)); err == nil {
+		t.Fatal("stray top-level key accepted")
+	}
+
+	// Type errors carry the entry index as well.
+	_, err = Parse([]byte(`{"faults":[{"kind":"drop","scope":"l1-up","prob":"high"}]}`))
+	if err == nil {
+		t.Fatal("string prob accepted")
+	}
+	if !strings.Contains(err.Error(), "plan entry 0") {
+		t.Fatalf("type error does not name the entry: %v", err)
+	}
+}

@@ -121,13 +121,28 @@ type planDTO struct {
 }
 
 // Parse decodes a JSON fault plan. Unknown fields are rejected so typos in
-// hand-written plans fail loudly.
+// hand-written (or machine-mutated) plans fail loudly, and the error names
+// the plan entry that carries the bad field — "plan entry 3: unknown field
+// "probb"" — instead of a bare decoder message with no path.
 func Parse(data []byte) (*Plan, error) {
-	var dto planDTO
+	// Two-stage decode: the top level strictly (catching stray keys next to
+	// "faults"), then each entry strictly and individually, so a field error
+	// can be attributed to its array index.
+	var raw struct {
+		Faults []json.RawMessage `json:"faults"`
+	}
 	dec := json.NewDecoder(bytes.NewReader(data))
 	dec.DisallowUnknownFields()
-	if err := dec.Decode(&dto); err != nil {
+	if err := dec.Decode(&raw); err != nil {
 		return nil, fmt.Errorf("fault: parse plan: %w", err)
+	}
+	dto := planDTO{Faults: make([]specDTO, len(raw.Faults))}
+	for i, entry := range raw.Faults {
+		ed := json.NewDecoder(bytes.NewReader(entry))
+		ed.DisallowUnknownFields()
+		if err := ed.Decode(&dto.Faults[i]); err != nil {
+			return nil, fmt.Errorf("fault: plan entry %d: %w", i, err)
+		}
 	}
 	p := &Plan{Faults: make([]Spec, 0, len(dto.Faults))}
 	for i, d := range dto.Faults {
