@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint vet staticcheck ndplint bench benchdiff
+.PHONY: build test race lint vet staticcheck ndplint ownership bench benchdiff
 
 build:
 	$(GO) build ./...
@@ -20,15 +20,26 @@ lint: vet staticcheck ndplint
 vet:
 	$(GO) vet ./...
 
+# STATICCHECK_VERSION is the single pin CI and local runs share: bump it
+# here and in no other place (ci.yml reads the Makefile).
+STATICCHECK_VERSION = 2025.1.1
+
 staticcheck:
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./...; \
 	else \
-		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION))"; \
 	fi
 
 ndplint:
 	$(GO) run ./cmd/ndplint ./...
+
+# ownership regenerates the committed shardcheck artifacts after a
+# legitimate change to the sharding surface (new seam, new domain member).
+# The cmd/ndplint golden tests gate that these stay in sync with the tree.
+ownership:
+	$(GO) run ./cmd/ndplint -ownership-report ./... > results/ownership.json
+	$(GO) run ./cmd/ndplint -list-suppressions ./... > results/golden/ndplint-suppressions.txt
 
 bench:
 	$(GO) test -bench 'BenchmarkEngine' -benchtime 100x -benchmem -run xxx ./internal/sim/

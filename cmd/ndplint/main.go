@@ -17,8 +17,13 @@
 //
 //	-cache DIR           replay cached findings for packages whose sources
 //	                     and dependency export data are unchanged
-//	-list-suppressions   print every //ndplint: suppression with its
+//	-list-suppressions   print every //ndplint: suppression (plus the
+//	                     domain/seam ownership declarations) with its
 //	                     justification instead of analyzing
+//	-ownership-report    print the shardcheck ownership model (domains,
+//	                     members, seams, cross-domain edges) as JSON
+//	                     instead of analyzing; results/ownership.json is
+//	                     the committed form
 //	-json                emit findings as a JSON array
 //
 // The suite runs on the standard library alone (see internal/lint): the
@@ -32,6 +37,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -43,6 +49,7 @@ import (
 	"ndpbridge/internal/lint/hotpath"
 	"ndpbridge/internal/lint/load"
 	"ndpbridge/internal/lint/nilmetrics"
+	"ndpbridge/internal/lint/shardcheck"
 	"ndpbridge/internal/lint/snapcover"
 )
 
@@ -53,6 +60,16 @@ var analyzers = []*analysis.Analyzer{
 	nilmetrics.Analyzer,
 	directive.Analyzer,
 }
+
+// globalAnalyzers run once over every loaded package together; their
+// findings cache on the whole load, not per package.
+var globalAnalyzers = []*analysis.GlobalAnalyzer{
+	shardcheck.Analyzer,
+}
+
+// cwd anchors diagnostic paths: findings and the suppression inventory
+// render repo-relative so the committed golden files are machine-portable.
+var cwd, _ = os.Getwd()
 
 // finding is one rendered diagnostic, also the cache entry format.
 type finding struct {
@@ -67,6 +84,7 @@ func main() {
 	cacheDir := flag.String("cache", "", "directory for the analysis fact cache (empty: no caching)")
 	asJSON := flag.Bool("json", false, "emit findings as JSON")
 	listSup := flag.Bool("list-suppressions", false, "list every ndplint suppression with its justification")
+	ownership := flag.Bool("ownership-report", false, "print the shardcheck ownership model as JSON")
 	flag.Parse()
 
 	patterns := flag.Args()
@@ -81,7 +99,18 @@ func main() {
 	}
 
 	if *listSup {
-		listSuppressions(pkgs)
+		listSuppressions(pkgs, os.Stdout)
+		return
+	}
+
+	if *ownership {
+		model, _ := shardcheck.Analyze(unitsOf(pkgs))
+		b, err := model.Encode()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ndplint:", err)
+			os.Exit(2)
+		}
+		os.Stdout.Write(b)
 		return
 	}
 
@@ -94,6 +123,12 @@ func main() {
 		}
 		all = append(all, fs...)
 	}
+	gfs, err := analyzeGlobal(pkgs, *cacheDir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ndplint:", err)
+		os.Exit(2)
+	}
+	all = append(all, gfs...)
 
 	sort.Slice(all, func(i, j int) bool {
 		a, b := all[i], all[j]
@@ -155,7 +190,7 @@ func analyzePkg(pkg *load.Package, cacheDir string) (fs []finding, err error) {
 		pass.Report = func(d analysis.Diagnostic) {
 			pos := pkg.Fset.Position(d.Pos)
 			file := pos.Filename
-			if rel, err := filepath.Rel(".", file); err == nil && len(rel) < len(file) {
+			if rel, err := filepath.Rel(cwd, file); err == nil && len(rel) < len(file) {
 				file = rel
 			}
 			fs = append(fs, finding{
@@ -179,6 +214,76 @@ func analyzePkg(pkg *load.Package, cacheDir string) (fs []finding, err error) {
 	return fs, nil
 }
 
+// unitsOf adapts loaded packages to the global-analyzer input.
+func unitsOf(pkgs []*load.Package) []*analysis.Unit {
+	units := make([]*analysis.Unit, 0, len(pkgs))
+	for _, pkg := range pkgs {
+		units = append(units, &analysis.Unit{
+			Fset: pkg.Fset, Files: pkg.Files, Pkg: pkg.Types, TypesInfo: pkg.Info,
+		})
+	}
+	return units
+}
+
+// analyzeGlobal runs the whole-program analyzers over every loaded package,
+// consulting the fact cache first. The cache key covers every package's
+// fingerprint: a change anywhere invalidates the global findings.
+func analyzeGlobal(pkgs []*load.Package, cacheDir string) (fs []finding, err error) {
+	var cachePath string
+	if cacheDir != "" {
+		cachePath = filepath.Join(cacheDir, globalCacheKey(pkgs)+".json")
+		if b, err := os.ReadFile(cachePath); err == nil {
+			var fs []finding
+			if json.Unmarshal(b, &fs) == nil {
+				return fs, nil
+			}
+		}
+	}
+
+	fs = []finding{}
+	units := unitsOf(pkgs)
+	for _, a := range globalAnalyzers {
+		pass := &analysis.GlobalPass{Analyzer: a, Units: units}
+		pass.Report = func(u *analysis.Unit, d analysis.Diagnostic) {
+			pos := u.Fset.Position(d.Pos)
+			file := pos.Filename
+			if rel, err := filepath.Rel(cwd, file); err == nil && len(rel) < len(file) {
+				file = rel
+			}
+			fs = append(fs, finding{
+				File: file, Line: pos.Line, Col: pos.Column,
+				Analyzer: a.Name, Message: d.Message,
+			})
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %v", a.Name, err)
+		}
+	}
+
+	if cachePath != "" {
+		if err := os.MkdirAll(cacheDir, 0o755); err == nil {
+			if b, err := json.Marshal(fs); err == nil {
+				_ = os.WriteFile(cachePath, b, 0o644)
+			}
+		}
+	}
+	return fs, nil
+}
+
+// globalCacheKey crosses every loaded package's fingerprint with the
+// toolchain and global-analyzer versions.
+func globalCacheKey(pkgs []*load.Package) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "go %s\n", runtime.Version())
+	for _, a := range globalAnalyzers {
+		fmt.Fprintf(h, "global %s v%d\n", a.Name, a.Version)
+	}
+	for _, pkg := range pkgs {
+		fmt.Fprintf(h, "pkg %s %s\n", pkg.PkgPath, pkg.Fingerprint)
+	}
+	return hex.EncodeToString(h.Sum(nil))[:32]
+}
+
 // cacheKey derives the fact-cache key for one package: its content
 // fingerprint (own sources + dependency export data) crossed with the
 // toolchain and the analyzer suite's versions.
@@ -192,22 +297,28 @@ func cacheKey(pkg *load.Package) string {
 	return hex.EncodeToString(h.Sum(nil))[:32]
 }
 
-// listSuppressions prints the audited-suppression inventory.
-func listSuppressions(pkgs []*load.Package) {
+// listSuppressions prints the audited-suppression inventory: every
+// suppression plus the ownership declarations (domain, seam), which widen
+// checked surfaces and are review-worthy state in the same way.
+func listSuppressions(pkgs []*load.Package, w io.Writer) {
 	n := 0
 	for _, pkg := range pkgs {
 		m := directive.Parse(pkg.Fset, pkg.Files)
 		for _, d := range m.All() {
-			if d.IsTag() {
+			if !d.Listed() {
 				continue
 			}
 			file := d.File
-			if rel, err := filepath.Rel(".", file); err == nil && len(rel) < len(file) {
+			if rel, err := filepath.Rel(cwd, file); err == nil && len(rel) < len(file) {
 				file = rel
 			}
-			fmt.Printf("%s:%d: //ndplint:%s %s\n", file, d.Line, d.Verb, d.Justification)
+			line := fmt.Sprintf("%s:%d: //ndplint:%s", file, d.Line, d.Display())
+			if d.Justification != "" {
+				line += " " + d.Justification
+			}
+			fmt.Fprintln(w, line)
 			n++
 		}
 	}
-	fmt.Printf("%d suppression(s)\n", n)
+	fmt.Fprintf(w, "%d suppression(s)\n", n)
 }

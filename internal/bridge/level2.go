@@ -17,6 +17,7 @@ import (
 // assigning receiver ranks during cross-rank load balancing — and scatters
 // them down the destination rank's channel. Each transfer occupies the
 // channel link and pays a fixed host software overhead per batch.
+//ndplint:domain(bridge-l2)
 type Level2 struct {
 	env Env //ndplint:nosnap simulation wiring, rebound at construction
 	// eng/cfg cache env.Engine()/env.Cfg() — both stable for the system's
@@ -62,6 +63,7 @@ type Level2 struct {
 }
 
 // BindMetrics attaches the level-2 bridge's instruments to reg.
+//ndplint:seam metrics wiring before the clock starts
 func (l *Level2) BindMetrics(reg *metrics.Registry) {
 	l.mBatch = reg.Histogram("l2_batch_bytes")
 	l.mLBBudget = reg.Histogram("l2_lb_budget_workload")
@@ -144,10 +146,12 @@ func (l *Level2) Start() {
 }
 
 // RankAllIdle implements upLevel: a level-1 bridge reports a starved rank.
+//ndplint:seam partition boundary: rank idle vote feeding the channel sweep
 func (l *Level2) RankAllIdle(rank int) { l.idle[rank] = true }
 
 // KickChannel implements upLevel: new up-bound traffic exists on rank's
 // transport group.
+//ndplint:seam partition boundary: rank bridge wakes the channel step loop
 func (l *Level2) KickChannel(rank int) {
 	l.ensureLoop(l.groupOf(rank))
 }

@@ -37,6 +37,7 @@ const (
 )
 
 // Checkpoint is the decoded content of a checkpoint file.
+//ndplint:domain(xfer)
 type Checkpoint struct {
 	App       string
 	CfgJSON   []byte

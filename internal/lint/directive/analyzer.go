@@ -5,21 +5,30 @@ import (
 )
 
 // Analyzer audits the directives themselves: unknown verbs are typos that
-// would silently fail to suppress anything, and suppression verbs without a
-// justification defeat the audited-suppression protocol.
+// would silently fail to suppress anything, suppression verbs without a
+// justification defeat the audited-suppression protocol, domain declarations
+// need their domain argument, and seams — the sanctioned cross-domain
+// surface — must say why they are safe to cross.
 var Analyzer = &analysis.Analyzer{
 	Name:    "directives",
 	Doc:     "ndplint directives must use known verbs, and suppressions must carry a justification",
-	Version: 1,
+	Version: 2,
 	Run: func(pass *analysis.Pass) error {
 		m := Parse(pass.Fset, pass.Files)
 		for _, d := range m.All() {
 			if !Known[d.Verb] {
-				pass.Reportf(d.Pos, "unknown ndplint directive verb %q (known: alloc, hotpath, nosnap, ordered)", d.Verb)
+				pass.Reportf(d.Pos, "unknown ndplint directive verb %q (known: alloc, crossdomain, domain, hotpath, nosnap, ordered, seam)", d.Verb)
 				continue
 			}
-			if !d.IsTag() && d.Justification == "" {
+			switch {
+			case !d.IsTag() && d.Justification == "":
 				pass.Reportf(d.Pos, "ndplint:%s suppression without a justification: write //ndplint:%s <why this is safe>", d.Verb, d.Verb)
+			case d.Verb == "domain" && d.Arg == "":
+				pass.Reportf(d.Pos, "ndplint:domain without a domain argument: write //ndplint:domain(<domain>)")
+			case d.Verb == "seam" && d.Justification == "":
+				pass.Reportf(d.Pos, "ndplint:seam without a justification: write //ndplint:seam <why this crossing is sanctioned>")
+			case d.Verb != "domain" && d.Arg != "":
+				pass.Reportf(d.Pos, "ndplint:%s does not take a parenthesized argument", d.Verb)
 			}
 		}
 		return nil

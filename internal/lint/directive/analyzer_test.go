@@ -54,6 +54,33 @@ func TestTagNeedsNoJustification(t *testing.T) {
 	}
 }
 
+func TestDomainWithoutArgument(t *testing.T) {
+	msgs := runOn(t, "package p\n\n//ndplint:domain\ntype s struct{ a int }\n")
+	if len(msgs) != 1 || !strings.Contains(msgs[0], "without a domain argument") {
+		t.Fatalf("got %q, want one missing-argument diagnostic", msgs)
+	}
+}
+
+func TestDomainWithArgumentIsClean(t *testing.T) {
+	if msgs := runOn(t, "package p\n\n//ndplint:domain(unit)\ntype s struct{ a int }\n"); len(msgs) != 0 {
+		t.Fatalf("got %q, want no diagnostics", msgs)
+	}
+}
+
+func TestSeamWithoutJustification(t *testing.T) {
+	msgs := runOn(t, "package p\n\n//ndplint:seam\nfunc f() {}\n")
+	if len(msgs) != 1 || !strings.Contains(msgs[0], "ndplint:seam without a justification") {
+		t.Fatalf("got %q, want one missing-justification diagnostic", msgs)
+	}
+}
+
+func TestArgumentOnNonDomainVerb(t *testing.T) {
+	msgs := runOn(t, "package p\n\n//ndplint:seam(unit) why\nfunc f() {}\n")
+	if len(msgs) != 1 || !strings.Contains(msgs[0], "does not take a parenthesized argument") {
+		t.Fatalf("got %q, want one stray-argument diagnostic", msgs)
+	}
+}
+
 func TestCleanFixture(t *testing.T) {
 	analysistest.Run(t, "testdata/src/dirs", directive.Analyzer)
 }

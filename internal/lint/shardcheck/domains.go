@@ -1,0 +1,167 @@
+package shardcheck
+
+import "sort"
+
+// Domain names one ownership domain of the simulator's state. The PDES
+// sharding plan (ROADMAP item 1) partitions a run into {units + banks +
+// per-owner helpers} shards coordinated by bridge and engine seams; every
+// stateful struct in the sim packages must claim the domain its instances
+// live in so the partition is a checked property, not folklore.
+type Domain string
+
+const (
+	// DomainUnit is per-NDP-unit controller state: the task queue, mailbox
+	// region, migration metadata, staging buffers. Shards by unit.
+	DomainUnit Domain = "unit"
+	// DomainBank is per-DRAM-bank timing and energy state. Each bank is
+	// owned by exactly one unit and co-shards with it, so unit→bank writes
+	// are intra-partition.
+	DomainBank Domain = "bank"
+	// DomainBridgeL1 is rank-level (level-1) bridge state: scatter/backup
+	// buffers, borrowed tables, load-balancing rounds.
+	DomainBridgeL1 Domain = "bridge-l1"
+	// DomainBridgeL2 is channel-level (level-2) bridge state.
+	DomainBridgeL2 Domain = "bridge-l2"
+	// DomainEngine is the event core and run orchestration: the event
+	// queue, the bulk-sync epoch accounting, the system wiring. The PDES
+	// refactor gives every shard its own engine instance; the engine's
+	// scheduling API is therefore a seam, not free-for-all state.
+	DomainEngine Domain = "engine"
+	// DomainHost is host-side driver and observer state: serving traffic
+	// sources, checkpoints, the auditor, fault-plan control. Host state
+	// never shards; it talks to the fabric through seams.
+	DomainHost Domain = "host"
+	// DomainSharedRO is state built before the clock starts and read-only
+	// between barriers (configuration-derived tables, the address map, the
+	// handler registry). Any post-setup write needs a seam.
+	DomainSharedRO Domain = "shared-ro"
+	// DomainPerOwner marks helper containers instantiated once per owning
+	// component (mailboxes, RNG streams, task queues, metadata tables).
+	// Each instance shards with its container; writes are governed by the
+	// holder's discipline, so shardcheck does not flag them.
+	DomainPerOwner Domain = "perowner"
+	// DomainXfer marks transferable payloads — messages, tasks, snapshot
+	// DTOs — whose ownership moves with the value and crosses partitions
+	// only through seams. Writes are allowed from any domain.
+	DomainXfer Domain = "xfer"
+)
+
+// domainDoc is the one-line description each domain carries into the
+// ownership report.
+var domainDoc = map[Domain]string{
+	DomainUnit:     "per-NDP-unit controller state; shards by unit",
+	DomainBank:     "per-DRAM-bank timing/energy state; co-shards with its owning unit",
+	DomainBridgeL1: "rank-level bridge state; partition boundary between units and the channel",
+	DomainBridgeL2: "channel-level bridge state; partition boundary between ranks",
+	DomainEngine:   "event core and run orchestration; per-shard instances under PDES",
+	DomainHost:     "host-side drivers and observers; never sharded, reaches the fabric via seams",
+	DomainSharedRO: "built before the clock starts, read-only between barriers",
+	DomainPerOwner: "helper containers instantiated per owner; shard with their container",
+	DomainXfer:     "transferable payloads; ownership moves with the value, crossing only at seams",
+}
+
+// validDomains is the accepted //ndplint:domain(...) argument set.
+var validDomains = map[Domain]bool{
+	DomainUnit: true, DomainBank: true, DomainBridgeL1: true,
+	DomainBridgeL2: true, DomainEngine: true, DomainHost: true,
+	DomainSharedRO: true, DomainPerOwner: true, DomainXfer: true,
+}
+
+// validDomainList renders the accepted domain arguments for diagnostics.
+func validDomainList() string {
+	names := make([]string, 0, len(validDomains))
+	for d := range validDomains {
+		names = append(names, string(d))
+	}
+	sort.Strings(names)
+	s := ""
+	for i, n := range names {
+		if i > 0 {
+			s += ", "
+		}
+		s += n
+	}
+	return s
+}
+
+// allowedWrite reports whether code whose home domain is from may mutate
+// state owned by to without a seam. The relation is deliberately tiny: same
+// domain, the unit→bank co-sharding edge, and the two holder-governed
+// pseudo-domains. shared-ro is writable by nobody — even its own methods
+// must be seams (setup phase) — so a frozen table can never silently grow a
+// mutation path.
+func allowedWrite(from, to Domain) bool {
+	switch {
+	case to == "":
+		return true // untracked state (outside the shard boundary)
+	case to == DomainPerOwner || to == DomainXfer:
+		return true // ownership follows the holder
+	case to == DomainSharedRO:
+		return false
+	case from == to:
+		return true
+	case from == DomainUnit && to == DomainBank:
+		return true // each bank co-shards with its owning unit
+	}
+	return false
+}
+
+// --- Ownership model (the -ownership-report payload) ----------------------
+
+// Model is the machine-readable ownership map shardcheck derives: the input
+// contract the PDES sharder consumes. Serialized deterministically (all
+// slices sorted) so the committed results/ownership.json reproduces
+// byte-for-byte.
+type Model struct {
+	// Version counts schema revisions of this file.
+	Version int `json:"version"`
+	// Packages lists the analyzed simulation packages by import path.
+	Packages []string `json:"packages"`
+	// Domains maps each ownership domain to its member structs.
+	Domains []DomainEntry `json:"domains"`
+	// Seams is the sanctioned cross-domain function inventory.
+	Seams []Seam `json:"seams"`
+	// Edges aggregates the observed cross-domain accesses, every one of
+	// which is mediated by a seam (or it would be a lint failure).
+	Edges []Edge `json:"edges"`
+}
+
+// DomainEntry is one domain with its member types.
+type DomainEntry struct {
+	Name    string   `json:"name"`
+	Doc     string   `json:"doc"`
+	Members []Member `json:"members"`
+}
+
+// Member is one stateful struct assigned to a domain.
+type Member struct {
+	// Type is the package-path-qualified type name.
+	Type string `json:"type"`
+	// Via says how the assignment was made: "directive" for an explicit
+	// //ndplint:domain(...), "containment" for inference from the owning
+	// struct.
+	Via string `json:"via"`
+}
+
+// Seam is one function sanctioned to cross domains.
+type Seam struct {
+	// Func is the qualified function or method name.
+	Func string `json:"func"`
+	// File is the repo-relative file declaring it.
+	File string `json:"file"`
+	// Domain is the receiver's domain ("" for free functions).
+	Domain string `json:"domain,omitempty"`
+	// Writes lists the domains the seam (transitively) mutates.
+	Writes []string `json:"writes,omitempty"`
+	// Justification is the audited reason the crossing is safe.
+	Justification string `json:"justification"`
+}
+
+// Edge is one aggregated cross-domain access path: code in From crossing
+// into To through seam Via, observed at Sites call sites.
+type Edge struct {
+	From  string `json:"from"`
+	To    string `json:"to"`
+	Via   string `json:"via"`
+	Sites int    `json:"sites"`
+}

@@ -1,0 +1,113 @@
+package shardcheck
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// buildModel assembles the ownership report from the analyzed state. All
+// slices are sorted so the serialized form is deterministic.
+func (c *checker) buildModel() *Model {
+	m := &Model{Version: 1}
+
+	for path := range c.paths {
+		m.Packages = append(m.Packages, path)
+	}
+	sort.Strings(m.Packages)
+
+	members := make(map[Domain][]Member)
+	for _, ti := range c.typeOrder { // already sorted by key
+		if ti.dom == "" {
+			continue
+		}
+		members[ti.dom] = append(members[ti.dom], Member{Type: ti.key, Via: ti.via})
+	}
+	for d, doc := range domainDoc {
+		m.Domains = append(m.Domains, DomainEntry{Name: string(d), Doc: doc, Members: members[d]})
+	}
+	sort.Slice(m.Domains, func(i, j int) bool { return m.Domains[i].Name < m.Domains[j].Name })
+
+	cwd, _ := os.Getwd()
+	for _, fi := range c.funcOrder { // already sorted by key
+		if fi.seam == nil {
+			continue
+		}
+		s := Seam{
+			Func:          fi.key,
+			File:          relPath(cwd, fi.unit.u.Fset.Position(fi.decl.Pos()).Filename),
+			Domain:        string(fi.ctx),
+			Justification: fi.seam.Justification,
+		}
+		for d := range fi.effects {
+			s.Writes = append(s.Writes, string(d))
+		}
+		sort.Strings(s.Writes)
+		m.Seams = append(m.Seams, s)
+	}
+
+	// Cross-domain edges: every call site where a context enters a seam
+	// that (transitively) writes domains the caller may not touch itself.
+	type edgeKey struct{ from, to, via string }
+	edges := make(map[edgeKey]int)
+	for _, fi := range c.funcOrder {
+		for _, cs := range fi.calls {
+			for _, key := range cs.callees {
+				g := c.funcs[key]
+				if g == nil || g.seam == nil {
+					continue
+				}
+				touched := make(map[Domain]bool)
+				for d := range g.effects {
+					touched[d] = true
+				}
+				if g.ctx != "" {
+					touched[g.ctx] = true
+				}
+				for d := range touched {
+					if allowedWrite(fi.ctx, d) {
+						continue
+					}
+					edges[edgeKey{from: string(fi.ctx), to: string(d), via: key}]++
+				}
+			}
+		}
+	}
+	for k, n := range edges {
+		m.Edges = append(m.Edges, Edge{From: k.from, To: k.to, Via: k.via, Sites: n})
+	}
+	sort.Slice(m.Edges, func(i, j int) bool {
+		a, b := m.Edges[i], m.Edges[j]
+		if a.Via != b.Via {
+			return a.Via < b.Via
+		}
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		return a.To < b.To
+	})
+
+	return m
+}
+
+// relPath renders file relative to base (the working directory) with forward
+// slashes, falling back to the absolute path when no relation exists.
+func relPath(base, file string) string {
+	if base != "" {
+		if rel, err := filepath.Rel(base, file); err == nil {
+			return filepath.ToSlash(rel)
+		}
+	}
+	return filepath.ToSlash(file)
+}
+
+// Encode renders the model as indented JSON with a trailing newline — the
+// exact bytes of results/ownership.json.
+func (m *Model) Encode() ([]byte, error) {
+	out, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}

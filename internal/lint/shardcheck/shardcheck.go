@@ -1,0 +1,817 @@
+// Package shardcheck statically proves the simulator's state is
+// PDES-partitionable: every stateful struct in the sim packages belongs to an
+// ownership domain, and every write that crosses domains goes through a
+// function audited as a //ndplint:seam. The derived ownership model
+// (domains, members, seams, cross-domain edges) is the input contract the
+// PDES sharder consumes — see DESIGN.md §16.
+//
+// The analysis is whole-program: domains declared in ndpunit must govern
+// writes reaching that state from core or bridge. Each package is
+// type-checked in its own universe (imports come from export data), so
+// nothing here compares types.Object identities across packages; types and
+// functions are keyed by package-path-qualified names, and interface
+// dispatch is resolved structurally by method name plus signature string.
+//
+// Known limitations, by construction: writes through function values
+// (scheduled event closures, task handlers) are attributed to the method
+// that defines them, not the caller that schedules them — scheduling itself
+// goes through the Engine seams; and aliasing a foreign component's interior
+// pointer into a local defeats the root-object tracking. Both are covered by
+// review plus the domain annotations on the structs themselves.
+package shardcheck
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"ndpbridge/internal/lint/analysis"
+	"ndpbridge/internal/lint/directive"
+)
+
+// simPackages names the packages inside the shard boundary, keyed by package
+// name so fixture packages (loaded under synthetic import paths) participate.
+var simPackages = map[string]bool{
+	"core":     true,
+	"ndpunit":  true,
+	"bridge":   true,
+	"mailbox":  true,
+	"msg":      true,
+	"dram":     true,
+	"sim":      true,
+	"task":     true,
+	"sketch":   true,
+	"metadata": true,
+}
+
+// Analyzer is the shardcheck ownership analyzer.
+var Analyzer = &analysis.GlobalAnalyzer{
+	Name:    "shardcheck",
+	Doc:     "simulator state must stay inside its ownership domain; cross-domain writes go through //ndplint:seam functions",
+	Version: 1,
+	Run: func(pass *analysis.GlobalPass) error {
+		_, diags := Analyze(pass.Units)
+		for _, d := range diags {
+			pass.Report(d.Unit, analysis.Diagnostic{Pos: d.Pos, Message: d.Message})
+		}
+		return nil
+	},
+}
+
+// Diag is one shardcheck finding, positioned within its owning unit.
+type Diag struct {
+	Unit    *analysis.Unit
+	Pos     token.Pos
+	Message string
+}
+
+// Analyze runs the ownership analysis over units and returns the derived
+// ownership model alongside any findings. The model is valid even when
+// findings are present (the report shows what the tree looks like today).
+func Analyze(units []*analysis.Unit) (*Model, []Diag) {
+	c := &checker{
+		types:  make(map[string]*typeInfo),
+		funcs:  make(map[string]*funcInfo),
+		ifaces: make(map[*types.Interface][]*typeInfo),
+		paths:  make(map[string]bool),
+	}
+	for _, u := range units {
+		if u.Pkg == nil || !simPackages[u.Pkg.Name()] {
+			continue
+		}
+		c.units = append(c.units, &unitInfo{u: u, dirs: directive.Parse(u.Fset, u.Files)})
+		c.paths[u.Pkg.Path()] = true
+	}
+	c.collectTypes()
+	c.inferContainment()
+	c.checkGlobals()
+	c.collectFuncs()
+	for _, fi := range c.funcOrder {
+		c.scanFunc(fi)
+	}
+	c.propagateEffects()
+	c.checkCalls()
+	return c.buildModel(), c.diags
+}
+
+type unitInfo struct {
+	u    *analysis.Unit
+	dirs *directive.Map
+}
+
+// typeInfo is one named struct type declared in a sim package.
+type typeInfo struct {
+	key     string // pkgpath.Name
+	unit    *unitInfo
+	named   *types.Named
+	st      *types.Struct
+	dom     Domain
+	via     string // "directive" or "containment"
+	inside  map[Domain]bool
+	declPos token.Pos
+}
+
+// funcInfo is one function or method with a body in a sim package.
+type funcInfo struct {
+	key  string // pkgpath.Name or pkgpath.Recv.Name
+	unit *unitInfo
+	decl *ast.FuncDecl
+	// ctx is the home domain the body executes in: the receiver type's
+	// domain, or "" for free functions and methods on undomained types.
+	ctx  Domain
+	seam *directive.Directive
+	// writes are the domains the body mutates directly; effects adds the
+	// domains mutated transitively through non-seam callees.
+	writes  map[Domain]bool
+	effects map[Domain]bool
+	calls   []callSite
+}
+
+// callSite is one resolved call with its candidate callees (several for
+// interface dispatch).
+type callSite struct {
+	pos     token.Pos
+	callees []string
+}
+
+type checker struct {
+	units     []*unitInfo
+	paths     map[string]bool // sim package import paths
+	types     map[string]*typeInfo
+	typeOrder []*typeInfo
+	funcs     map[string]*funcInfo
+	funcOrder []*funcInfo
+	ifaces    map[*types.Interface][]*typeInfo
+	diags     []Diag
+}
+
+func (c *checker) diag(u *unitInfo, pos token.Pos, format string, args ...any) {
+	c.diags = append(c.diags, Diag{Unit: u.u, Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// typeKey names a type object stably across type-check universes.
+func typeKey(tn *types.TypeName) string {
+	if tn.Pkg() == nil {
+		return tn.Name()
+	}
+	return tn.Pkg().Path() + "." + tn.Name()
+}
+
+// funcKey names a function or method stably across universes.
+func funcKey(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if ok && sig.Recv() != nil {
+		if named := namedOf(sig.Recv().Type()); named != nil {
+			return typeKey(named.Obj()) + "." + fn.Name()
+		}
+	}
+	if fn.Pkg() == nil {
+		return fn.Name()
+	}
+	return fn.Pkg().Path() + "." + fn.Name()
+}
+
+// namedOf unwraps pointers and aliases to the underlying named type.
+func namedOf(t types.Type) *types.Named {
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// simType resolves t (possibly behind a pointer) to the typeInfo of a sim
+// struct, or nil.
+func (c *checker) simType(t types.Type) *typeInfo {
+	n := namedOf(t)
+	if n == nil {
+		return nil
+	}
+	return c.types[typeKey(n.Obj())]
+}
+
+// typeDomain is the ownership domain of the sim struct behind t, or "".
+func (c *checker) typeDomain(t types.Type) Domain {
+	if ti := c.simType(t); ti != nil {
+		return ti.dom
+	}
+	return ""
+}
+
+// --- Phase 1: type collection ---------------------------------------------
+
+func (c *checker) collectTypes() {
+	for _, u := range c.units {
+		scope := u.u.Pkg.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := types.Unalias(tn.Type()).(*types.Named)
+			if !ok || named.TypeParams().Len() > 0 {
+				continue
+			}
+			st, ok := named.Underlying().(*types.Struct)
+			if !ok {
+				continue
+			}
+			ti := &typeInfo{
+				key:     typeKey(tn),
+				unit:    u,
+				named:   named,
+				st:      st,
+				inside:  make(map[Domain]bool),
+				declPos: tn.Pos(),
+			}
+			if d := u.dirs.At(u.u.Fset, tn.Pos(), "domain"); d != nil {
+				if !validDomains[Domain(d.Arg)] {
+					c.diag(u, d.Pos, "unknown ownership domain %q in ndplint:domain (valid: %s)", d.Arg, validDomainList())
+				} else {
+					ti.dom = Domain(d.Arg)
+					ti.via = "directive"
+				}
+			}
+			c.types[ti.key] = ti
+			c.typeOrder = append(c.typeOrder, ti)
+		}
+	}
+	sort.Slice(c.typeOrder, func(i, j int) bool { return c.typeOrder[i].key < c.typeOrder[j].key })
+}
+
+// --- Phase 2: containment inference ---------------------------------------
+
+// inferContainment assigns a domain to every unannotated struct that is
+// embedded (as a field, possibly behind pointers, slices, arrays, or maps)
+// in containers of exactly one domain. Ambiguity and orphan structs with
+// state are findings: the partition cannot be derived for them.
+func (c *checker) inferContainment() {
+	// containedIn[inner] = set of container typeInfos.
+	containedIn := make(map[string][]*typeInfo)
+	for _, ti := range c.typeOrder {
+		seen := make(map[string]bool)
+		for i := 0; i < ti.st.NumFields(); i++ {
+			for _, inner := range c.fieldSimTypes(ti.st.Field(i).Type()) {
+				if inner.key == ti.key || seen[inner.key] {
+					continue
+				}
+				seen[inner.key] = true
+				containedIn[inner.key] = append(containedIn[inner.key], ti)
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, ti := range c.typeOrder {
+			if ti.dom != "" {
+				continue
+			}
+			doms := make(map[Domain]bool)
+			for _, container := range containedIn[ti.key] {
+				if container.dom != "" {
+					doms[container.dom] = true
+				}
+			}
+			ti.inside = doms
+			if len(doms) == 1 {
+				for d := range doms {
+					ti.dom = d
+				}
+				ti.via = "containment"
+				changed = true
+			}
+		}
+	}
+	for _, ti := range c.typeOrder {
+		if ti.dom != "" || ti.st.NumFields() == 0 {
+			continue
+		}
+		if d := ti.unit.dirs.At(ti.unit.u.Fset, ti.declPos, "crossdomain"); d != nil {
+			continue
+		}
+		if len(ti.inside) > 1 {
+			c.diag(ti.unit, ti.declPos, "ambiguous ownership for %s: contained in domains %s; annotate it with //ndplint:domain(<d>)", ti.key, domainSet(ti.inside))
+			continue
+		}
+		c.diag(ti.unit, ti.declPos, "struct %s has no ownership domain: annotate it with //ndplint:domain(<d>) or hold it inside a domained container", ti.key)
+	}
+}
+
+// fieldSimTypes unwraps a field type through pointers, slices, arrays, maps,
+// and channels to the sim struct types it holds.
+func (c *checker) fieldSimTypes(t types.Type) []*typeInfo {
+	switch t := types.Unalias(t).(type) {
+	case *types.Pointer:
+		return c.fieldSimTypes(t.Elem())
+	case *types.Slice:
+		return c.fieldSimTypes(t.Elem())
+	case *types.Array:
+		return c.fieldSimTypes(t.Elem())
+	case *types.Chan:
+		return c.fieldSimTypes(t.Elem())
+	case *types.Map:
+		return append(c.fieldSimTypes(t.Key()), c.fieldSimTypes(t.Elem())...)
+	case *types.Named:
+		if ti := c.types[typeKey(t.Obj())]; ti != nil {
+			return []*typeInfo{ti}
+		}
+	}
+	return nil
+}
+
+func domainSet(m map[Domain]bool) string {
+	names := make([]string, 0, len(m))
+	for d := range m {
+		names = append(names, string(d))
+	}
+	sort.Strings(names)
+	return strings.Join(names, " and ")
+}
+
+// --- Phase 3: package-level state -----------------------------------------
+
+// checkGlobals flags package-level mutable variables: they belong to no
+// instance and therefore to no shard. Error sentinels and blank
+// interface-satisfaction assertions are the only exemptions.
+func (c *checker) checkGlobals() {
+	for _, u := range c.units {
+		for _, f := range u.u.Files {
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok || gd.Tok != token.VAR {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					vs := spec.(*ast.ValueSpec)
+					for _, name := range vs.Names {
+						if name.Name == "_" {
+							continue
+						}
+						obj, ok := u.u.TypesInfo.Defs[name].(*types.Var)
+						if !ok || isErrorType(obj.Type()) {
+							continue
+						}
+						if u.dirs.At(u.u.Fset, name.Pos(), "crossdomain") != nil ||
+							u.dirs.At(u.u.Fset, gd.Pos(), "crossdomain") != nil {
+							continue
+						}
+						c.diag(u, name.Pos(), "package-level mutable state %s belongs to no shard: move it into a domained component or suppress with //ndplint:crossdomain <why>", name.Name)
+					}
+				}
+			}
+		}
+	}
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// --- Phase 4: function collection and body scanning -----------------------
+
+func (c *checker) collectFuncs() {
+	for _, u := range c.units {
+		for _, f := range u.u.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := u.u.TypesInfo.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				fi := &funcInfo{
+					key:     funcKey(fn),
+					unit:    u,
+					decl:    fd,
+					writes:  make(map[Domain]bool),
+					effects: make(map[Domain]bool),
+					seam:    u.dirs.At(u.u.Fset, fd.Pos(), "seam"),
+				}
+				if fd.Recv != nil {
+					if ti := c.simType(u.u.TypesInfo.Defs[fd.Name].(*types.Func).Type().(*types.Signature).Recv().Type()); ti != nil {
+						fi.ctx = ti.dom
+					}
+				}
+				c.funcs[fi.key] = fi
+				c.funcOrder = append(c.funcOrder, fi)
+			}
+		}
+	}
+	sort.Slice(c.funcOrder, func(i, j int) bool { return c.funcOrder[i].key < c.funcOrder[j].key })
+}
+
+// scanFunc records the direct writes and resolved call sites of one body.
+func (c *checker) scanFunc(fi *funcInfo) {
+	fresh := c.freshLocals(fi)
+	ast.Inspect(fi.decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE {
+				return true
+			}
+			for _, lhs := range n.Lhs {
+				c.checkWrite(fi, fresh, lhs)
+			}
+		case *ast.IncDecStmt:
+			c.checkWrite(fi, fresh, n.X)
+		case *ast.CallExpr:
+			c.scanCall(fi, fresh, n)
+		}
+		return true
+	})
+}
+
+// checkWrite classifies one assignment target and reports it when it mutates
+// another domain's state outside a seam.
+func (c *checker) checkWrite(fi *funcInfo, fresh map[types.Object]bool, lhs ast.Expr) {
+	dom, root, pureSel := c.writeTarget(fi.unit, lhs)
+	if dom == "" {
+		return
+	}
+	if root != nil {
+		if fresh[root] {
+			return // freshly allocated here; not yet part of any shard
+		}
+		if pureSel && isLocalValue(root, fi.unit) {
+			return // writing a stack copy, not shared state
+		}
+	}
+	fi.writes[dom] = true
+	if allowedWrite(fi.ctx, dom) || fi.seam != nil {
+		return
+	}
+	if fi.unit.dirs.At(fi.unit.u.Fset, lhs.Pos(), "crossdomain") != nil {
+		return
+	}
+	c.diag(fi.unit, lhs.Pos(), "cross-domain write: %s mutates %s-owned state; route it through a //ndplint:seam function or suppress with //ndplint:crossdomain <why>", ctxName(fi.ctx), dom)
+}
+
+func ctxName(d Domain) string {
+	if d == "" {
+		return "domain-free code"
+	}
+	return string(d) + " code"
+}
+
+// writeTarget walks an assignment target down to the nearest domain-owned
+// value and the root object the access chain starts from. pureSel reports
+// whether the chain is selectors only (no indexing or dereference), i.e.
+// whether a value-typed root would make the write a copy-write.
+func (c *checker) writeTarget(u *unitInfo, e ast.Expr) (dom Domain, root types.Object, pureSel bool) {
+	info := u.u.TypesInfo
+	pureSel = true
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.Ident:
+			obj := info.Defs[x]
+			if obj == nil {
+				obj = info.Uses[x]
+			}
+			if dom == "" {
+				dom = c.typeDomain(info.TypeOf(x))
+			}
+			return dom, obj, pureSel
+		case *ast.SelectorExpr:
+			if id, ok := x.X.(*ast.Ident); ok {
+				if _, isPkg := info.Uses[id].(*types.PkgName); isPkg {
+					// Qualified reference to another package's variable.
+					if dom == "" {
+						dom = c.typeDomain(info.TypeOf(x))
+					}
+					return dom, info.Uses[x.Sel], false
+				}
+			}
+			if dom == "" {
+				dom = c.typeDomain(info.TypeOf(x.X))
+			}
+			e = x.X
+		case *ast.IndexExpr:
+			if dom == "" {
+				dom = c.typeDomain(info.TypeOf(x.X))
+			}
+			e, pureSel = x.X, false
+		case *ast.StarExpr:
+			if dom == "" {
+				dom = c.typeDomain(info.TypeOf(x.X))
+			}
+			e, pureSel = x.X, false
+		default:
+			// Chains rooted in calls or other expressions: keep whatever
+			// domain the selectors established; no root to exempt.
+			return dom, nil, false
+		}
+	}
+}
+
+// isLocalValue reports whether obj is a function-local variable (parameter,
+// receiver, or local) of non-pointer type — writes through a pure selector
+// chain on such a root mutate a stack copy.
+func isLocalValue(obj types.Object, u *unitInfo) bool {
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() {
+		return false
+	}
+	if v.Parent() == nil || v.Parent() == u.u.Pkg.Scope() {
+		return false
+	}
+	_, isPtr := types.Unalias(v.Type()).(*types.Pointer)
+	return !isPtr
+}
+
+// freshLocals finds locals that only ever hold values allocated inside this
+// body (composite literals, &composite, make, new): writes to them are
+// constructor work, not mutation of shared state.
+func (c *checker) freshLocals(fi *funcInfo) map[types.Object]bool {
+	info := fi.unit.u.TypesInfo
+	fresh := make(map[types.Object]bool)
+	tainted := make(map[types.Object]bool)
+	classify := func(id *ast.Ident, rhs ast.Expr, define bool) {
+		if id.Name == "_" {
+			return
+		}
+		var obj types.Object
+		if define {
+			obj = info.Defs[id]
+		} else {
+			obj = info.Uses[id]
+		}
+		if obj == nil {
+			return
+		}
+		if rhs != nil && isFreshExpr(info, rhs) {
+			fresh[obj] = true
+		} else if define && rhs == nil {
+			fresh[obj] = true // var x T — zero value is fresh
+		} else {
+			tainted[obj] = true
+		}
+	}
+	ast.Inspect(fi.decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				var rhs ast.Expr
+				if len(n.Rhs) == len(n.Lhs) {
+					rhs = n.Rhs[i]
+				}
+				classify(id, rhs, n.Tok == token.DEFINE)
+			}
+		case *ast.GenDecl:
+			if n.Tok != token.VAR {
+				return true
+			}
+			for _, spec := range n.Specs {
+				vs := spec.(*ast.ValueSpec)
+				for i, id := range vs.Names {
+					var rhs ast.Expr
+					if i < len(vs.Values) {
+						rhs = vs.Values[i]
+					}
+					classify(id, rhs, true)
+				}
+			}
+		case *ast.RangeStmt, *ast.TypeSwitchStmt:
+			// Range and type-switch variables alias existing state; they
+			// are never fresh (absent from the map means not fresh).
+			return true
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				// Taking a local's address may leak it; a leaked local can
+				// be reached from elsewhere, so stop treating it as fresh.
+				if id, ok := ast.Unparen(n.X).(*ast.Ident); ok {
+					if obj := info.Uses[id]; obj != nil {
+						tainted[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	for obj := range tainted {
+		delete(fresh, obj)
+	}
+	return fresh
+}
+
+// isFreshExpr reports whether e evaluates to storage allocated at this
+// expression: composite literals, their addresses, and make/new calls.
+func isFreshExpr(info *types.Info, e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if e.Op != token.AND {
+			return false
+		}
+		_, ok := ast.Unparen(e.X).(*ast.CompositeLit)
+		return ok
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok {
+			if b, ok := info.Uses[id].(*types.Builtin); ok {
+				return b.Name() == "make" || b.Name() == "new"
+			}
+		}
+	}
+	return false
+}
+
+// scanCall resolves one call expression to candidate callees, records them
+// for the effects fixpoint, and handles the mutating builtins.
+func (c *checker) scanCall(fi *funcInfo, fresh map[types.Object]bool, call *ast.CallExpr) {
+	info := fi.unit.u.TypesInfo
+	fun := ast.Unparen(call.Fun)
+	if ix, ok := fun.(*ast.IndexExpr); ok { // generic instantiation
+		fun = ast.Unparen(ix.X)
+	}
+	if ix, ok := fun.(*ast.IndexListExpr); ok {
+		fun = ast.Unparen(ix.X)
+	}
+	switch f := fun.(type) {
+	case *ast.Ident:
+		switch o := info.Uses[f].(type) {
+		case *types.Builtin:
+			switch o.Name() {
+			case "delete", "clear", "copy":
+				if len(call.Args) > 0 {
+					c.checkWrite(fi, fresh, call.Args[0])
+				}
+			}
+		case *types.Func:
+			c.addCall(fi, call.Pos(), o)
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[f]; ok && sel.Kind() == types.MethodVal {
+			// Calls on objects freshly allocated in this body configure a
+			// value that belongs to no shard yet.
+			if _, root, _ := c.writeTarget(fi.unit, f.X); root != nil && fresh[root] {
+				return
+			}
+			recv := sel.Recv()
+			if types.IsInterface(recv) {
+				c.addInterfaceCall(fi, call.Pos(), recv, sel.Obj().(*types.Func))
+				return
+			}
+			c.addCall(fi, call.Pos(), sel.Obj().(*types.Func))
+			return
+		}
+		if o, ok := info.Uses[f.Sel].(*types.Func); ok { // pkg.FreeFunc
+			c.addCall(fi, call.Pos(), o)
+		}
+	}
+}
+
+// addCall records a call to a concrete function when the callee lives in a
+// sim package (only those have bodies we analyzed).
+func (c *checker) addCall(fi *funcInfo, pos token.Pos, fn *types.Func) {
+	if fn.Pkg() == nil || !c.paths[fn.Pkg().Path()] {
+		return
+	}
+	fi.calls = append(fi.calls, callSite{pos: pos, callees: []string{funcKey(fn)}})
+}
+
+// addInterfaceCall resolves an interface method call to every sim struct
+// whose method set satisfies the interface, matched structurally by method
+// name and signature string (object identity does not hold across package
+// type-check universes).
+func (c *checker) addInterfaceCall(fi *funcInfo, pos token.Pos, recv types.Type, m *types.Func) {
+	iface, ok := types.Unalias(recv).Underlying().(*types.Interface)
+	if !ok {
+		return
+	}
+	impls, cached := c.ifaces[iface]
+	if !cached {
+		for _, ti := range c.typeOrder {
+			if c.implementsByName(ti, iface) {
+				impls = append(impls, ti)
+			}
+		}
+		c.ifaces[iface] = impls
+	}
+	cs := callSite{pos: pos}
+	for _, ti := range impls {
+		cs.callees = append(cs.callees, ti.key+"."+m.Name())
+	}
+	if len(cs.callees) > 0 {
+		fi.calls = append(fi.calls, cs)
+	}
+}
+
+// implementsByName reports whether *T satisfies iface, comparing method
+// signatures as path-qualified strings.
+func (c *checker) implementsByName(ti *typeInfo, iface *types.Interface) bool {
+	if iface.NumMethods() == 0 {
+		return false // any/empty interfaces would match everything
+	}
+	ms := types.NewMethodSet(types.NewPointer(ti.named))
+	for i := 0; i < iface.NumMethods(); i++ {
+		m := iface.Method(i)
+		sel := ms.Lookup(m.Pkg(), m.Name())
+		if sel == nil {
+			return false
+		}
+		if sigString(sel.Obj().(*types.Func)) != sigString(m) {
+			return false
+		}
+	}
+	return true
+}
+
+// sigString renders a method signature (minus receiver) with package-path
+// qualification, stable across type-check universes.
+func sigString(fn *types.Func) string {
+	sig := fn.Type().(*types.Signature)
+	q := func(p *types.Package) string { return p.Path() }
+	var b strings.Builder
+	b.WriteString(fn.Name())
+	b.WriteByte('(')
+	for i := 0; i < sig.Params().Len(); i++ {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		if sig.Variadic() && i == sig.Params().Len()-1 {
+			b.WriteString("...")
+		}
+		b.WriteString(types.TypeString(sig.Params().At(i).Type(), q))
+	}
+	b.WriteByte(')')
+	for i := 0; i < sig.Results().Len(); i++ {
+		b.WriteByte(',')
+		b.WriteString(types.TypeString(sig.Results().At(i).Type(), q))
+	}
+	return b.String()
+}
+
+// --- Phase 5: effects fixpoint and call checking --------------------------
+
+// propagateEffects closes each function's write-set over its non-seam
+// callees. Propagation stops at seams: calling a seam is sanctioned, so its
+// internal crossings do not leak into the caller's effect set.
+func (c *checker) propagateEffects() {
+	for _, fi := range c.funcOrder {
+		for d := range fi.writes {
+			fi.effects[d] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range c.funcOrder {
+			for _, cs := range fi.calls {
+				for _, key := range cs.callees {
+					g := c.funcs[key]
+					if g == nil || g.seam != nil {
+						continue
+					}
+					for d := range g.effects {
+						if !fi.effects[d] {
+							fi.effects[d] = true
+							changed = true
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// checkCalls reports call sites whose (non-seam) callees mutate a domain the
+// caller's context may not touch.
+func (c *checker) checkCalls() {
+	for _, fi := range c.funcOrder {
+		if fi.seam != nil {
+			continue // seams are sanctioned to cross
+		}
+		for _, cs := range fi.calls {
+			bad := make(map[Domain]bool)
+			for _, key := range cs.callees {
+				g := c.funcs[key]
+				if g == nil || g.seam != nil {
+					continue
+				}
+				for d := range g.effects {
+					if !allowedWrite(fi.ctx, d) {
+						bad[d] = true
+					}
+				}
+			}
+			if len(bad) == 0 {
+				continue
+			}
+			if fi.unit.dirs.At(fi.unit.u.Fset, cs.pos, "crossdomain") != nil {
+				continue
+			}
+			c.diag(fi.unit, cs.pos, "cross-domain call: %s calls into code that mutates %s-owned state; mark the callee //ndplint:seam or suppress with //ndplint:crossdomain <why>", ctxName(fi.ctx), domainSet(bad))
+		}
+	}
+}

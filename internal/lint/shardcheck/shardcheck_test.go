@@ -1,0 +1,24 @@
+package shardcheck_test
+
+import (
+	"testing"
+
+	"ndpbridge/internal/lint/analysistest"
+	"ndpbridge/internal/lint/shardcheck"
+)
+
+// TestFixture drives the ownership analyzer over the fixture package:
+// domain directives and containment inference, the seam allowlist, a
+// planted cross-domain write and call that must fire, the crossdomain
+// suppression round-trip, the shared-ro freeze, and the fresh-allocation
+// constructor exemption.
+func TestFixture(t *testing.T) {
+	analysistest.RunGlobal(t, shardcheck.Analyzer, "testdata/src/ndpunit")
+}
+
+// TestOutsideBoundaryIgnored proves packages outside the sim boundary draw
+// no findings: the same shapes that fire in the fixture are silent in a
+// package whose name is not on the sim list.
+func TestOutsideBoundaryIgnored(t *testing.T) {
+	analysistest.RunGlobal(t, shardcheck.Analyzer, "testdata/src/outside")
+}

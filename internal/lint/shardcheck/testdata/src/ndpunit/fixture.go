@@ -1,0 +1,118 @@
+// Package ndpunit is a shardcheck fixture. It borrows a sim package's name
+// so the analyzer treats it as inside the shard boundary; the structs are
+// stand-ins, not the real simulator types.
+package ndpunit
+
+//ndplint:domain(unit)
+type Unit struct {
+	q     []int
+	stats Stats
+	sh    Shared
+}
+
+// Stats has no directive: containment inside Unit alone assigns it unit.
+type Stats struct {
+	n int
+}
+
+//ndplint:domain(bridge-l1)
+type Bridge struct {
+	buf []int
+	sh  Shared
+}
+
+// Shared sits inside two domains, so no single owner can be derived.
+type Shared struct { // want `ambiguous ownership for .*Shared: contained in domains bridge-l1 and unit`
+	n int
+}
+
+// Orphan is stateful but held by nobody and undeclared.
+type Orphan struct { // want `struct .*Orphan has no ownership domain`
+	n int
+}
+
+//ndplint:domain(shared-ro)
+type Table struct {
+	m map[string]int
+}
+
+//ndplint:domain(perowner)
+type Mailbox struct {
+	msgs []int
+}
+
+var counter int // want `package-level mutable state counter belongs to no shard`
+
+//ndplint:crossdomain test scaffold tolerated at package level
+var suppressedCounter int
+
+// Step writes only the unit's own state: clean.
+func (u *Unit) Step() {
+	u.q = append(u.q, 1)
+	u.stats.n++
+}
+
+// Poke is the planted violation: a unit-context write to bridge state.
+func (u *Unit) Poke(b *Bridge) {
+	b.buf = append(b.buf, 1) // want `cross-domain write: unit code mutates bridge-l1-owned state`
+}
+
+// Hack crosses the same way but carries an audited suppression.
+func (u *Unit) Hack(b *Bridge) {
+	//ndplint:crossdomain audited test crossing
+	b.buf = nil
+}
+
+// Deliver is a sanctioned seam: the same write draws no finding.
+//ndplint:seam downward delivery entry in the test fixture
+func (u *Unit) Deliver(b *Bridge) {
+	b.buf = append(b.buf, 2)
+}
+
+// Accept is a seam on the bridge side, callable from any domain.
+//ndplint:seam upward gather entry in the test fixture
+func (b *Bridge) Accept(x int) {
+	b.buf = append(b.buf, x)
+}
+
+// grow is NOT a seam: unit-side callers must not reach it.
+func (b *Bridge) grow() {
+	b.buf = append(b.buf, 3)
+}
+
+// Send crosses through the seam: clean.
+func (u *Unit) Send(b *Bridge) {
+	b.Accept(1)
+}
+
+// Relay crosses into a non-seam mutator: flagged at the call site.
+func (u *Unit) Relay(b *Bridge) {
+	b.grow() // want `cross-domain call: unit code calls into code that mutates bridge-l1-owned state`
+}
+
+// Freeze: shared-ro is writable by nobody outside a seam, even its own
+// methods — mutators of frozen tables must be audited setup-phase seams.
+func (t *Table) Add(k string) {
+	t.m[k] = 1 // want `cross-domain write: shared-ro code mutates shared-ro-owned state`
+}
+
+// Register is the audited setup-phase mutator.
+//ndplint:seam setup-phase registration in the test fixture
+func (t *Table) Register(k string) {
+	t.m[k] = 1
+}
+
+// Push writes perowner state from bridge context: ownership follows the
+// holder, so this is clean.
+func (b *Bridge) Push(mb *Mailbox) {
+	mb.msgs = append(mb.msgs, 1)
+}
+
+// NewBridge writes a freshly allocated value from domain-free context:
+// the constructor exemption keeps it clean.
+func NewBridge() *Bridge {
+	b := &Bridge{}
+	b.buf = append(b.buf, 0)
+	b.grow()
+	return b
+}

@@ -1,0 +1,14 @@
+// Package outside is NOT a sim package: shardcheck must ignore it entirely,
+// even though it repeats shapes that fire inside the boundary.
+package outside
+
+type Undomained struct {
+	n int
+}
+
+var freeCounter int
+
+func Touch(u *Undomained) {
+	u.n++
+	freeCounter++
+}

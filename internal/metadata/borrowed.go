@@ -22,6 +22,7 @@ import (
 // choice, slot numbering, and eviction order all match an eagerly-allocated
 // layout. Iteration (ForEach, snapshots) sorts the touched set indices, so
 // map ordering never leaks into simulation behavior.
+//ndplint:domain(perowner)
 type Borrowed struct {
 	sets  int
 	ways  int
@@ -41,6 +42,7 @@ type bentry struct {
 }
 
 // Eviction describes an entry displaced by Insert.
+//ndplint:domain(xfer)
 type Eviction struct {
 	Key   uint64
 	Value uint64

@@ -12,6 +12,7 @@ import (
 // cache contents, and — on fault runs — the retry-protocol endpoint state.
 // Structural configuration (bank geometry, mailbox capacity, DRAM layout
 // offsets) is derived from the config and not encoded.
+//ndplint:seam snapshot encoder: runs at a barrier with the fabric quiesced
 func (u *Unit) SnapshotTo(e *checkpoint.Enc) {
 	e.I64(int64(u.id))
 	e.Bool(u.running)

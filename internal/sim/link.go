@@ -8,6 +8,7 @@ package sim
 //
 // Link is a passive bookkeeping structure: callers obtain the completion time
 // and schedule their own events on the Engine.
+//ndplint:domain(perowner)
 type Link struct {
 	name          string
 	bytesPerCycle uint64
